@@ -1,0 +1,106 @@
+// Command probe times each (corpus program, strategy) pair one at a time;
+// development aid for localizing solver blowups.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cc/types"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+)
+
+// mismatchSpy wraps a strategy and prints struct-involving mismatches.
+type mismatchSpy struct {
+	core.Strategy
+	seen map[string]bool
+}
+
+func (m *mismatchSpy) Lookup(τ *types.Type, path ir.Path, target core.Cell) []core.Cell {
+	before := m.Strategy.Recorder().LookupMismatches
+	out := m.Strategy.Lookup(τ, path, target)
+	if m.Strategy.Recorder().LookupMismatches > before {
+		key := fmt.Sprintf("lookup(%s, %s, %s)", τ, path, target)
+		if !m.seen[key] {
+			m.seen[key] = true
+			fmt.Println("  MISMATCH", key)
+		}
+	}
+	return out
+}
+
+func (m *mismatchSpy) Resolve(dst, src core.Cell, τ *types.Type) []core.Edge {
+	before := m.Strategy.Recorder().ResolveMismatches
+	out := m.Strategy.Resolve(dst, src, τ)
+	if m.Strategy.Recorder().ResolveMismatches > before {
+		key := fmt.Sprintf("resolve(%s, %s, %s)", dst, src, τ)
+		if !m.seen[key] {
+			m.seen[key] = true
+			fmt.Println("  MISMATCH", key)
+		}
+	}
+	return out
+}
+
+func main() {
+	only := ""
+	if len(os.Args) > 1 {
+		only = os.Args[1]
+	}
+	if only != "" {
+		src := corpus.MustSource(only)
+		res, err := frontend.Load(src, frontend.Options{})
+		if err != nil {
+			fmt.Println(err)
+			os.Exit(1)
+		}
+		if len(os.Args) > 2 && os.Args[2] == "offsets" {
+			// Time-limited offsets run with periodic fact counts.
+			strat := core.NewOffsets(res.Layout)
+			done := make(chan *core.Result, 1)
+			go func() { done <- core.Analyze(res.IR, strat) }()
+			for i := 0; i < 20; i++ {
+				select {
+				case r := <-done:
+					fmt.Printf("%s offsets: %d facts %v\n", only, r.TotalFacts(), r.Duration)
+					return
+				case <-time.After(500 * time.Millisecond):
+					fmt.Println("still running...")
+				}
+			}
+			fmt.Println("GIVING UP (divergence)")
+			os.Exit(1)
+		}
+		spy := &mismatchSpy{Strategy: core.NewCIS(), seen: map[string]bool{}}
+		core.Analyze(res.IR, spy)
+		rec := spy.Recorder()
+		fmt.Printf("%s: lookup mism %d/%d, resolve mism %d/%d\n", only,
+			rec.LookupMismatches, rec.LookupStructs,
+			rec.ResolveMismatches, rec.ResolveStructs)
+		return
+	}
+	for _, e := range corpus.Programs {
+		if only != "" && e.Name != only {
+			continue
+		}
+		src := corpus.MustSource(e.Name)
+		res, err := frontend.Load(src, frontend.Options{})
+		if err != nil {
+			fmt.Printf("%-12s LOAD ERROR: %v\n", e.Name, err)
+			continue
+		}
+		for _, sn := range metrics.StrategyNames {
+			fmt.Printf("%-12s %-20s ...", e.Name, sn)
+			os.Stdout.Sync()
+			start := time.Now()
+			strat := metrics.NewStrategy(sn, res.Layout)
+			r := core.Analyze(res.IR, strat)
+			fmt.Printf(" %8d facts %10v\n", r.TotalFacts(), time.Since(start))
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command ptrbench regenerates the paper's evaluation: it runs all four
+// analysis instances over the 20-program corpus and prints Figures 3–6
+// plus the headline summary.
+//
+// Usage:
+//
+//	ptrbench [flags]
+//
+// Flags:
+//
+//	-table name   which table to print: fig3, fig4, fig5, fig6, summary,
+//	              all (default)
+//	-abi name     layout for the offsets instance (lp64, ilp32, packed1)
+//	-repeat n     timing repetitions per (program, instance) (default 3)
+//	-program p    restrict to one corpus program
+//	-sweep        also run the synthetic generator sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cc/layout"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/export"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+	"repro/internal/report"
+	"repro/internal/steens"
+)
+
+func main() {
+	table := flag.String("table", "all", "fig3, fig4, fig5, fig6, summary, or all")
+	abi := flag.String("abi", "lp64", "ABI for the offsets instance")
+	repeat := flag.Int("repeat", 3, "timing repetitions")
+	program := flag.String("program", "", "restrict to one corpus program")
+	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
+	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON instead of tables")
+	flag.Parse()
+
+	var theABI *layout.ABI
+	switch *abi {
+	case "lp64":
+		theABI = layout.LP64
+	case "ilp32":
+		theABI = layout.ILP32
+	case "packed1":
+		theABI = layout.Packed1
+	default:
+		fmt.Fprintf(os.Stderr, "ptrbench: unknown ABI %q\n", *abi)
+		os.Exit(2)
+	}
+
+	names := corpus.SortedByGroup()
+	if *program != "" {
+		if _, ok := corpus.Lookup(*program); !ok {
+			fmt.Fprintf(os.Stderr, "ptrbench: unknown program %q\n", *program)
+			os.Exit(2)
+		}
+		names = []string{*program}
+	}
+
+	var progs []*metrics.Program
+	for _, name := range names {
+		src, err := corpus.Source(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptrbench: %v\n", err)
+			os.Exit(1)
+		}
+		p, err := metrics.Measure(name, src, frontend.Options{ABI: theABI},
+			metrics.Options{Repeat: *repeat})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptrbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		progs = append(progs, p)
+	}
+
+	w := os.Stdout
+	if *jsonOut {
+		if err := export.WriteEvaluation(w, *abi, progs); err != nil {
+			fmt.Fprintln(os.Stderr, "ptrbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	switch *table {
+	case "fig3":
+		report.Fig3(w, progs)
+	case "fig4":
+		report.Fig4(w, progs)
+	case "fig5":
+		report.Fig5(w, progs)
+	case "fig6":
+		report.Fig6(w, progs)
+	case "summary":
+		report.Summary(w, progs)
+	case "related":
+		runRelated(names, theABI)
+	case "all":
+		report.Fig3(w, progs)
+		report.Fig4(w, progs)
+		report.Fig5(w, progs)
+		report.Fig6(w, progs)
+		report.Summary(w, progs)
+	default:
+		fmt.Fprintf(os.Stderr, "ptrbench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+
+	if *sweep {
+		runSweep(theABI, *repeat)
+	}
+}
+
+// runRelated compares the framework's instances against the related-work
+// Steensgaard-style unification baseline (§6 of the paper): average deref
+// set sizes and analysis time.
+func runRelated(names []string, abi *layout.ABI) {
+	fmt.Println("Related work: subset-based framework instances vs. Steensgaard unification")
+	fmt.Println("(average deref set size; unification merges classes, trading precision for speed)")
+	fmt.Println()
+	fmt.Printf("%-12s %9s %9s %9s | %12s %12s\n",
+		"program", "Collapse", "CIS", "Steens", "CIS time", "Steens time")
+	for _, name := range names {
+		src, err := corpus.Source(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		res, err := frontend.Load(src, frontend.Options{ABI: abi})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		cis := core.Analyze(res.IR, core.NewCIS())
+		col := core.Analyze(res.IR, core.NewCollapseAlways())
+		st := steens.Analyze(res.IR)
+		expand := func(o *ir.Object) int {
+			c := core.Cell{Obj: o}
+			return core.NewCollapseAlways().ExpandedSize(c)
+		}
+		fmt.Printf("%-12s %9.2f %9.2f %9.2f | %12v %12v\n", name,
+			col.AvgDerefSetSize(), cis.AvgDerefSetSize(),
+			st.AvgDerefSetSize(expand),
+			cis.Duration, st.Duration)
+	}
+	fmt.Println()
+}
+
+// runSweep measures the synthetic generator across cast densities and
+// sizes, showing how the gap between the instances grows with casting.
+func runSweep(abi *layout.ABI, repeat int) {
+	fmt.Println("Synthetic sweep: average deref set size vs. cast density")
+	fmt.Printf("%-24s %9s %9s %9s %9s\n", "workload", "Collapse", "CoC", "CIS", "Offsets")
+	for _, density := range []int{0, 10, 25, 50, 75} {
+		p := corpus.DefaultGenParams()
+		p.NStructs = 6
+		p.NDerefs = 120
+		p.CastDensity = density
+		src := corpus.Generate(p)
+		m, err := metrics.Measure(fmt.Sprintf("gen(cast=%d%%)", density), src,
+			frontend.Options{ABI: abi}, metrics.Options{Repeat: repeat})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			return
+		}
+		fmt.Printf("%-24s %9.2f %9.2f %9.2f %9.2f\n", m.Name,
+			m.Runs["collapse-always"].AvgDerefSize,
+			m.Runs["collapse-on-cast"].AvgDerefSize,
+			m.Runs["common-initial-seq"].AvgDerefSize,
+			m.Runs["offsets"].AvgDerefSize)
+	}
+}

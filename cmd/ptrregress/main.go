@@ -1,0 +1,47 @@
+// Command ptrregress checks the corpus evaluation against the committed
+// baseline (internal/regress/baseline.json): the solver is deterministic, so
+// any change in fact counts, set sizes or instrumentation counters is
+// reported as drift.
+//
+// Usage:
+//
+//	ptrregress            # check against the baseline; exit 1 on drift
+//	ptrregress -update    # re-record the baseline after intentional changes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/regress"
+)
+
+func main() {
+	update := flag.Bool("update", false, "re-record the baseline")
+	root := flag.String("root", ".", "repository root (for -update)")
+	flag.Parse()
+
+	if *update {
+		ev, err := regress.Measure()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ptrregress:", err)
+			os.Exit(1)
+		}
+		if err := regress.Update(*root, ev); err != nil {
+			fmt.Fprintln(os.Stderr, "ptrregress:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline updated: %d programs\n", len(ev.Programs))
+		return
+	}
+
+	ok, err := regress.Run(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptrregress:", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

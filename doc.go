@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Pointer Analysis for
+// Programs with Structures and Casting" (Yong, Horwitz, Reps — PLDI 1999):
+// a self-contained C front end, the paper's normalized five-form IR, the
+// tunable normalize/lookup/resolve analysis framework with its four
+// instances, a twenty-program benchmark corpus, and a harness that
+// regenerates the paper's Figures 3-6.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-vs-paper results. The root package exists to
+// host the benchmark suite (bench_test.go); the library lives under
+// internal/.
+package repro

@@ -1,0 +1,78 @@
+// Abiportability: demonstrate the paper's central caveat about the Offsets
+// instance — its results are only safe for one structure-layout strategy.
+// The same program is analyzed under three ABIs; the Offsets answers
+// change, the portable Common Initial Sequence answers do not.
+//
+//	go run ./examples/abiportability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cc/layout"
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+// The access pattern reads byte 8 of struct S through an overlay type; on
+// LP64 that is where s2 lives, on ILP32 and packed layouts it is not.
+const program = `
+struct S { char tag; int *s2; } s;
+struct U { char pad[8]; int *u2; } *p;
+int x, *r;
+
+void f(void) {
+	s.s2 = &x;
+	p = (struct U *)&s;
+	r = p->u2;
+}
+`
+
+func main() {
+	abis := []*layout.ABI{layout.LP64, layout.ILP32, layout.Packed1}
+
+	fmt.Println("what may r point to after reading through the overlay?")
+	fmt.Println()
+	fmt.Printf("%-10s %-28s %-28s\n", "ABI", "offsets instance", "common-initial-seq instance")
+
+	for _, abi := range abis {
+		res, err := frontend.Load(
+			[]frontend.Source{{Name: "overlay.c", Text: program}},
+			frontend.Options{ABI: abi},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var r *ir.Object
+		for _, o := range res.IR.Objects {
+			if o.Name == "r" {
+				r = o
+			}
+		}
+		offsets := core.Analyze(res.IR, core.NewOffsets(res.Layout))
+		cis := core.Analyze(res.IR, core.NewCIS())
+		fmt.Printf("%-10s %-28s %-28s\n", abi.Name,
+			render(offsets.PointsTo(r, nil)),
+			render(cis.PointsTo(r, nil)))
+	}
+
+	fmt.Println()
+	fmt.Println("The Offsets answers differ per ABI: offsetof(S, s2) is 8 under lp64")
+	fmt.Println("but 4 under ilp32 and 1 under packed1, so the byte-8 read resolves")
+	fmt.Println("differently. A tool that must be correct for every conforming")
+	fmt.Println("compiler needs the portable instances — at the cost the paper")
+	fmt.Println("quantifies in Figures 4-6.")
+}
+
+func render(set core.CellSet) string {
+	s := "{"
+	for i, t := range set.Sorted() {
+		if i > 0 {
+			s += ", "
+		}
+		s += t.String()
+	}
+	return s + "}"
+}

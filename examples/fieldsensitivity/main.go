@@ -1,0 +1,69 @@
+// Fieldsensitivity: reproduce the paper's Introduction example and show how
+// the four instances differ on it — the collapsed instance conflates the
+// two fields, the field-sensitive ones do not.
+//
+//	go run ./examples/fieldsensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+// The code fragment from the paper's Introduction.
+const program = `
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+
+void f(void) {
+	s.s1 = &x;
+	s.s2 = &y;
+	p = s.s1;
+}
+`
+
+func main() {
+	res, err := frontend.Load(
+		[]frontend.Source{{Name: "intro.c", Text: program}},
+		frontend.Options{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var p *ir.Object
+	for _, o := range res.IR.Objects {
+		if o.Name == "p" {
+			p = o
+		}
+	}
+
+	strategies := []core.Strategy{
+		core.NewCollapseAlways(),
+		core.NewCollapseOnCast(),
+		core.NewCIS(),
+		core.NewOffsets(res.Layout),
+	}
+
+	fmt.Println("the Introduction example: what may p point to after p = s.s1?")
+	fmt.Println()
+	for _, strat := range strategies {
+		result := core.Analyze(res.IR, strat)
+		fmt.Printf("  %-20s pts(p) = {", strat.Name())
+		for i, t := range result.PointsTo(p, nil).Sorted() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(t)
+		}
+		fmt.Println("}")
+	}
+
+	fmt.Println()
+	fmt.Println("Collapse Always reports {x, y} because it treats every field of s")
+	fmt.Println("as one variable; the field-sensitive instances report exactly {x}.")
+}

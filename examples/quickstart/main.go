@@ -1,0 +1,70 @@
+// Quickstart: analyze a small C program with the Common Initial Sequence
+// instance and print the points-to sets of its named variables.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+)
+
+const program = `
+struct point { int *x; int *y; };
+
+int a, b;
+
+void setup(struct point *p) {
+	p->x = &a;
+	p->y = &b;
+}
+
+int main(void) {
+	struct point pt;
+	int *q;
+	setup(&pt);
+	q = pt.x;
+	return *q;
+}
+`
+
+func main() {
+	// 1. Run the front end: preprocess, parse, type-check, normalize to
+	//    the paper's five assignment forms.
+	res, err := frontend.Load(
+		[]frontend.Source{{Name: "quickstart.c", Text: program}},
+		frontend.Options{},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pick an analysis instance. NewCIS is the most precise portable
+	//    one; NewOffsets(res.Layout) would be the layout-specific one.
+	strategy := core.NewCIS()
+
+	// 3. Solve to fixpoint.
+	result := core.Analyze(res.IR, strategy)
+
+	// 4. Query: every named variable's points-to set.
+	fmt.Println("points-to sets (common-initial-sequence instance):")
+	result.Cells(func(c core.Cell, set core.CellSet) {
+		if c.Obj.IsTemp() {
+			return // skip normalization temporaries
+		}
+		fmt.Printf("  %-18s -> {", c)
+		for i, t := range set.Sorted() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(t)
+		}
+		fmt.Println("}")
+	})
+
+	fmt.Printf("\n%d points-to facts, %d dereference sites, avg set size %.2f\n",
+		result.TotalFacts(), len(res.IR.Sites), result.AvgDerefSetSize())
+}

@@ -1,0 +1,162 @@
+package castaudit_test
+
+import (
+	"testing"
+
+	"repro/internal/castaudit"
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+)
+
+func audit(t *testing.T, src string) []castaudit.Finding {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return castaudit.Audit(r.Sema)
+}
+
+func classesOf(fs []castaudit.Finding) map[castaudit.Class]int {
+	return castaudit.Summary(fs)
+}
+
+func TestBenignCast(t *testing.T) {
+	src := `char *p; void f(const char *s) { p = (char *)s; }`
+	cs := classesOf(audit(t, src))
+	if cs[castaudit.Benign] != 1 {
+		t.Errorf("classes = %v, want one benign", cs)
+	}
+}
+
+func TestGenericVoidCast(t *testing.T) {
+	src := `
+struct S { int x; } s;
+void *v;
+void f(void) { v = (void *)&s; }
+struct S *g(void) { return (struct S *)v; }`
+	cs := classesOf(audit(t, src))
+	if cs[castaudit.Generic] != 2 {
+		t.Errorf("classes = %v, want two generic", cs)
+	}
+}
+
+func TestPrefixSafeCast(t *testing.T) {
+	src := `
+struct base { int kind; long ts; };
+struct derived { int kind; long ts; char *payload; } d;
+struct base *up(void) { return (struct base *)&d; }`
+	fs := audit(t, src)
+	cs := classesOf(fs)
+	if cs[castaudit.PrefixSafe] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestPartialOverlapCast(t *testing.T) {
+	src := `
+struct a { int k; long v; int *p; } x;
+struct b { int k; long v; char tag; } *q;
+void f(void) { q = (struct b *)&x; }`
+	fs := audit(t, src)
+	cs := classesOf(fs)
+	if cs[castaudit.PartialOverlap] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestFirstFieldOnlyCast(t *testing.T) {
+	src := `
+struct wrap { int *inner; int count; } w;
+int **f(void) { return (int **)&w; }`
+	fs := audit(t, src)
+	cs := classesOf(fs)
+	if cs[castaudit.FirstFieldOnly] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestUnrelatedCast(t *testing.T) {
+	src := `
+struct a { char *s; } x;
+struct b { long n; double d; } *q;
+void f(void) { q = (struct b *)&x; }`
+	fs := audit(t, src)
+	cs := classesOf(fs)
+	if cs[castaudit.Unrelated] != 1 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestIntLaunderCast(t *testing.T) {
+	src := `
+int x, *p;
+long stash;
+void f(void) {
+	stash = (long)&x;
+	p = (int *)stash;
+}`
+	fs := audit(t, src)
+	cs := classesOf(fs)
+	if cs[castaudit.IntLaunder] != 2 {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestArithmeticCastsIgnored(t *testing.T) {
+	src := `double d; int f(void) { d = (double)3; return (int)d; }`
+	fs := audit(t, src)
+	if len(fs) != 0 {
+		t.Errorf("arithmetic casts reported: %v", fs)
+	}
+}
+
+func TestFindingsSortedBySeverity(t *testing.T) {
+	src := `
+struct a { char *s; } x;
+struct b { long n; } *q;
+char *c;
+void f(const char *s) {
+	q = (struct b *)&x;     /* unrelated */
+	c = (char *)s;          /* benign */
+}`
+	fs := audit(t, src)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+	if fs[0].Class != castaudit.Unrelated || fs[1].Class != castaudit.Benign {
+		t.Errorf("not sorted by severity: %v", fs)
+	}
+}
+
+func TestAuditCorpusGroups(t *testing.T) {
+	// Sanity over the corpus: the casting group has non-benign struct
+	// casts; the clean group has no unrelated/partial struct casts.
+	for _, e := range corpus.Programs {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			src := corpus.MustSource(e.Name)
+			r, err := frontend.Load(src, frontend.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs := castaudit.Summary(castaudit.Audit(r.Sema))
+			suspicious := cs[castaudit.PartialOverlap] + cs[castaudit.Unrelated] +
+				cs[castaudit.FirstFieldOnly] + cs[castaudit.PrefixSafe]
+			if !e.CastGroup && suspicious > 0 {
+				t.Errorf("clean program has %d structural casts: %v", suspicious, cs)
+			}
+		})
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	fs := audit(t, `struct a { char *s; } x; struct b { long n; } *q; void f(void) { q = (struct b *)&x; }`)
+	if len(fs) != 1 {
+		t.Fatal("want one finding")
+	}
+	s := fs[0].String()
+	if s == "" || fs[0].Pos.Line == 0 {
+		t.Errorf("finding = %q pos %v", s, fs[0].Pos)
+	}
+}

@@ -1,0 +1,330 @@
+package ast
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cc/lit"
+	"repro/internal/cc/token"
+)
+
+// Fprint writes a readable C-like rendering of the node to w. It is meant
+// for debugging and golden tests, not for round-tripping arbitrary code.
+func Fprint(w io.Writer, n Node) {
+	p := &printer{w: w}
+	p.node(n)
+}
+
+// Sprint renders the node to a string.
+func Sprint(n Node) string {
+	var sb strings.Builder
+	Fprint(&sb, n)
+	return sb.String()
+}
+
+type printer struct {
+	w      io.Writer
+	indent int
+}
+
+func (p *printer) printf(format string, args ...interface{}) {
+	fmt.Fprintf(p.w, format, args...)
+}
+
+func (p *printer) nl() {
+	p.printf("\n%s", strings.Repeat("    ", p.indent))
+}
+
+func (p *printer) node(n Node) {
+	switch n := n.(type) {
+	case *File:
+		for _, d := range n.Decls {
+			p.node(d)
+			p.printf("\n")
+		}
+	case Expr:
+		p.expr(n, 0)
+	case Stmt:
+		p.stmt(n)
+	case *VarDecl:
+		if s := n.Storage.String(); s != "" {
+			p.printf("%s ", s)
+		}
+		p.printf("%s %s", n.Type, n.Name)
+		if n.Init != nil {
+			p.printf(" = ")
+			p.init(n.Init)
+		}
+		p.printf(";")
+	case *TypedefDecl:
+		p.printf("typedef %s %s;", n.Type, n.Name)
+	case *TagDecl:
+		p.printf("%s;", n.Type)
+	case *FuncDecl:
+		p.printf("%s %s(", n.Type.Sig.Result, n.Name)
+		for i, prm := range n.Type.Sig.Params {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.printf("%s %s", prm.Type, prm.Name)
+		}
+		if n.Type.Sig.Variadic {
+			p.printf(", ...")
+		}
+		p.printf(") ")
+		p.stmt(n.Body)
+	case *InitList:
+		p.init(n)
+	default:
+		p.printf("<?node %T>", n)
+	}
+}
+
+func (p *printer) init(in Init) {
+	switch in := in.(type) {
+	case *InitList:
+		p.printf("{")
+		for i, item := range in.Items {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.init(item)
+		}
+		p.printf("}")
+	case Expr:
+		p.expr(in, 0)
+	}
+}
+
+// Operator precedence levels for minimal parenthesization.
+func binPrec(op token.Kind) int {
+	switch op {
+	case token.MUL, token.QUO, token.REM:
+		return 10
+	case token.ADD, token.SUB:
+		return 9
+	case token.SHL, token.SHR:
+		return 8
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return 7
+	case token.EQL, token.NEQ:
+		return 6
+	case token.AND:
+		return 5
+	case token.XOR:
+		return 4
+	case token.OR:
+		return 3
+	case token.LAND:
+		return 2
+	case token.LOR:
+		return 1
+	}
+	return 0
+}
+
+func (p *printer) expr(e Expr, prec int) {
+	switch e := e.(type) {
+	case *Ident:
+		p.printf("%s", e.Name)
+	case *IntLit:
+		p.printf("%s", e.Text)
+	case *FloatLit:
+		p.printf("%s", e.Text)
+	case *CharLit:
+		p.printf("%s", e.Text)
+	case *StringLit:
+		p.printf("%s", lit.QuoteString(e.Value))
+	case *Paren:
+		p.printf("(")
+		p.expr(e.X, 0)
+		p.printf(")")
+	case *Unary:
+		p.printf("%s", e.Op)
+		if u, ok := e.X.(*Unary); ok && (u.Op == e.Op || e.Op == token.ADD && u.Op == token.INC || e.Op == token.SUB && u.Op == token.DEC) {
+			p.printf(" ")
+		}
+		p.expr(e.X, 12)
+	case *Postfix:
+		p.expr(e.X, 12)
+		p.printf("%s", e.Op)
+	case *Binary:
+		bp := binPrec(e.Op)
+		if bp < prec {
+			p.printf("(")
+		}
+		p.expr(e.X, bp)
+		p.printf(" %s ", e.Op)
+		p.expr(e.Y, bp+1)
+		if bp < prec {
+			p.printf(")")
+		}
+	case *Assign:
+		if prec > 0 {
+			p.printf("(")
+		}
+		p.expr(e.L, 1)
+		p.printf(" %s ", e.Op)
+		p.expr(e.R, 0)
+		if prec > 0 {
+			p.printf(")")
+		}
+	case *Cond:
+		if prec > 0 {
+			p.printf("(")
+		}
+		p.expr(e.C, 2)
+		p.printf(" ? ")
+		p.expr(e.A, 0)
+		p.printf(" : ")
+		p.expr(e.B, 0)
+		if prec > 0 {
+			p.printf(")")
+		}
+	case *Comma:
+		p.printf("(")
+		p.expr(e.X, 0)
+		p.printf(", ")
+		p.expr(e.Y, 0)
+		p.printf(")")
+	case *Call:
+		p.expr(e.Fun, 12)
+		p.printf("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				p.printf(", ")
+			}
+			p.expr(a, 1)
+		}
+		p.printf(")")
+	case *Index:
+		p.expr(e.X, 12)
+		p.printf("[")
+		p.expr(e.I, 0)
+		p.printf("]")
+	case *Member:
+		p.expr(e.X, 12)
+		if e.Arrow {
+			p.printf("->")
+		} else {
+			p.printf(".")
+		}
+		p.printf("%s", e.Name)
+	case *Cast:
+		p.printf("(%s)", e.T)
+		p.expr(e.X, 11)
+	case *SizeofExpr:
+		p.printf("sizeof ")
+		p.expr(e.X, 12)
+	case *SizeofType:
+		p.printf("sizeof(%s)", e.T)
+	default:
+		p.printf("<?expr %T>", e)
+	}
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *ExprStmt:
+		p.expr(s.X, 0)
+		p.printf(";")
+	case *Empty:
+		p.printf(";")
+	case *Block:
+		p.printf("{")
+		p.indent++
+		for _, st := range s.List {
+			p.nl()
+			p.stmt(st)
+		}
+		p.indent--
+		p.nl()
+		p.printf("}")
+	case *DeclStmt:
+		for i, d := range s.Decls {
+			if i > 0 {
+				p.nl()
+			}
+			p.node(d)
+		}
+	case *If:
+		p.printf("if (")
+		p.expr(s.Cond, 0)
+		p.printf(") ")
+		p.stmt(s.Then)
+		if s.Else != nil {
+			p.printf(" else ")
+			p.stmt(s.Else)
+		}
+	case *While:
+		p.printf("while (")
+		p.expr(s.Cond, 0)
+		p.printf(") ")
+		p.stmt(s.Body)
+	case *DoWhile:
+		p.printf("do ")
+		p.stmt(s.Body)
+		p.printf(" while (")
+		p.expr(s.Cond, 0)
+		p.printf(");")
+	case *For:
+		p.printf("for (")
+		if s.InitDecl != nil {
+			p.stmt(s.InitDecl)
+		} else {
+			if s.Init != nil {
+				p.expr(s.Init, 0)
+			}
+			p.printf(";")
+		}
+		p.printf(" ")
+		if s.Cond != nil {
+			p.expr(s.Cond, 0)
+		}
+		p.printf("; ")
+		if s.Post != nil {
+			p.expr(s.Post, 0)
+		}
+		p.printf(") ")
+		p.stmt(s.Body)
+	case *Switch:
+		p.printf("switch (")
+		p.expr(s.Tag, 0)
+		p.printf(") ")
+		p.stmt(s.Body)
+	case *Case:
+		if s.Expr != nil {
+			p.printf("case ")
+			p.expr(s.Expr, 0)
+			p.printf(":")
+		} else {
+			p.printf("default:")
+		}
+		p.indent++
+		for _, st := range s.Body {
+			p.nl()
+			p.stmt(st)
+		}
+		p.indent--
+	case *Break:
+		p.printf("break;")
+	case *Continue:
+		p.printf("continue;")
+	case *Return:
+		p.printf("return")
+		if s.Expr != nil {
+			p.printf(" ")
+			p.expr(s.Expr, 0)
+		}
+		p.printf(";")
+	case *Goto:
+		p.printf("goto %s;", s.Label)
+	case *Label:
+		p.printf("%s:", s.Name)
+		p.nl()
+		p.stmt(s.Stmt)
+	default:
+		p.printf("<?stmt %T>", s)
+	}
+}

@@ -1,0 +1,157 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/parser"
+	"repro/internal/cc/pp"
+	"repro/internal/cc/types"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	prep := pp.New(pp.Config{})
+	toks, err := prep.Process("t.c", []byte(src))
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	f, err := parser.Parse("t.c", toks, parser.Config{Universe: types.NewUniverse()})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestPrintDeclarations(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int x;", "int x;"},
+		{"char *s;", "char * s;"},
+		{"static int n;", "static int n;"},
+		{"typedef int T;", "typedef int T;"},
+		{"struct S { int a; };", "struct S;"},
+		{"int a[3] = {1, 2, 3};", "int [3] a = {1, 2, 3};"},
+	}
+	for _, c := range cases {
+		f := parse(t, c.src)
+		got := ast.Sprint(f.Decls[0])
+		if got != c.want {
+			t.Errorf("Sprint(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintStatements(t *testing.T) {
+	cases := []struct{ body, want string }{
+		{"return 1;", "return 1;"},
+		{"break;", "break;"},
+		{"continue;", "continue;"},
+		{"goto out;", "goto out;"},
+		{";", ";"},
+		{"while (x) x--;", "while (x) x--;"},
+		{"do x--; while (x);", "do x--; while (x);"},
+		{"if (x) y = 1; else y = 2;", "if (x) y = 1; else y = 2;"},
+	}
+	for _, c := range cases {
+		src := "int x, y;\nvoid f(void) { " + c.body + " }"
+		f := parse(t, src)
+		var fd *ast.FuncDecl
+		for _, d := range f.Decls {
+			if v, ok := d.(*ast.FuncDecl); ok {
+				fd = v
+			}
+		}
+		got := ast.Sprint(fd.Body.List[0])
+		if got != c.want {
+			t.Errorf("stmt %q printed as %q, want %q", c.body, got, c.want)
+		}
+	}
+}
+
+func TestPrintPrecedence(t *testing.T) {
+	// The printer must preserve evaluation order with minimal parens.
+	cases := []string{
+		"x = a + b * c;",
+		"x = (a + b) * c;",
+		"x = a - (b - c);",
+		"x = -a + b;",
+		"x = *p + 1;",
+		"x = a ? b : c;",
+		"x = f(a, b)[2];",
+		"x = p->a.b;",
+	}
+	for _, src := range cases {
+		full := "int x, a, b, c, *p; int f(); void g(void) { " + src + " }"
+		f := parse(t, full)
+		var fd *ast.FuncDecl
+		for _, d := range f.Decls {
+			if v, ok := d.(*ast.FuncDecl); ok {
+				fd = v
+			}
+		}
+		got := ast.Sprint(fd.Body.List[0])
+		// Re-parse the printed form; it must print identically (fixpoint).
+		full2 := "int x, a, b, c, *p; int f(); void g(void) { " + got + " }"
+		f2 := parse(t, full2)
+		var fd2 *ast.FuncDecl
+		for _, d := range f2.Decls {
+			if v, ok := d.(*ast.FuncDecl); ok {
+				fd2 = v
+			}
+		}
+		got2 := ast.Sprint(fd2.Body.List[0])
+		if got != got2 {
+			t.Errorf("print not stable: %q -> %q -> %q", src, got, got2)
+		}
+	}
+}
+
+func TestPrintFunction(t *testing.T) {
+	f := parse(t, "int add(int a, int b) { return a + b; }")
+	got := ast.Sprint(f.Decls[0])
+	if !strings.Contains(got, "int add(int a, int b)") {
+		t.Errorf("function header mangled: %q", got)
+	}
+	if !strings.Contains(got, "return a + b;") {
+		t.Errorf("body mangled: %q", got)
+	}
+}
+
+func TestPrintSwitch(t *testing.T) {
+	src := `void f(int x) {
+	switch (x) {
+	case 1: x = 10; break;
+	default: x = 0;
+	}
+}`
+	f := parse(t, src)
+	got := ast.Sprint(f.Decls[0])
+	for _, want := range []string{"switch (x)", "case 1:", "default:", "x = 10;"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("switch print missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestUnparen(t *testing.T) {
+	f := parse(t, "int x; void g(void) { x = ((x)); }")
+	var fd *ast.FuncDecl
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.FuncDecl); ok {
+			fd = v
+		}
+	}
+	as := fd.Body.List[0].(*ast.ExprStmt).X.(*ast.Assign)
+	if _, ok := ast.Unparen(as.R).(*ast.Ident); !ok {
+		t.Errorf("Unparen failed: %T", ast.Unparen(as.R))
+	}
+}
+
+func TestStringLitPrint(t *testing.T) {
+	f := parse(t, `char *s = "a\nb";`)
+	got := ast.Sprint(f.Decls[0])
+	if !strings.Contains(got, `"a\nb"`) {
+		t.Errorf("string literal print: %q", got)
+	}
+}

@@ -1,0 +1,124 @@
+package ast
+
+// Walk traverses the AST rooted at n in depth-first order, calling fn for
+// every node; when fn returns false the node's children are skipped
+// (modeled on go/ast.Inspect).
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *File:
+		for _, d := range n.Decls {
+			Walk(d, fn)
+		}
+
+	// Declarations.
+	case *VarDecl:
+		if n.Init != nil {
+			Walk(n.Init, fn)
+		}
+	case *FuncDecl:
+		if n.Body != nil {
+			Walk(n.Body, fn)
+		}
+	case *TypedefDecl, *TagDecl:
+
+	// Initializers.
+	case *InitList:
+		for _, item := range n.Items {
+			Walk(item, fn)
+		}
+
+	// Statements.
+	case *ExprStmt:
+		Walk(n.X, fn)
+	case *Block:
+		for _, s := range n.List {
+			Walk(s, fn)
+		}
+	case *DeclStmt:
+		for _, d := range n.Decls {
+			Walk(d, fn)
+		}
+	case *If:
+		Walk(n.Cond, fn)
+		Walk(n.Then, fn)
+		if n.Else != nil {
+			Walk(n.Else, fn)
+		}
+	case *While:
+		Walk(n.Cond, fn)
+		Walk(n.Body, fn)
+	case *DoWhile:
+		Walk(n.Body, fn)
+		Walk(n.Cond, fn)
+	case *For:
+		if n.InitDecl != nil {
+			Walk(n.InitDecl, fn)
+		}
+		if n.Init != nil {
+			Walk(n.Init, fn)
+		}
+		if n.Cond != nil {
+			Walk(n.Cond, fn)
+		}
+		if n.Post != nil {
+			Walk(n.Post, fn)
+		}
+		Walk(n.Body, fn)
+	case *Switch:
+		Walk(n.Tag, fn)
+		Walk(n.Body, fn)
+	case *Case:
+		if n.Expr != nil {
+			Walk(n.Expr, fn)
+		}
+		for _, s := range n.Body {
+			Walk(s, fn)
+		}
+	case *Return:
+		if n.Expr != nil {
+			Walk(n.Expr, fn)
+		}
+	case *Label:
+		Walk(n.Stmt, fn)
+	case *Empty, *Break, *Continue, *Goto:
+
+	// Expressions.
+	case *Paren:
+		Walk(n.X, fn)
+	case *Unary:
+		Walk(n.X, fn)
+	case *Postfix:
+		Walk(n.X, fn)
+	case *Binary:
+		Walk(n.X, fn)
+		Walk(n.Y, fn)
+	case *Assign:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *Cond:
+		Walk(n.C, fn)
+		Walk(n.A, fn)
+		Walk(n.B, fn)
+	case *Comma:
+		Walk(n.X, fn)
+		Walk(n.Y, fn)
+	case *Call:
+		Walk(n.Fun, fn)
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	case *Index:
+		Walk(n.X, fn)
+		Walk(n.I, fn)
+	case *Member:
+		Walk(n.X, fn)
+	case *Cast:
+		Walk(n.X, fn)
+	case *SizeofExpr:
+		Walk(n.X, fn)
+	case *Ident, *IntLit, *FloatLit, *CharLit, *StringLit, *SizeofType:
+	}
+}

@@ -1,0 +1,119 @@
+package ast_test
+
+import (
+	"testing"
+
+	"repro/internal/cc/ast"
+)
+
+const walkSrc = `
+struct S { int *a; } s;
+int x, arr[4];
+int helper(int v) { return v + 1; }
+int main(int argc, char **argv) {
+	int i;
+	s.a = &x;
+	for (i = 0; i < 4; i++) {
+		arr[i] = helper(i) ? i : -i;
+	}
+	while (x > 0) x--;
+	do { x++; } while (x < 3);
+	switch (x) {
+	case 1: x = (int)2L; break;
+	default: goto out;
+	}
+out:
+	return *s.a + arr[0], 0;
+}`
+
+func countNodes(t *testing.T, src string) map[string]int {
+	t.Helper()
+	f := parse(t, src)
+	counts := make(map[string]int)
+	ast.Walk(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Ident:
+			counts["ident"]++
+		case *ast.Call:
+			counts["call"]++
+		case *ast.Binary:
+			counts["binary"]++
+		case *ast.For:
+			counts["for"]++
+		case *ast.While:
+			counts["while"]++
+		case *ast.DoWhile:
+			counts["dowhile"]++
+		case *ast.Switch:
+			counts["switch"]++
+		case *ast.Case:
+			counts["case"]++
+		case *ast.Goto:
+			counts["goto"]++
+		case *ast.Label:
+			counts["label"]++
+		case *ast.Cast:
+			counts["cast"]++
+		case *ast.Cond:
+			counts["cond"]++
+		case *ast.Comma:
+			counts["comma"]++
+		case *ast.FuncDecl:
+			counts["func"]++
+		case *ast.Member:
+			counts["member"]++
+		case *ast.Index:
+			counts["index"]++
+		case *ast.Unary:
+			counts["unary"]++
+		}
+		return true
+	})
+	return counts
+}
+
+func TestWalkReachesAllConstructs(t *testing.T) {
+	counts := countNodes(t, walkSrc)
+	want := map[string]int{
+		"func": 2, "for": 1, "while": 1, "dowhile": 1, "switch": 1,
+		"case": 2, "goto": 1, "label": 1, "cast": 1, "cond": 1,
+		"comma": 1, "call": 1,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("%s = %d, want %d (all: %v)", k, counts[k], n, counts)
+		}
+	}
+	if counts["ident"] < 10 {
+		t.Errorf("ident = %d, want many", counts["ident"])
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	f := parse(t, walkSrc)
+	// Pruning at function declarations must hide all statements.
+	stmts := 0
+	ast.Walk(f, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+		if _, ok := n.(ast.Stmt); ok {
+			stmts++
+		}
+		return true
+	})
+	if stmts != 0 {
+		t.Errorf("pruned walk saw %d statements", stmts)
+	}
+}
+
+func TestWalkNilSafe(t *testing.T) {
+	ast.Walk(nil, func(ast.Node) bool { return true })
+	// If statements with nil else, returns with nil expr, etc.
+	f := parse(t, "void f(void) { if (1) return; }")
+	n := 0
+	ast.Walk(f, func(ast.Node) bool { n++; return true })
+	if n == 0 {
+		t.Error("walk visited nothing")
+	}
+}

@@ -1,0 +1,241 @@
+// Package hdr provides the built-in system headers used when preprocessing
+// the benchmark corpus. The front end is self-contained (no host compiler),
+// so #include <stdio.h> and friends resolve to these minimal but honest
+// declarations. Pointer effects of the declared functions come from package
+// libsum, mirroring the paper's use of the Wilson–Lam library summaries.
+package hdr
+
+// Headers maps a system header name (as written between <>) to its text.
+var Headers = map[string]string{
+	"stddef.h": `#ifndef _STDDEF_H
+#define _STDDEF_H
+typedef unsigned long size_t;
+typedef long ptrdiff_t;
+#define NULL ((void *)0)
+#define offsetof(type, member) ((size_t)&(((type *)0)->member))
+#endif
+`,
+
+	"stdarg.h": `#ifndef _STDARG_H
+#define _STDARG_H
+typedef char *va_list;
+#define va_start(ap, last) ((ap) = (char *)&(last))
+#define va_arg(ap, type) (*(type *)(ap))
+#define va_end(ap) ((void)0)
+#endif
+`,
+
+	"stdio.h": `#ifndef _STDIO_H
+#define _STDIO_H
+#include <stddef.h>
+typedef struct _iobuf { int _cnt; char *_ptr; char *_base; int _flag; int _file; } FILE;
+extern FILE *stdin;
+extern FILE *stdout;
+extern FILE *stderr;
+#define EOF (-1)
+#define BUFSIZ 1024
+FILE *fopen(const char *path, const char *mode);
+FILE *freopen(const char *path, const char *mode, FILE *fp);
+int fclose(FILE *fp);
+int fflush(FILE *fp);
+int fprintf(FILE *fp, const char *fmt, ...);
+int printf(const char *fmt, ...);
+int sprintf(char *buf, const char *fmt, ...);
+int fscanf(FILE *fp, const char *fmt, ...);
+int scanf(const char *fmt, ...);
+int sscanf(const char *buf, const char *fmt, ...);
+int fgetc(FILE *fp);
+int getc(FILE *fp);
+int getchar(void);
+char *fgets(char *buf, int n, FILE *fp);
+char *gets(char *buf);
+int fputc(int c, FILE *fp);
+int putc(int c, FILE *fp);
+int putchar(int c);
+int fputs(const char *s, FILE *fp);
+int puts(const char *s);
+int ungetc(int c, FILE *fp);
+size_t fread(void *ptr, size_t size, size_t n, FILE *fp);
+size_t fwrite(const void *ptr, size_t size, size_t n, FILE *fp);
+int fseek(FILE *fp, long off, int whence);
+long ftell(FILE *fp);
+void rewind(FILE *fp);
+void perror(const char *s);
+#define SEEK_SET 0
+#define SEEK_CUR 1
+#define SEEK_END 2
+#endif
+`,
+
+	"stdlib.h": `#ifndef _STDLIB_H
+#define _STDLIB_H
+#include <stddef.h>
+void *malloc(size_t size);
+void *calloc(size_t n, size_t size);
+void *realloc(void *ptr, size_t size);
+void free(void *ptr);
+void exit(int status);
+void abort(void);
+int atexit(void (*fn)(void));
+int atoi(const char *s);
+long atol(const char *s);
+double atof(const char *s);
+long strtol(const char *s, char **end, int base);
+unsigned long strtoul(const char *s, char **end, int base);
+double strtod(const char *s, char **end);
+int rand(void);
+void srand(unsigned int seed);
+int abs(int x);
+long labs(long x);
+char *getenv(const char *name);
+int system(const char *cmd);
+void qsort(void *base, size_t n, size_t size, int (*cmp)(const void *, const void *));
+void *bsearch(const void *key, const void *base, size_t n, size_t size,
+              int (*cmp)(const void *, const void *));
+#define EXIT_SUCCESS 0
+#define EXIT_FAILURE 1
+#define RAND_MAX 2147483647
+#endif
+`,
+
+	"string.h": `#ifndef _STRING_H
+#define _STRING_H
+#include <stddef.h>
+void *memcpy(void *dst, const void *src, size_t n);
+void *memmove(void *dst, const void *src, size_t n);
+void *memset(void *dst, int c, size_t n);
+int memcmp(const void *a, const void *b, size_t n);
+void *memchr(const void *s, int c, size_t n);
+char *strcpy(char *dst, const char *src);
+char *strncpy(char *dst, const char *src, size_t n);
+char *strcat(char *dst, const char *src);
+char *strncat(char *dst, const char *src, size_t n);
+int strcmp(const char *a, const char *b);
+int strncmp(const char *a, const char *b, size_t n);
+char *strchr(const char *s, int c);
+char *strrchr(const char *s, int c);
+char *strstr(const char *hay, const char *needle);
+char *strpbrk(const char *s, const char *accept);
+size_t strspn(const char *s, const char *accept);
+size_t strcspn(const char *s, const char *reject);
+char *strtok(char *s, const char *delim);
+size_t strlen(const char *s);
+char *strdup(const char *s);
+char *strerror(int errnum);
+#endif
+`,
+
+	"ctype.h": `#ifndef _CTYPE_H
+#define _CTYPE_H
+int isalpha(int c);
+int isdigit(int c);
+int isalnum(int c);
+int isspace(int c);
+int isupper(int c);
+int islower(int c);
+int ispunct(int c);
+int isprint(int c);
+int iscntrl(int c);
+int isxdigit(int c);
+int toupper(int c);
+int tolower(int c);
+#endif
+`,
+
+	"limits.h": `#ifndef _LIMITS_H
+#define _LIMITS_H
+#define CHAR_BIT 8
+#define CHAR_MIN (-128)
+#define CHAR_MAX 127
+#define SCHAR_MIN (-128)
+#define SCHAR_MAX 127
+#define UCHAR_MAX 255
+#define SHRT_MIN (-32768)
+#define SHRT_MAX 32767
+#define USHRT_MAX 65535
+#define INT_MIN (-2147483647 - 1)
+#define INT_MAX 2147483647
+#define UINT_MAX 4294967295u
+#define LONG_MIN (-2147483647L - 1)
+#define LONG_MAX 2147483647L
+#define ULONG_MAX 4294967295uL
+#endif
+`,
+
+	"assert.h": `#ifndef _ASSERT_H
+#define _ASSERT_H
+void __assert_fail(const char *expr, const char *file, int line);
+#define assert(e) ((e) ? (void)0 : __assert_fail("e", __FILE__, __LINE__))
+#endif
+`,
+
+	"math.h": `#ifndef _MATH_H
+#define _MATH_H
+double sqrt(double x);
+double pow(double x, double y);
+double fabs(double x);
+double floor(double x);
+double ceil(double x);
+double sin(double x);
+double cos(double x);
+double exp(double x);
+double log(double x);
+double fmod(double x, double y);
+#define HUGE_VAL 1e308
+#endif
+`,
+
+	"errno.h": `#ifndef _ERRNO_H
+#define _ERRNO_H
+extern int errno;
+#define ENOENT 2
+#define EIO 5
+#define ENOMEM 12
+#define EINVAL 22
+#endif
+`,
+
+	"setjmp.h": `#ifndef _SETJMP_H
+#define _SETJMP_H
+typedef struct { long _regs[16]; } jmp_buf[1];
+int setjmp(jmp_buf env);
+void longjmp(jmp_buf env, int val);
+#endif
+`,
+
+	"stdbool.h": `#ifndef _STDBOOL_H
+#define _STDBOOL_H
+#define bool int
+#define true 1
+#define false 0
+#endif
+`,
+
+	"time.h": `#ifndef _TIME_H
+#define _TIME_H
+#include <stddef.h>
+typedef long time_t;
+typedef long clock_t;
+struct tm {
+    int tm_sec, tm_min, tm_hour;
+    int tm_mday, tm_mon, tm_year;
+    int tm_wday, tm_yday, tm_isdst;
+};
+time_t time(time_t *t);
+clock_t clock(void);
+double difftime(time_t a, time_t b);
+struct tm *localtime(const time_t *t);
+struct tm *gmtime(const time_t *t);
+char *ctime(const time_t *t);
+char *asctime(const struct tm *tm);
+time_t mktime(struct tm *tm);
+#define CLOCKS_PER_SEC 1000000
+#endif
+`,
+}
+
+// Lookup returns the text of a built-in system header and whether it exists.
+func Lookup(name string) (string, bool) {
+	s, ok := Headers[name]
+	return s, ok
+}

@@ -1,0 +1,55 @@
+package hdr_test
+
+import (
+	"testing"
+
+	"repro/internal/cc/hdr"
+	"repro/internal/cc/parser"
+	"repro/internal/cc/pp"
+	"repro/internal/cc/types"
+)
+
+func TestLookup(t *testing.T) {
+	if _, ok := hdr.Lookup("stdio.h"); !ok {
+		t.Error("stdio.h missing")
+	}
+	if _, ok := hdr.Lookup("nonexistent.h"); ok {
+		t.Error("nonexistent.h found")
+	}
+}
+
+// Every built-in header must preprocess and parse cleanly on its own.
+func TestAllHeadersParse(t *testing.T) {
+	for name := range hdr.Headers {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prep := pp.New(pp.Config{})
+			src := "#include <" + name + ">\n"
+			toks, err := prep.Process("t.c", []byte(src))
+			if err != nil {
+				t.Fatalf("preprocess: %v", err)
+			}
+			if _, err := parser.Parse("t.c", toks, parser.Config{Universe: types.NewUniverse()}); err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+		})
+	}
+}
+
+// All headers together must coexist (shared guard macros, no redefinitions).
+func TestAllHeadersTogether(t *testing.T) {
+	src := ""
+	for name := range hdr.Headers {
+		src += "#include <" + name + ">\n"
+	}
+	// Twice, to exercise the include guards.
+	src += src
+	prep := pp.New(pp.Config{})
+	toks, err := prep.Process("t.c", []byte(src))
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	if _, err := parser.Parse("t.c", toks, parser.Config{Universe: types.NewUniverse()}); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}

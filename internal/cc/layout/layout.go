@@ -1,0 +1,291 @@
+// Package layout computes sizes, alignments and field offsets of C types for
+// a configurable ABI. The "Offsets" instance of the pointer-analysis
+// framework is exactly as precise — and exactly as non-portable — as the
+// layout this package is configured with, which is the paper's point:
+// offsets-based results are only safe for one layout strategy.
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/cc/types"
+)
+
+// ABI describes one layout strategy: the size and alignment of each scalar
+// kind. Alignment of aggregates is the max alignment of their members;
+// fields are placed at the next multiple of their alignment (the classic
+// layout all mainstream compilers use).
+type ABI struct {
+	Name string
+
+	CharSize, ShortSize, IntSize, LongSize, LongLongSize int64
+	PtrSize                                              int64
+	FloatSize, DoubleSize, LongDoubleSize                int64
+
+	CharAlign, ShortAlign, IntAlign, LongAlign, LongLongAlign int64
+	PtrAlign                                                  int64
+	FloatAlign, DoubleAlign, LongDoubleAlign                  int64
+
+	// EnumSize is the representation size of enums (int on the ABIs we model).
+	EnumSize, EnumAlign int64
+}
+
+// LP64 is the common 64-bit Unix ABI (long and pointers are 8 bytes).
+var LP64 = &ABI{
+	Name:     "lp64",
+	CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+	PtrSize:   8,
+	FloatSize: 4, DoubleSize: 8, LongDoubleSize: 16,
+	CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 8, LongLongAlign: 8,
+	PtrAlign:   8,
+	FloatAlign: 4, DoubleAlign: 8, LongDoubleAlign: 16,
+	EnumSize: 4, EnumAlign: 4,
+}
+
+// ILP32 is the classic 32-bit ABI (int, long and pointers are 4 bytes) —
+// essentially the SPARC/Ultra layout the paper's experiments ran on.
+var ILP32 = &ABI{
+	Name:     "ilp32",
+	CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+	PtrSize:   4,
+	FloatSize: 4, DoubleSize: 8, LongDoubleSize: 16,
+	CharAlign: 1, ShortAlign: 2, IntAlign: 4, LongAlign: 4, LongLongAlign: 4,
+	PtrAlign:   4,
+	FloatAlign: 4, DoubleAlign: 8, LongDoubleAlign: 8,
+	EnumSize: 4, EnumAlign: 4,
+}
+
+// Packed1 aligns everything at 1 byte — a deliberately different layout
+// strategy, useful for demonstrating the non-portability of offsets-based
+// results.
+var Packed1 = &ABI{
+	Name:     "packed1",
+	CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+	PtrSize:   8,
+	FloatSize: 4, DoubleSize: 8, LongDoubleSize: 16,
+	CharAlign: 1, ShortAlign: 1, IntAlign: 1, LongAlign: 1, LongLongAlign: 1,
+	PtrAlign:   1,
+	FloatAlign: 1, DoubleAlign: 1, LongDoubleAlign: 1,
+	EnumSize: 4, EnumAlign: 1,
+}
+
+// Engine computes layout information against one ABI, caching record layouts.
+type Engine struct {
+	abi     *ABI
+	records map[*types.Record]*RecordLayout
+}
+
+// RecordLayout gives the placement of each field of a record.
+type RecordLayout struct {
+	Size    int64
+	Align   int64
+	Offsets []int64 // parallel to Record.Fields
+}
+
+// New creates a layout engine for the given ABI (LP64 if nil).
+func New(abi *ABI) *Engine {
+	if abi == nil {
+		abi = LP64
+	}
+	return &Engine{abi: abi, records: make(map[*types.Record]*RecordLayout)}
+}
+
+// ABI returns the engine's ABI.
+func (e *Engine) ABI() *ABI { return e.abi }
+
+// Sizeof returns the size in bytes of t. Incomplete types report size 0.
+func (e *Engine) Sizeof(t *types.Type) int64 {
+	switch t.Kind {
+	case types.Void, types.Func, types.Invalid:
+		return 0
+	case types.Bool, types.Int, types.UInt:
+		return e.abi.IntSize
+	case types.Char, types.SChar, types.UChar:
+		return e.abi.CharSize
+	case types.Short, types.UShort:
+		return e.abi.ShortSize
+	case types.Long, types.ULong:
+		return e.abi.LongSize
+	case types.LongLong, types.ULongLong:
+		return e.abi.LongLongSize
+	case types.Float:
+		return e.abi.FloatSize
+	case types.Double:
+		return e.abi.DoubleSize
+	case types.LongDouble:
+		return e.abi.LongDoubleSize
+	case types.Enum:
+		return e.abi.EnumSize
+	case types.Ptr:
+		return e.abi.PtrSize
+	case types.Array:
+		if t.ArrayLen < 0 {
+			return 0
+		}
+		return t.ArrayLen * e.Sizeof(t.Elem)
+	case types.Struct, types.Union:
+		return e.Of(t.Record).Size
+	}
+	return 0
+}
+
+// Alignof returns the alignment in bytes of t (at least 1).
+func (e *Engine) Alignof(t *types.Type) int64 {
+	switch t.Kind {
+	case types.Bool, types.Int, types.UInt:
+		return e.abi.IntAlign
+	case types.Char, types.SChar, types.UChar:
+		return e.abi.CharAlign
+	case types.Short, types.UShort:
+		return e.abi.ShortAlign
+	case types.Long, types.ULong:
+		return e.abi.LongAlign
+	case types.LongLong, types.ULongLong:
+		return e.abi.LongLongAlign
+	case types.Float:
+		return e.abi.FloatAlign
+	case types.Double:
+		return e.abi.DoubleAlign
+	case types.LongDouble:
+		return e.abi.LongDoubleAlign
+	case types.Enum:
+		return e.abi.EnumAlign
+	case types.Ptr:
+		return e.abi.PtrAlign
+	case types.Array:
+		return e.Alignof(t.Elem)
+	case types.Struct, types.Union:
+		return e.Of(t.Record).Align
+	}
+	return 1
+}
+
+func align(off, a int64) int64 {
+	if a <= 1 {
+		return off
+	}
+	return (off + a - 1) / a * a
+}
+
+// Of returns the layout of a record, computing and caching it.
+//
+// Bit-fields are laid out in the storage unit of their declared type: a
+// bit-field starts a new unit when it would not fit in the remainder of the
+// current one, and a zero-width bit-field closes the current unit. The byte
+// offset recorded for a bit-field is the offset of its storage unit — byte
+// granularity is all the pointer analysis needs, since bit-fields cannot
+// have their address taken.
+func (e *Engine) Of(r *types.Record) *RecordLayout {
+	if l, ok := e.records[r]; ok {
+		return l
+	}
+	l := &RecordLayout{Align: 1}
+	// Insert into the cache before recursing to tolerate (illegal but
+	// possible in malformed input) self-referential records.
+	e.records[r] = l
+
+	if r.Union {
+		for i := range r.Fields {
+			f := &r.Fields[i]
+			l.Offsets = append(l.Offsets, 0)
+			sz := e.Sizeof(f.Type)
+			if sz > l.Size {
+				l.Size = sz
+			}
+			if a := e.Alignof(f.Type); a > l.Align {
+				l.Align = a
+			}
+		}
+		l.Size = align(l.Size, l.Align)
+		return l
+	}
+
+	var off int64     // running byte offset
+	var bitUnit int64 // byte offset of current bit-field unit, -1 if none
+	var bitPos int64  // bits used within the current unit
+	var unitSize int64
+	bitUnit = -1
+
+	for i := range r.Fields {
+		f := &r.Fields[i]
+		if f.IsBitField() {
+			sz := e.Sizeof(f.Type)
+			bits := int64(f.BitWidth)
+			if bits == 0 {
+				// Zero-width: close the current unit.
+				if bitUnit >= 0 {
+					off = bitUnit + unitSize
+					bitUnit = -1
+				}
+				l.Offsets = append(l.Offsets, off)
+				continue
+			}
+			if bitUnit < 0 || unitSize != sz || bitPos+bits > sz*8 {
+				// Start a new unit.
+				if bitUnit >= 0 {
+					off = bitUnit + unitSize
+				}
+				off = align(off, e.Alignof(f.Type))
+				bitUnit = off
+				unitSize = sz
+				bitPos = 0
+			}
+			l.Offsets = append(l.Offsets, bitUnit)
+			bitPos += bits
+			if a := e.Alignof(f.Type); a > l.Align {
+				l.Align = a
+			}
+			continue
+		}
+		if bitUnit >= 0 {
+			off = bitUnit + unitSize
+			bitUnit = -1
+		}
+		a := e.Alignof(f.Type)
+		if a > l.Align {
+			l.Align = a
+		}
+		off = align(off, a)
+		l.Offsets = append(l.Offsets, off)
+		off += e.Sizeof(f.Type)
+	}
+	if bitUnit >= 0 {
+		off = bitUnit + unitSize
+	}
+	l.Size = align(off, l.Align)
+	return l
+}
+
+// Offsetof returns the byte offset of the named direct field of record type t.
+func (e *Engine) Offsetof(t *types.Type, field string) (int64, error) {
+	if !t.IsRecord() {
+		return 0, fmt.Errorf("offsetof on non-record type %s", t)
+	}
+	i := t.Record.FieldIndex(field)
+	if i < 0 {
+		return 0, fmt.Errorf("type %s has no field %q", t, field)
+	}
+	return e.Of(t.Record).Offsets[i], nil
+}
+
+// OffsetofPath returns the byte offset of a (possibly nested) field path.
+func (e *Engine) OffsetofPath(t *types.Type, path []string) (int64, error) {
+	var off int64
+	cur := t
+	for _, name := range path {
+		if cur.Kind == types.Array {
+			// Arrays are modeled as a single element.
+			cur = cur.Elem
+		}
+		if !cur.IsRecord() {
+			return 0, fmt.Errorf("field %q selected from non-record type %s", name, cur)
+		}
+		i := cur.Record.FieldIndex(name)
+		if i < 0 {
+			return 0, fmt.Errorf("type %s has no field %q", cur, name)
+		}
+		off += e.Of(cur.Record).Offsets[i]
+		cur = cur.Record.Fields[i].Type
+	}
+	return off, nil
+}

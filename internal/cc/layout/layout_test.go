@@ -1,0 +1,236 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/cc/types"
+)
+
+func field(name string, t *types.Type) types.Field {
+	return types.Field{Name: name, Type: t, BitWidth: -1}
+}
+
+func mkStruct(u *types.Universe, tag string, fields ...types.Field) *types.Type {
+	t := u.NewRecord(tag, false)
+	t.Record.Fields = fields
+	t.Record.Complete = true
+	return t
+}
+
+func TestScalarSizesLP64(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	cases := []struct {
+		k    types.Kind
+		size int64
+	}{
+		{types.Char, 1}, {types.Short, 2}, {types.Int, 4},
+		{types.Long, 8}, {types.LongLong, 8}, {types.Float, 4},
+		{types.Double, 8}, {types.Enum, 4},
+	}
+	for _, c := range cases {
+		if got := e.Sizeof(u.Basic(c.k)); got != c.size {
+			t.Errorf("sizeof(%v) = %d, want %d", c.k, got, c.size)
+		}
+	}
+	if got := e.Sizeof(types.PointerTo(u.Basic(types.Int))); got != 8 {
+		t.Errorf("sizeof(int*) = %d, want 8", got)
+	}
+}
+
+func TestScalarSizesILP32(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(ILP32)
+	if got := e.Sizeof(types.PointerTo(u.Basic(types.Int))); got != 4 {
+		t.Errorf("sizeof(int*) = %d, want 4", got)
+	}
+	if got := e.Sizeof(u.Basic(types.Long)); got != 4 {
+		t.Errorf("sizeof(long) = %d, want 4", got)
+	}
+}
+
+func TestStructPadding(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	// struct { char c; int i; } → c@0, i@4, size 8.
+	s := mkStruct(u, "S",
+		field("c", u.Basic(types.Char)),
+		field("i", u.Basic(types.Int)))
+	l := e.Of(s.Record)
+	if l.Offsets[0] != 0 || l.Offsets[1] != 4 {
+		t.Errorf("offsets = %v, want [0 4]", l.Offsets)
+	}
+	if l.Size != 8 || l.Align != 4 {
+		t.Errorf("size/align = %d/%d, want 8/4", l.Size, l.Align)
+	}
+}
+
+func TestStructTrailingPadding(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	// struct { int i; char c; } → size 8 (padded to alignment).
+	s := mkStruct(u, "S",
+		field("i", u.Basic(types.Int)),
+		field("c", u.Basic(types.Char)))
+	if l := e.Of(s.Record); l.Size != 8 {
+		t.Errorf("size = %d, want 8", l.Size)
+	}
+}
+
+func TestPacked1NoPadding(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(Packed1)
+	s := mkStruct(u, "S",
+		field("c", u.Basic(types.Char)),
+		field("i", u.Basic(types.Int)))
+	l := e.Of(s.Record)
+	if l.Offsets[1] != 1 || l.Size != 5 {
+		t.Errorf("packed layout: offsets=%v size=%d, want [0 1] 5", l.Offsets, l.Size)
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	un := u.NewRecord("U", true)
+	un.Record.Fields = []types.Field{
+		field("c", u.Basic(types.Char)),
+		field("d", u.Basic(types.Double)),
+	}
+	un.Record.Complete = true
+	l := e.Of(un.Record)
+	if l.Offsets[0] != 0 || l.Offsets[1] != 0 {
+		t.Errorf("union offsets = %v, want all 0", l.Offsets)
+	}
+	if l.Size != 8 || l.Align != 8 {
+		t.Errorf("union size/align = %d/%d, want 8/8", l.Size, l.Align)
+	}
+}
+
+func TestNestedStruct(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	inner := mkStruct(u, "In",
+		field("a", types.PointerTo(u.Basic(types.Int))),
+		field("b", u.Basic(types.Char)))
+	outer := mkStruct(u, "Out",
+		field("x", u.Basic(types.Char)),
+		field("in", inner),
+		field("y", u.Basic(types.Int)))
+	// inner: a@0 (8), b@8 (1) → size 16, align 8.
+	// outer: x@0, in@8, y@24 → size 32.
+	li := e.Of(inner.Record)
+	if li.Size != 16 {
+		t.Errorf("inner size = %d, want 16", li.Size)
+	}
+	lo := e.Of(outer.Record)
+	if lo.Offsets[1] != 8 || lo.Offsets[2] != 24 {
+		t.Errorf("outer offsets = %v, want [0 8 24]", lo.Offsets)
+	}
+	// Nested path offset: out.in.b = 8 + 8 = 16.
+	off, err := e.OffsetofPath(outer, []string{"in", "b"})
+	if err != nil || off != 16 {
+		t.Errorf("OffsetofPath(out.in.b) = %d, %v; want 16", off, err)
+	}
+}
+
+func TestArrayLayout(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	a := types.ArrayOf(u.Basic(types.Int), 10)
+	if got := e.Sizeof(a); got != 40 {
+		t.Errorf("sizeof(int[10]) = %d, want 40", got)
+	}
+	if got := e.Alignof(a); got != 4 {
+		t.Errorf("alignof(int[10]) = %d, want 4", got)
+	}
+	if got := e.Sizeof(types.ArrayOf(u.Basic(types.Int), -1)); got != 0 {
+		t.Errorf("sizeof(int[]) = %d, want 0", got)
+	}
+}
+
+func TestBitFields(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	intT := u.Basic(types.Int)
+	s := u.NewRecord("B", false)
+	s.Record.Fields = []types.Field{
+		{Name: "a", Type: intT, BitWidth: 3},
+		{Name: "b", Type: intT, BitWidth: 5},
+		{Name: "c", Type: intT, BitWidth: 30}, // does not fit: new unit
+		{Name: "d", Type: intT, BitWidth: -1},
+	}
+	s.Record.Complete = true
+	typ := &types.Type{Kind: types.Struct, Record: s.Record}
+	l := e.Of(typ.Record)
+	if l.Offsets[0] != 0 || l.Offsets[1] != 0 {
+		t.Errorf("a,b should share unit 0: %v", l.Offsets)
+	}
+	if l.Offsets[2] != 4 {
+		t.Errorf("c should start a new unit at 4: %v", l.Offsets)
+	}
+	if l.Offsets[3] != 8 {
+		t.Errorf("d should follow at 8: %v", l.Offsets)
+	}
+	if l.Size != 12 {
+		t.Errorf("size = %d, want 12", l.Size)
+	}
+}
+
+func TestZeroWidthBitField(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	intT := u.Basic(types.Int)
+	s := u.NewRecord("Z", false)
+	s.Record.Fields = []types.Field{
+		{Name: "a", Type: intT, BitWidth: 3},
+		{Name: "", Type: intT, BitWidth: 0},
+		{Name: "b", Type: intT, BitWidth: 3},
+	}
+	s.Record.Complete = true
+	l := e.Of(s.Record)
+	if l.Offsets[2] != 4 {
+		t.Errorf("b should start a fresh unit at 4: %v", l.Offsets)
+	}
+}
+
+func TestOffsetofErrors(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	s := mkStruct(u, "S", field("a", u.Basic(types.Int)))
+	if _, err := e.Offsetof(s, "nope"); err == nil {
+		t.Error("expected error for unknown field")
+	}
+	if _, err := e.Offsetof(u.Basic(types.Int), "a"); err == nil {
+		t.Error("expected error for non-record")
+	}
+}
+
+func TestOffsetofPathThroughArray(t *testing.T) {
+	u := types.NewUniverse()
+	e := New(LP64)
+	elem := mkStruct(u, "E", field("v", u.Basic(types.Int)))
+	s := mkStruct(u, "S",
+		field("pad", u.Basic(types.Long)),
+		field("arr", types.ArrayOf(elem, 4)))
+	// arr is modeled as one element: s.arr.v = 8 + 0.
+	off, err := e.OffsetofPath(s, []string{"arr", "v"})
+	if err != nil || off != 8 {
+		t.Errorf("OffsetofPath = %d, %v; want 8", off, err)
+	}
+}
+
+func TestABIDivergence(t *testing.T) {
+	// The same field path lands at different offsets under different
+	// ABIs — the paper's portability argument in one test.
+	u := types.NewUniverse()
+	s := mkStruct(u, "S",
+		field("c", u.Basic(types.Char)),
+		field("p", types.PointerTo(u.Basic(types.Int))))
+	off64, _ := New(LP64).Offsetof(s, "p")
+	off32, _ := New(ILP32).Offsetof(s, "p")
+	offP, _ := New(Packed1).Offsetof(s, "p")
+	if off64 != 8 || off32 != 4 || offP != 1 {
+		t.Errorf("offsets = %d/%d/%d, want 8/4/1", off64, off32, offP)
+	}
+}

@@ -1,0 +1,206 @@
+// Package lit parses C literal spellings (integer, character and string
+// constants) into values. It is shared by the preprocessor's #if evaluator
+// and by semantic analysis.
+package lit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IntInfo describes a parsed integer constant.
+type IntInfo struct {
+	Value    uint64
+	Unsigned bool // had a u/U suffix
+	Long     bool // had an l/L suffix
+}
+
+// ParseInt parses a C integer constant spelling (decimal, octal, hex, with
+// optional u/l suffixes).
+func ParseInt(text string) (IntInfo, error) {
+	var info IntInfo
+	s := text
+	for len(s) > 0 {
+		switch s[len(s)-1] {
+		case 'u', 'U':
+			info.Unsigned = true
+			s = s[:len(s)-1]
+			continue
+		case 'l', 'L':
+			info.Long = true
+			s = s[:len(s)-1]
+			continue
+		}
+		break
+	}
+	if s == "" {
+		return info, fmt.Errorf("malformed integer constant %q", text)
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	case len(s) > 1 && s[0] == '0':
+		v, err = strconv.ParseUint(s[1:], 8, 64)
+	default:
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return info, fmt.Errorf("malformed integer constant %q: %v", text, err)
+	}
+	info.Value = v
+	return info, nil
+}
+
+// ParseFloat parses a C floating constant spelling.
+func ParseFloat(text string) (float64, error) {
+	s := strings.TrimRight(text, "fFlL")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("malformed floating constant %q: %v", text, err)
+	}
+	return v, nil
+}
+
+// ParseChar parses a C character constant spelling including the quotes,
+// e.g. 'a' or '\n', returning its integer value.
+func ParseChar(text string) (int64, error) {
+	if len(text) < 3 || text[0] != '\'' || text[len(text)-1] != '\'' {
+		return 0, fmt.Errorf("malformed character constant %q", text)
+	}
+	body := text[1 : len(text)-1]
+	val, rest, err := unescapeOne(body)
+	if err != nil {
+		return 0, fmt.Errorf("in %q: %v", text, err)
+	}
+	// Multi-character constants are implementation defined; take the
+	// last character's value like most compilers' low byte behaviour is
+	// out of scope — we only need single chars in practice.
+	for rest != "" {
+		val, rest, err = unescapeOne(rest)
+		if err != nil {
+			return 0, fmt.Errorf("in %q: %v", text, err)
+		}
+	}
+	return val, nil
+}
+
+// UnquoteString parses a C string literal spelling including the quotes and
+// returns its contents with escapes resolved.
+func UnquoteString(text string) (string, error) {
+	if len(text) < 2 || text[0] != '"' || text[len(text)-1] != '"' {
+		return "", fmt.Errorf("malformed string literal %q", text)
+	}
+	body := text[1 : len(text)-1]
+	var sb strings.Builder
+	for body != "" {
+		v, rest, err := unescapeOne(body)
+		if err != nil {
+			return "", fmt.Errorf("in string literal: %v", err)
+		}
+		sb.WriteByte(byte(v))
+		body = rest
+	}
+	return sb.String(), nil
+}
+
+// QuoteString renders s as a C string literal with escapes.
+func QuoteString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			if c < 0x20 || c >= 0x7f {
+				// Octal, not \x: C's \x escape has no length limit,
+				// so "\xd4" followed by a literal 'D' would merge.
+				// Octal escapes stop after three digits.
+				fmt.Fprintf(&sb, `\%03o`, c)
+			} else {
+				sb.WriteByte(c)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+// unescapeOne consumes one (possibly escaped) character from s.
+func unescapeOne(s string) (int64, string, error) {
+	if s == "" {
+		return 0, "", fmt.Errorf("empty character")
+	}
+	if s[0] != '\\' {
+		return int64(s[0]), s[1:], nil
+	}
+	if len(s) < 2 {
+		return 0, "", fmt.Errorf("dangling backslash")
+	}
+	c := s[1]
+	switch c {
+	case 'n':
+		return '\n', s[2:], nil
+	case 't':
+		return '\t', s[2:], nil
+	case 'r':
+		return '\r', s[2:], nil
+	case 'v':
+		return '\v', s[2:], nil
+	case 'f':
+		return '\f', s[2:], nil
+	case 'b':
+		return '\b', s[2:], nil
+	case 'a':
+		return 7, s[2:], nil
+	case '\\', '\'', '"', '?':
+		return int64(c), s[2:], nil
+	case 'x':
+		i := 2
+		var v int64
+		for i < len(s) && isHex(s[i]) {
+			v = v*16 + hexVal(s[i])
+			i++
+		}
+		if i == 2 {
+			return 0, "", fmt.Errorf("\\x with no hex digits")
+		}
+		return v, s[i:], nil
+	default:
+		if c >= '0' && c <= '7' {
+			i := 1
+			var v int64
+			for i < len(s) && i < 4 && s[i] >= '0' && s[i] <= '7' {
+				v = v*8 + int64(s[i]-'0')
+				i++
+			}
+			return v, s[i:], nil
+		}
+		return 0, "", fmt.Errorf("unknown escape \\%c", c)
+	}
+}
+
+func isHex(c byte) bool {
+	return '0' <= c && c <= '9' || 'a' <= c && c <= 'f' || 'A' <= c && c <= 'F'
+}
+
+func hexVal(c byte) int64 {
+	switch {
+	case c >= '0' && c <= '9':
+		return int64(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int64(c-'a') + 10
+	default:
+		return int64(c-'A') + 10
+	}
+}

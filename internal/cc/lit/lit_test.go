@@ -1,0 +1,151 @@
+package lit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseInt(t *testing.T) {
+	cases := []struct {
+		text     string
+		value    uint64
+		unsigned bool
+		long     bool
+	}{
+		{"0", 0, false, false},
+		{"42", 42, false, false},
+		{"0x1f", 31, false, false},
+		{"0X1F", 31, false, false},
+		{"017", 15, false, false},
+		{"42u", 42, true, false},
+		{"42U", 42, true, false},
+		{"42L", 42, false, true},
+		{"42uL", 42, true, true},
+		{"42LU", 42, true, true},
+		{"0xffffffffffffffff", ^uint64(0), false, false},
+	}
+	for _, c := range cases {
+		info, err := ParseInt(c.text)
+		if err != nil {
+			t.Errorf("ParseInt(%q): %v", c.text, err)
+			continue
+		}
+		if info.Value != c.value || info.Unsigned != c.unsigned || info.Long != c.long {
+			t.Errorf("ParseInt(%q) = %+v, want {%d %v %v}", c.text, info, c.value, c.unsigned, c.long)
+		}
+	}
+}
+
+func TestParseIntErrors(t *testing.T) {
+	for _, text := range []string{"", "u", "0x", "abc", "12x9"} {
+		if _, err := ParseInt(text); err == nil {
+			t.Errorf("ParseInt(%q) should fail", text)
+		}
+	}
+}
+
+func TestParseFloat(t *testing.T) {
+	cases := []struct {
+		text string
+		want float64
+	}{
+		{"3.14", 3.14},
+		{"1e9", 1e9},
+		{".5f", 0.5},
+		{"2.5L", 2.5},
+		{"1.5e-3", 0.0015},
+	}
+	for _, c := range cases {
+		v, err := ParseFloat(c.text)
+		if err != nil || v != c.want {
+			t.Errorf("ParseFloat(%q) = %v, %v; want %v", c.text, v, err, c.want)
+		}
+	}
+	if _, err := ParseFloat("zz"); err == nil {
+		t.Error("ParseFloat(zz) should fail")
+	}
+}
+
+func TestParseChar(t *testing.T) {
+	cases := []struct {
+		text string
+		want int64
+	}{
+		{"'a'", 'a'},
+		{"'0'", '0'},
+		{`'\n'`, '\n'},
+		{`'\t'`, '\t'},
+		{`'\r'`, '\r'},
+		{`'\0'`, 0},
+		{`'\x41'`, 0x41},
+		{`'\101'`, 0101},
+		{`'\\'`, '\\'},
+		{`'\''`, '\''},
+	}
+	for _, c := range cases {
+		v, err := ParseChar(c.text)
+		if err != nil || v != c.want {
+			t.Errorf("ParseChar(%q) = %d, %v; want %d", c.text, v, err, c.want)
+		}
+	}
+	for _, text := range []string{"", "'a", "a'", "x"} {
+		if _, err := ParseChar(text); err == nil {
+			t.Errorf("ParseChar(%q) should fail", text)
+		}
+	}
+}
+
+func TestUnquoteString(t *testing.T) {
+	cases := []struct {
+		text, want string
+	}{
+		{`"abc"`, "abc"},
+		{`""`, ""},
+		{`"a\nb"`, "a\nb"},
+		{`"a\tb"`, "a\tb"},
+		{`"q\"q"`, `q"q`},
+		{`"\x41\x42"`, "AB"},
+		{`"\101"`, "A"},
+		{`"back\\slash"`, `back\slash`},
+	}
+	for _, c := range cases {
+		got, err := UnquoteString(c.text)
+		if err != nil || got != c.want {
+			t.Errorf("UnquoteString(%q) = %q, %v; want %q", c.text, got, err, c.want)
+		}
+	}
+	for _, text := range []string{"", `"unterminated`, "abc"} {
+		if _, err := UnquoteString(text); err == nil {
+			t.Errorf("UnquoteString(%q) should fail", text)
+		}
+	}
+}
+
+func TestQuoteUnquoteRoundTrip(t *testing.T) {
+	// Property: UnquoteString(QuoteString(s)) == s for any byte string.
+	f := func(b []byte) bool {
+		s := string(b)
+		got, err := UnquoteString(QuoteString(s))
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuoteStringEscapes(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"abc", `"abc"`},
+		{"a\nb", `"a\nb"`},
+		{`q"q`, `"q\"q"`},
+		{"\x01", `"\001"`},
+		{"\x7f", `"\177"`},
+	}
+	for _, c := range cases {
+		if got := QuoteString(c.in); got != c.want {
+			t.Errorf("QuoteString(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}

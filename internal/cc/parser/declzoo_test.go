@@ -1,0 +1,225 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/types"
+)
+
+// The declarator zoo: every composite declarator shape the corpus-era C
+// uses, checked against the expected type structure.
+
+func declKindChain(t *types.Type) []types.Kind {
+	var out []types.Kind
+	for t != nil {
+		out = append(out, t.Kind)
+		switch t.Kind {
+		case types.Ptr, types.Array:
+			t = t.Elem
+		case types.Func:
+			t = t.Sig.Result
+		default:
+			t = nil
+		}
+	}
+	return out
+}
+
+func TestDeclaratorZoo(t *testing.T) {
+	cases := []struct {
+		src  string
+		name string
+		want []types.Kind
+	}{
+		{"int x;", "x", []types.Kind{types.Int}},
+		{"int *x;", "x", []types.Kind{types.Ptr, types.Int}},
+		{"int **x;", "x", []types.Kind{types.Ptr, types.Ptr, types.Int}},
+		{"int x[3];", "x", []types.Kind{types.Array, types.Int}},
+		{"int *x[3];", "x", []types.Kind{types.Array, types.Ptr, types.Int}},
+		{"int (*x)[3];", "x", []types.Kind{types.Ptr, types.Array, types.Int}},
+		{"int (*x)(void);", "x", []types.Kind{types.Ptr, types.Func, types.Int}},
+		{"int *(*x)(void);", "x", []types.Kind{types.Ptr, types.Func, types.Ptr, types.Int}},
+		{"int (*x[4])(void);", "x", []types.Kind{types.Array, types.Ptr, types.Func, types.Int}},
+		{"int (**x)(void);", "x", []types.Kind{types.Ptr, types.Ptr, types.Func, types.Int}},
+		{"int (*(*x)(void))[5];", "x", []types.Kind{types.Ptr, types.Func, types.Ptr, types.Array, types.Int}},
+		{"char *(*(*x)[3])(void);", "x", []types.Kind{types.Ptr, types.Array, types.Ptr, types.Func, types.Ptr, types.Char}},
+		{"int x(void);", "x", []types.Kind{types.Func, types.Int}},
+		{"int *x(void);", "x", []types.Kind{types.Func, types.Ptr, types.Int}},
+		{"int (*x(void))(void);", "x", []types.Kind{types.Func, types.Ptr, types.Func, types.Int}},
+	}
+	for _, c := range cases {
+		typ := typeOfDecl(t, c.src, c.name)
+		got := declKindChain(typ)
+		if len(got) != len(c.want) {
+			t.Errorf("%q: chain %v, want %v", c.src, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%q: chain %v, want %v", c.src, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestQualifierPlacement(t *testing.T) {
+	// const applies where it stands.
+	typ := typeOfDecl(t, "const char *s;", "s")
+	if typ.Kind != types.Ptr || typ.Elem.Qual&types.QualConst == 0 {
+		t.Errorf("const char *: %s", typ)
+	}
+	typ = typeOfDecl(t, "char *const s;", "s")
+	if typ.Qual&types.QualConst == 0 || typ.Elem.Qual != 0 {
+		t.Errorf("char *const: %s qual %v", typ, typ.Qual)
+	}
+	typ = typeOfDecl(t, "const char *const s;", "s")
+	if typ.Qual&types.QualConst == 0 || typ.Elem.Qual&types.QualConst == 0 {
+		t.Errorf("const char *const: %s", typ)
+	}
+	typ = typeOfDecl(t, "volatile int v;", "v")
+	if typ.Qual&types.QualVolatile == 0 {
+		t.Errorf("volatile int: %s", typ)
+	}
+}
+
+func TestAbstractDeclaratorsInCastsAndSizeof(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []types.Kind
+	}{
+		{"sizeof(int *)", []types.Kind{types.Ptr, types.Int}},
+		{"sizeof(int [4])", []types.Kind{types.Array, types.Int}},
+		{"sizeof(int (*)[4])", []types.Kind{types.Ptr, types.Array, types.Int}},
+		{"sizeof(int (*)(void))", []types.Kind{types.Ptr, types.Func, types.Int}},
+		{"sizeof(struct S *)", []types.Kind{types.Ptr, types.Struct}},
+	}
+	for _, c := range cases {
+		src := "struct S { int a; };\nunsigned long n = " + c.src + ";"
+		f := parseFile(t, src)
+		var vd *ast.VarDecl
+		for _, d := range f.Decls {
+			if v, ok := d.(*ast.VarDecl); ok && v.Name == "n" {
+				vd = v
+			}
+		}
+		st, ok := vd.Init.(*ast.SizeofType)
+		if !ok {
+			t.Errorf("%q: init is %T", c.src, vd.Init)
+			continue
+		}
+		got := declKindChain(st.T)
+		for i := range c.want {
+			if i >= len(got) || got[i] != c.want[i] {
+				t.Errorf("%q: chain %v, want %v", c.src, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestEnumWithTrailingComma(t *testing.T) {
+	f := parseFile(t, "enum E { A, B, C, } e;")
+	_ = f
+}
+
+func TestNestedStructDeclarations(t *testing.T) {
+	src := `
+struct outer {
+	struct inner { int a; } in1, in2;
+	struct inner *pin;
+	struct { int anon_x; } anon;
+} o;`
+	typ := typeOfDecl(t, src, "o")
+	r := typ.Record
+	if len(r.Fields) != 4 {
+		t.Fatalf("fields = %d", len(r.Fields))
+	}
+	if r.Fields[0].Type.Record != r.Fields[1].Type.Record {
+		t.Error("in1 and in2 must share struct inner")
+	}
+	if r.Fields[2].Type.Elem.Record != r.Fields[0].Type.Record {
+		t.Error("pin must point to struct inner")
+	}
+	if r.Fields[3].Type.Record.Tag != "" {
+		t.Error("anon member should have an anonymous record")
+	}
+}
+
+func TestForwardDeclaredStructCompletes(t *testing.T) {
+	src := `
+struct node;
+struct node *head;
+struct node { int v; struct node *next; };
+struct node tail;`
+	f := parseFile(t, src)
+	var head, tail *ast.VarDecl
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok {
+			switch v.Name {
+			case "head":
+				head = v
+			case "tail":
+				tail = v
+			}
+		}
+	}
+	if head.Type.Elem.Record != tail.Type.Record {
+		t.Error("forward reference and definition must share the record")
+	}
+	if !tail.Type.Record.Complete {
+		t.Error("record not completed")
+	}
+}
+
+func TestDanglingElse(t *testing.T) {
+	src := "void f(int a, int b) { if (a) if (b) a = 1; else a = 2; }"
+	f := parseFile(t, src)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	outer := fd.Body.List[0].(*ast.If)
+	if outer.Else != nil {
+		t.Error("else must bind to the inner if")
+	}
+	inner := outer.Then.(*ast.If)
+	if inner.Else == nil {
+		t.Error("inner if lost its else")
+	}
+}
+
+func TestCharIsPlainChar(t *testing.T) {
+	if typeOfDecl(t, "char c;", "c").Kind != types.Char {
+		t.Error("char should be plain Char kind")
+	}
+	if typeOfDecl(t, "signed char c;", "c").Kind != types.SChar {
+		t.Error("signed char should be SChar")
+	}
+	if typeOfDecl(t, "unsigned char c;", "c").Kind != types.UChar {
+		t.Error("unsigned char should be UChar")
+	}
+}
+
+func TestEmptyStatementBody(t *testing.T) {
+	f := parseFile(t, "void f(void) { while (0); for (;;) break; }")
+	fd := f.Decls[0].(*ast.FuncDecl)
+	w := fd.Body.List[0].(*ast.While)
+	if _, ok := w.Body.(*ast.Empty); !ok {
+		t.Errorf("while body = %T", w.Body)
+	}
+	fr := fd.Body.List[1].(*ast.For)
+	if fr.Init != nil || fr.Cond != nil || fr.Post != nil {
+		t.Error("for(;;) clauses should all be nil")
+	}
+}
+
+func TestStringInitOfPointerVsArray(t *testing.T) {
+	// char *p = "x" keeps the pointer; char a[] = "x" sizes the array.
+	typ := typeOfDecl(t, `char *p = "hello";`, "p")
+	if typ.Kind != types.Ptr {
+		t.Errorf("p type = %s", typ)
+	}
+	typ = typeOfDecl(t, `char a[] = "hello";`, "a")
+	if typ.Kind != types.Array || typ.ArrayLen != 6 {
+		t.Errorf("a type = %s", typ)
+	}
+}

@@ -1,0 +1,121 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/types"
+)
+
+func TestKRFunctionDefinition(t *testing.T) {
+	src := `
+int add(a, b)
+int a;
+int b;
+{
+	return a + b;
+}`
+	f := parseFile(t, src)
+	fd, ok := f.Decls[0].(*ast.FuncDecl)
+	if !ok {
+		t.Fatalf("not a FuncDecl: %T", f.Decls[0])
+	}
+	ps := fd.Type.Sig.Params
+	if len(ps) != 2 || ps[0].Name != "a" || ps[1].Name != "b" {
+		t.Fatalf("params = %+v", ps)
+	}
+	if ps[0].Type.Kind != types.Int {
+		t.Errorf("param a type = %s", ps[0].Type)
+	}
+	if len(fd.Body.List) != 1 {
+		t.Errorf("body stmts = %d", len(fd.Body.List))
+	}
+}
+
+func TestKRPointerAndArrayParams(t *testing.T) {
+	src := `
+char *first(s, n)
+char *s;
+int n[4];
+{
+	return s;
+}`
+	f := parseFile(t, src)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	ps := fd.Type.Sig.Params
+	if ps[0].Type.Kind != types.Ptr || ps[0].Type.Elem.Kind != types.Char {
+		t.Errorf("s type = %s", ps[0].Type)
+	}
+	// Arrays decay in parameter position even in K&R declarations.
+	if ps[1].Type.Kind != types.Ptr {
+		t.Errorf("n type = %s, want decayed pointer", ps[1].Type)
+	}
+}
+
+func TestKRImplicitInt(t *testing.T) {
+	// Undeclared identifier-list parameters default to int.
+	src := `
+int sub(a, b)
+int a;
+{
+	return a - b;
+}`
+	f := parseFile(t, src)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if fd.Type.Sig.Params[1].Type.Kind != types.Int {
+		t.Errorf("b type = %s, want int", fd.Type.Sig.Params[1].Type)
+	}
+}
+
+func TestKRMultipleDeclaratorsPerLine(t *testing.T) {
+	src := `
+int sum3(a, b, c)
+int a, b, c;
+{
+	return a + b + c;
+}`
+	f := parseFile(t, src)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	for i, prm := range fd.Type.Sig.Params {
+		if prm.Type.Kind != types.Int {
+			t.Errorf("param %d type = %s", i, prm.Type)
+		}
+	}
+}
+
+func TestKRStructParam(t *testing.T) {
+	src := `
+struct P { int *x; };
+int *getx(p)
+struct P *p;
+{
+	return p->x;
+}`
+	f := parseFile(t, src)
+	fd := f.Decls[1].(*ast.FuncDecl)
+	typ := fd.Type.Sig.Params[0].Type
+	if typ.Kind != types.Ptr || !typ.Elem.IsRecord() {
+		t.Errorf("p type = %s", typ)
+	}
+}
+
+func TestKRMismatchedNameErrors(t *testing.T) {
+	src := `
+int f(a)
+int z;
+{
+	return a;
+}`
+	if err := parseErr(src); err == nil {
+		t.Error("expected error for mismatched K&R parameter name")
+	}
+}
+
+func TestKRStillParsesPrototypeStyle(t *testing.T) {
+	// The K&R path must not break ANSI definitions.
+	src := "int f(int a) { return a; }\nint g() { return 0; }"
+	f := parseFile(t, src)
+	if len(f.Decls) != 2 {
+		t.Fatalf("decls = %d", len(f.Decls))
+	}
+}

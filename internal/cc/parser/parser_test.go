@@ -1,0 +1,519 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/ast"
+	"repro/internal/cc/pp"
+	"repro/internal/cc/types"
+)
+
+// parseFile runs the preprocessor and parser over src.
+func parseFile(t *testing.T, src string) *ast.File {
+	t.Helper()
+	prep := pp.New(pp.Config{})
+	toks, err := prep.Process("test.c", []byte(src))
+	if err != nil {
+		t.Fatalf("preprocess: %v", err)
+	}
+	f, err := Parse("test.c", toks, Config{})
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+func parseErr(src string) error {
+	prep := pp.New(pp.Config{})
+	toks, err := prep.Process("test.c", []byte(src))
+	if err != nil {
+		return err
+	}
+	_, err = Parse("test.c", toks, Config{})
+	return err
+}
+
+// firstVar returns the first VarDecl in the file.
+func firstVar(t *testing.T, f *ast.File) *ast.VarDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok {
+			return v
+		}
+	}
+	t.Fatal("no VarDecl found")
+	return nil
+}
+
+func typeOfDecl(t *testing.T, src, name string) *types.Type {
+	t.Helper()
+	f := parseFile(t, src)
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok && v.Name == name {
+			return v.Type
+		}
+	}
+	t.Fatalf("decl %q not found in %q", name, src)
+	return nil
+}
+
+func TestSimpleDeclarations(t *testing.T) {
+	cases := []struct {
+		src, name, want string
+	}{
+		{"int x;", "x", "int"},
+		{"unsigned long y;", "y", "unsigned long"},
+		{"char *s;", "s", "char *"},
+		{"int **pp;", "pp", "int * *"},
+		{"int a[10];", "a", "int [10]"},
+		{"int m[2][3];", "m", "int [2][3]"},
+		{"signed char c;", "c", "signed char"},
+		{"unsigned u;", "u", "unsigned int"},
+		{"long long ll;", "ll", "long long"},
+		{"const int ci;", "ci", "const int"},
+		{"double d;", "d", "double"},
+		{"short s;", "s", "short"},
+	}
+	for _, c := range cases {
+		got := typeOfDecl(t, c.src, c.name)
+		if got.String() != c.want {
+			t.Errorf("%q: type = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestDeclaratorPrecedence(t *testing.T) {
+	// int *f[10]  — array of pointer.
+	typ := typeOfDecl(t, "int *f[10];", "f")
+	if typ.Kind != types.Array || typ.Elem.Kind != types.Ptr {
+		t.Errorf("int *f[10] parsed as %s", typ)
+	}
+	// int (*g)[10] — pointer to array.
+	typ = typeOfDecl(t, "int (*g)[10];", "g")
+	if typ.Kind != types.Ptr || typ.Elem.Kind != types.Array {
+		t.Errorf("int (*g)[10] parsed as %s", typ)
+	}
+	// int (*fp)(void) — pointer to function.
+	typ = typeOfDecl(t, "int (*fp)(void);", "fp")
+	if typ.Kind != types.Ptr || typ.Elem.Kind != types.Func {
+		t.Errorf("int (*fp)(void) parsed as %s", typ)
+	}
+	// int (*arr[4])(void) — array of pointer to function.
+	typ = typeOfDecl(t, "int (*arr[4])(void);", "arr")
+	if typ.Kind != types.Array || typ.Elem.Kind != types.Ptr || typ.Elem.Elem.Kind != types.Func {
+		t.Errorf("int (*arr[4])(void) parsed as %s", typ)
+	}
+	// char *(*h)(char *, int) — ptr to func returning char*.
+	typ = typeOfDecl(t, "char *(*h)(char *, int);", "h")
+	if typ.Kind != types.Ptr || typ.Elem.Kind != types.Func ||
+		typ.Elem.Sig.Result.Kind != types.Ptr || len(typ.Elem.Sig.Params) != 2 {
+		t.Errorf("h parsed as %s", typ)
+	}
+}
+
+func TestStructParsing(t *testing.T) {
+	typ := typeOfDecl(t, "struct S { int *s1; int s2; char *s3; } s;", "s")
+	if typ.Kind != types.Struct {
+		t.Fatalf("type = %s", typ)
+	}
+	r := typ.Record
+	if r.Tag != "S" || !r.Complete || len(r.Fields) != 3 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.Fields[0].Name != "s1" || r.Fields[0].Type.Kind != types.Ptr {
+		t.Errorf("field 0 = %+v", r.Fields[0])
+	}
+	if r.Fields[2].Name != "s3" || r.Fields[2].Type.Elem.Kind != types.Char {
+		t.Errorf("field 2 = %+v", r.Fields[2])
+	}
+}
+
+func TestStructTagReference(t *testing.T) {
+	f := parseFile(t, "struct S { int x; };\nstruct S a, b;")
+	var decls []*ast.VarDecl
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok {
+			decls = append(decls, v)
+		}
+	}
+	if len(decls) != 2 {
+		t.Fatalf("got %d var decls", len(decls))
+	}
+	if decls[0].Type.Record != decls[1].Type.Record {
+		t.Error("a and b should share one record")
+	}
+	if !decls[0].Type.Record.Complete {
+		t.Error("record should be complete")
+	}
+}
+
+func TestSelfReferentialStruct(t *testing.T) {
+	typ := typeOfDecl(t, "struct node { int v; struct node *next; } n;", "n")
+	r := typ.Record
+	if r.Fields[1].Type.Kind != types.Ptr || r.Fields[1].Type.Elem.Record != r {
+		t.Error("next should point to the same record")
+	}
+}
+
+func TestUnionParsing(t *testing.T) {
+	typ := typeOfDecl(t, "union U { int i; char *p; } u;", "u")
+	if typ.Kind != types.Union || len(typ.Record.Fields) != 2 {
+		t.Errorf("union parsed as %s", typ)
+	}
+}
+
+func TestBitFields(t *testing.T) {
+	typ := typeOfDecl(t, "struct B { int a : 3; int b : 5; int c; } x;", "x")
+	fs := typ.Record.Fields
+	if fs[0].BitWidth != 3 || fs[1].BitWidth != 5 || fs[2].BitWidth != -1 {
+		t.Errorf("bit widths = %d %d %d", fs[0].BitWidth, fs[1].BitWidth, fs[2].BitWidth)
+	}
+}
+
+func TestEnumParsing(t *testing.T) {
+	f := parseFile(t, "enum color { RED, GREEN = 5, BLUE } c;\nint x[BLUE];")
+	// BLUE = 6, so x has 6 elements.
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok && v.Name == "x" {
+			if v.Type.ArrayLen != 6 {
+				t.Errorf("x array len = %d, want 6", v.Type.ArrayLen)
+			}
+			return
+		}
+	}
+	t.Fatal("x not found")
+}
+
+func TestEnumConstFolding(t *testing.T) {
+	f := parseFile(t, "enum { A = 3 };\nint main(void) { return A; }")
+	fd := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	ret := fd.Body.List[0].(*ast.Return)
+	il, ok := ret.Expr.(*ast.IntLit)
+	if !ok || il.Text != "3" {
+		t.Errorf("enum constant not folded: %v", ast.Sprint(ret))
+	}
+}
+
+func TestTypedef(t *testing.T) {
+	typ := typeOfDecl(t, "typedef unsigned long size_t;\nsize_t n;", "n")
+	if typ.Kind != types.ULong {
+		t.Errorf("n type = %s, want unsigned long", typ)
+	}
+	// Typedef of a pointer.
+	typ = typeOfDecl(t, "typedef struct S { int x; } *SP;\nSP p;", "p")
+	if typ.Kind != types.Ptr || typ.Elem.Kind != types.Struct {
+		t.Errorf("p type = %s", typ)
+	}
+}
+
+func TestTypedefShadowing(t *testing.T) {
+	// T is a typedef at file scope, an int variable inside f.
+	src := `typedef int T;
+int f(void) { int T; T = 3; return T; }
+T g;`
+	f := parseFile(t, src)
+	if len(f.Decls) != 3 {
+		t.Fatalf("got %d decls", len(f.Decls))
+	}
+	if v, ok := f.Decls[2].(*ast.VarDecl); !ok || v.Type.Kind != types.Int {
+		t.Error("g should be declared with typedef T = int")
+	}
+}
+
+func TestFunctionDefinition(t *testing.T) {
+	f := parseFile(t, "int add(int a, int b) { return a + b; }")
+	fd, ok := f.Decls[0].(*ast.FuncDecl)
+	if !ok {
+		t.Fatalf("not a FuncDecl: %T", f.Decls[0])
+	}
+	if fd.Name != "add" || len(fd.Type.Sig.Params) != 2 {
+		t.Errorf("fd = %+v", fd)
+	}
+	if fd.Type.Sig.Params[0].Name != "a" {
+		t.Errorf("param 0 name = %q", fd.Type.Sig.Params[0].Name)
+	}
+	if len(fd.Body.List) != 1 {
+		t.Errorf("body has %d stmts", len(fd.Body.List))
+	}
+}
+
+func TestVariadicPrototype(t *testing.T) {
+	f := parseFile(t, "int printf(const char *fmt, ...);")
+	v := firstVar(t, f)
+	if v.Type.Kind != types.Func || !v.Type.Sig.Variadic {
+		t.Errorf("printf type = %s", v.Type)
+	}
+}
+
+func TestParamArrayDecay(t *testing.T) {
+	f := parseFile(t, "void f(int a[10], int g(int));")
+	v := firstVar(t, f)
+	ps := v.Type.Sig.Params
+	if ps[0].Type.Kind != types.Ptr {
+		t.Errorf("array param not decayed: %s", ps[0].Type)
+	}
+	if ps[1].Type.Kind != types.Ptr || ps[1].Type.Elem.Kind != types.Func {
+		t.Errorf("func param not decayed: %s", ps[1].Type)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"x = a + b * c;", "x = a + b * c;"},
+		{"x = (a + b) * c;", "x = (a + b) * c;"},
+		{"x = a ? b : c;", "x = a ? b : c;"},
+		{"p = &s.f;", "p = &s.f;"},
+		{"x = *p;", "x = *p;"},
+		{"x = p->next->val;", "x = p->next->val;"},
+		{"x = arr[i + 1];", "x = arr[i + 1];"},
+		{"f(a, b, c);", "f(a, b, c);"},
+		{"x += 2;", "x += 2;"},
+		{"x = a << 2 | b;", "x = a << 2 | b;"},
+		{"x = !a && ~b;", "x = !a && ~b;"},
+		{"x = a == b != c;", "x = a == b != c;"},
+		{"x = -y;", "x = -y;"},
+		{"x = sizeof(int);", "x = sizeof(int);"},
+		{"x++;", "x++;"},
+		{"--x;", "--x;"},
+	}
+	for _, c := range cases {
+		src := "void f(void) { " + c.src + " }"
+		f := parseFile(t, src)
+		fd := f.Decls[0].(*ast.FuncDecl)
+		got := ast.Sprint(fd.Body.List[0])
+		if got != c.want {
+			t.Errorf("%q printed as %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestCastExpressions(t *testing.T) {
+	src := `struct S { int x; };
+typedef struct S S_t;
+void f(void) {
+	void *v;
+	struct S *p;
+	p = (struct S *)v;
+	p = (S_t *)v;
+}`
+	f := parseFile(t, src)
+	fd := f.Decls[2].(*ast.FuncDecl)
+	st := fd.Body.List[2].(*ast.ExprStmt)
+	as := st.X.(*ast.Assign)
+	c, ok := as.R.(*ast.Cast)
+	if !ok {
+		t.Fatalf("RHS is %T, not Cast", as.R)
+	}
+	if c.T.Kind != types.Ptr || c.T.Elem.Kind != types.Struct {
+		t.Errorf("cast type = %s", c.T)
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	// (x)+1 where x is a variable must parse as addition.
+	src := "int x; int f(void) { return (x)+1; }"
+	f := parseFile(t, src)
+	fd := f.Decls[1].(*ast.FuncDecl)
+	ret := fd.Body.List[0].(*ast.Return)
+	if _, ok := ret.Expr.(*ast.Binary); !ok {
+		t.Errorf("(x)+1 parsed as %T", ret.Expr)
+	}
+	// (T)+1 where T is a typedef must parse as a cast.
+	src = "typedef int T; int f(void) { return (T)+1; }"
+	f = parseFile(t, src)
+	fd = f.Decls[1].(*ast.FuncDecl)
+	ret = fd.Body.List[0].(*ast.Return)
+	if _, ok := ret.Expr.(*ast.Cast); !ok {
+		t.Errorf("(T)+1 parsed as %T", ret.Expr)
+	}
+}
+
+func TestStatements(t *testing.T) {
+	src := `
+int main(void) {
+	int i, n;
+	n = 0;
+	for (i = 0; i < 10; i++) { n += i; }
+	while (n > 0) n--;
+	do { n++; } while (n < 5);
+	if (n == 5) n = 0; else n = 1;
+	switch (n) {
+	case 0: n = 10; break;
+	case 1:
+	case 2: n = 20; break;
+	default: n = 30;
+	}
+	goto done;
+done:
+	return n;
+}`
+	f := parseFile(t, src)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if len(fd.Body.List) < 8 {
+		t.Errorf("body has %d stmts", len(fd.Body.List))
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	f := parseFile(t, "int a[3] = {1, 2, 3};")
+	v := firstVar(t, f)
+	il, ok := v.Init.(*ast.InitList)
+	if !ok || len(il.Items) != 3 {
+		t.Fatalf("init = %#v", v.Init)
+	}
+	// Array size completed from initializer.
+	f = parseFile(t, "int b[] = {1, 2, 3, 4};")
+	v = firstVar(t, f)
+	if v.Type.ArrayLen != 4 {
+		t.Errorf("b len = %d, want 4", v.Type.ArrayLen)
+	}
+	// char array from string literal.
+	f = parseFile(t, `char s[] = "abc";`)
+	v = firstVar(t, f)
+	if v.Type.ArrayLen != 4 {
+		t.Errorf("s len = %d, want 4", v.Type.ArrayLen)
+	}
+	// Nested lists.
+	f = parseFile(t, "struct P { int x, y; } pts[2] = {{1,2},{3,4}};")
+	v = firstVar(t, f)
+	il = v.Init.(*ast.InitList)
+	if len(il.Items) != 2 {
+		t.Errorf("pts init items = %d", len(il.Items))
+	}
+}
+
+func TestStringConcatenation(t *testing.T) {
+	f := parseFile(t, `char *s = "ab" "cd";`)
+	v := firstVar(t, f)
+	sl := v.Init.(*ast.StringLit)
+	if sl.Value != "abcd" {
+		t.Errorf("concatenated = %q", sl.Value)
+	}
+}
+
+func TestSizeofInArraySize(t *testing.T) {
+	typ := typeOfDecl(t, "char buf[sizeof(int) * 4];", "buf")
+	if typ.ArrayLen != 16 {
+		t.Errorf("buf len = %d, want 16", typ.ArrayLen)
+	}
+}
+
+func TestMultipleDeclarators(t *testing.T) {
+	f := parseFile(t, "int a, *b, c[3];")
+	want := []struct {
+		name string
+		kind types.Kind
+	}{{"a", types.Int}, {"b", types.Ptr}, {"c", types.Array}}
+	i := 0
+	for _, d := range f.Decls {
+		v, ok := d.(*ast.VarDecl)
+		if !ok {
+			continue
+		}
+		if i >= len(want) {
+			t.Fatalf("too many decls")
+		}
+		if v.Name != want[i].name || v.Type.Kind != want[i].kind {
+			t.Errorf("decl %d = %s %s", i, v.Name, v.Type)
+		}
+		i++
+	}
+	if i != 3 {
+		t.Errorf("got %d decls, want 3", i)
+	}
+}
+
+func TestStorageClasses(t *testing.T) {
+	f := parseFile(t, "static int s; extern int e; register int r;")
+	want := []ast.StorageClass{ast.StorageStatic, ast.StorageExtern, ast.StorageRegister}
+	i := 0
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok {
+			if v.Storage != want[i] {
+				t.Errorf("decl %d storage = %v, want %v", i, v.Storage, want[i])
+			}
+			i++
+		}
+	}
+}
+
+func TestIncludedHeaderParses(t *testing.T) {
+	src := "#include <stdio.h>\n#include <stdlib.h>\n#include <string.h>\nint main(void) { return 0; }"
+	f := parseFile(t, src)
+	found := false
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok && v.Name == "malloc" {
+			found = true
+			if v.Type.Kind != types.Func {
+				t.Errorf("malloc type = %s", v.Type)
+			}
+		}
+	}
+	if !found {
+		t.Error("malloc prototype not found")
+	}
+}
+
+func TestOldStyleParamList(t *testing.T) {
+	f := parseFile(t, "int f();")
+	v := firstVar(t, f)
+	if v.Type.Kind != types.Func || !v.Type.Sig.OldStyle {
+		t.Errorf("f type = %s, oldstyle=%v", v.Type, v.Type.Sig.OldStyle)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int x",              // missing semicolon
+		"int f(void) { if }", // malformed statement
+		"struct { int; } x;", // anonymous non-record member
+		"int a[;",
+	}
+	for _, src := range cases {
+		if err := parseErr(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRecoveryContinues(t *testing.T) {
+	// Error in the first function must not prevent parsing the second.
+	src := "int f(void) { @ }\nint g;\n"
+	prep := pp.New(pp.Config{})
+	toks, _ := prep.Process("t.c", []byte(src))
+	f, err := Parse("t.c", toks, Config{})
+	if err == nil {
+		t.Skip("scanner rejected @ already")
+	}
+	found := false
+	for _, d := range f.Decls {
+		if v, ok := d.(*ast.VarDecl); ok && v.Name == "g" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("g not parsed after error recovery")
+	}
+}
+
+func TestCommaExpr(t *testing.T) {
+	f := parseFile(t, "void f(void) { int a, b; a = (b = 1, b + 1); }")
+	fd := f.Decls[0].(*ast.FuncDecl)
+	got := ast.Sprint(fd.Body.List[1])
+	if !strings.Contains(got, ",") {
+		t.Errorf("comma lost: %q", got)
+	}
+}
+
+func TestFunctionPointerTypedefCall(t *testing.T) {
+	src := `typedef int (*handler)(int);
+handler table[4];
+int dispatch(int i, int v) { return table[i](v); }`
+	f := parseFile(t, src)
+	fd := f.Decls[2].(*ast.FuncDecl)
+	ret := fd.Body.List[0].(*ast.Return)
+	if _, ok := ret.Expr.(*ast.Call); !ok {
+		t.Errorf("indirect call parsed as %T", ret.Expr)
+	}
+}

@@ -1,0 +1,327 @@
+// Package token defines the lexical tokens of the C subset accepted by this
+// repository's front end, along with source positions.
+//
+// The token set covers C89 plus the handful of C99 spellings that show up in
+// real benchmark code (// comments, long long, inline). Preprocessor
+// directives are tokenized by the scanner as ordinary tokens on a directive
+// line; interpretation happens in package pp.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// The list of token kinds.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	NEWLINE // significant only inside preprocessor directives
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // main
+	INT    // 12345, 0x1f, 017, 42u, 42L
+	FLOAT  // 3.14, 1e9, .5f
+	CHAR   // 'a', '\n'
+	STRING // "abc"
+	HEADER // <stdio.h> (only in #include context)
+
+	// Operators and delimiters.
+	ADD // +
+	SUB // -
+	MUL // *
+	QUO // /
+	REM // %
+
+	AND   // &
+	OR    // |
+	XOR   // ^
+	SHL   // <<
+	SHR   // >>
+	TILDE // ~
+
+	ADD_ASSIGN // +=
+	SUB_ASSIGN // -=
+	MUL_ASSIGN // *=
+	QUO_ASSIGN // /=
+	REM_ASSIGN // %=
+
+	AND_ASSIGN // &=
+	OR_ASSIGN  // |=
+	XOR_ASSIGN // ^=
+	SHL_ASSIGN // <<=
+	SHR_ASSIGN // >>=
+
+	LAND // &&
+	LOR  // ||
+	INC  // ++
+	DEC  // --
+
+	EQL    // ==
+	LSS    // <
+	GTR    // >
+	ASSIGN // =
+	NOT    // !
+
+	NEQ // !=
+	LEQ // <=
+	GEQ // >=
+
+	LPAREN   // (
+	LBRACK   // [
+	LBRACE   // {
+	COMMA    // ,
+	PERIOD   // .
+	ARROW    // ->
+	ELLIPSIS // ...
+
+	RPAREN    // )
+	RBRACK    // ]
+	RBRACE    // }
+	SEMICOLON // ;
+	COLON     // :
+	QUESTION  // ?
+
+	HASH     // #  (directive introducer / stringize)
+	HASHHASH // ## (token paste)
+
+	keywordBeg
+	// Keywords.
+	AUTO
+	BREAK
+	CASE
+	CHARKW
+	CONST
+	CONTINUE
+	DEFAULT
+	DO
+	DOUBLE
+	ELSE
+	ENUM
+	EXTERN
+	FLOATKW
+	FOR
+	GOTO
+	IF
+	INLINE
+	INTKW
+	LONG
+	REGISTER
+	RETURN
+	SHORT
+	SIGNED
+	SIZEOF
+	STATIC
+	STRUCT
+	SWITCH
+	TYPEDEF
+	UNION
+	UNSIGNED
+	VOID
+	VOLATILE
+	WHILE
+	keywordEnd
+)
+
+var kindStrings = [...]string{
+	ILLEGAL: "ILLEGAL",
+	EOF:     "EOF",
+	NEWLINE: "newline",
+	COMMENT: "comment",
+
+	IDENT:  "IDENT",
+	INT:    "INT",
+	FLOAT:  "FLOAT",
+	CHAR:   "CHAR",
+	STRING: "STRING",
+	HEADER: "HEADER",
+
+	ADD: "+",
+	SUB: "-",
+	MUL: "*",
+	QUO: "/",
+	REM: "%",
+
+	AND:   "&",
+	OR:    "|",
+	XOR:   "^",
+	SHL:   "<<",
+	SHR:   ">>",
+	TILDE: "~",
+
+	ADD_ASSIGN: "+=",
+	SUB_ASSIGN: "-=",
+	MUL_ASSIGN: "*=",
+	QUO_ASSIGN: "/=",
+	REM_ASSIGN: "%=",
+
+	AND_ASSIGN: "&=",
+	OR_ASSIGN:  "|=",
+	XOR_ASSIGN: "^=",
+	SHL_ASSIGN: "<<=",
+	SHR_ASSIGN: ">>=",
+
+	LAND: "&&",
+	LOR:  "||",
+	INC:  "++",
+	DEC:  "--",
+
+	EQL:    "==",
+	LSS:    "<",
+	GTR:    ">",
+	ASSIGN: "=",
+	NOT:    "!",
+
+	NEQ: "!=",
+	LEQ: "<=",
+	GEQ: ">=",
+
+	LPAREN:   "(",
+	LBRACK:   "[",
+	LBRACE:   "{",
+	COMMA:    ",",
+	PERIOD:   ".",
+	ARROW:    "->",
+	ELLIPSIS: "...",
+
+	RPAREN:    ")",
+	RBRACK:    "]",
+	RBRACE:    "}",
+	SEMICOLON: ";",
+	COLON:     ":",
+	QUESTION:  "?",
+
+	HASH:     "#",
+	HASHHASH: "##",
+
+	AUTO:     "auto",
+	BREAK:    "break",
+	CASE:     "case",
+	CHARKW:   "char",
+	CONST:    "const",
+	CONTINUE: "continue",
+	DEFAULT:  "default",
+	DO:       "do",
+	DOUBLE:   "double",
+	ELSE:     "else",
+	ENUM:     "enum",
+	EXTERN:   "extern",
+	FLOATKW:  "float",
+	FOR:      "for",
+	GOTO:     "goto",
+	IF:       "if",
+	INLINE:   "inline",
+	INTKW:    "int",
+	LONG:     "long",
+	REGISTER: "register",
+	RETURN:   "return",
+	SHORT:    "short",
+	SIGNED:   "signed",
+	SIZEOF:   "sizeof",
+	STATIC:   "static",
+	STRUCT:   "struct",
+	SWITCH:   "switch",
+	TYPEDEF:  "typedef",
+	UNION:    "union",
+	UNSIGNED: "unsigned",
+	VOID:     "void",
+	VOLATILE: "volatile",
+	WHILE:    "while",
+}
+
+// String returns the textual spelling of the kind (for operators and
+// keywords) or its name (for classes like IDENT).
+func (k Kind) String() string {
+	if 0 <= int(k) && int(k) < len(kindStrings) && kindStrings[k] != "" {
+		return kindStrings[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a C keyword.
+func (k Kind) IsKeyword() bool { return keywordBeg < k && k < keywordEnd }
+
+// IsLiteral reports whether k is a literal class (identifier included).
+func (k Kind) IsLiteral() bool {
+	switch k {
+	case IDENT, INT, FLOAT, CHAR, STRING:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether k is one of the C assignment operators.
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, ADD_ASSIGN, SUB_ASSIGN, MUL_ASSIGN, QUO_ASSIGN, REM_ASSIGN,
+		AND_ASSIGN, OR_ASSIGN, XOR_ASSIGN, SHL_ASSIGN, SHR_ASSIGN:
+		return true
+	}
+	return false
+}
+
+var keywords map[string]Kind
+
+func init() {
+	keywords = make(map[string]Kind, keywordEnd-keywordBeg)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		keywords[kindStrings[k]] = k
+	}
+}
+
+// LookupKeyword maps an identifier spelling to its keyword kind, or IDENT.
+func LookupKeyword(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return IDENT
+}
+
+// Pos is a source position: file, 1-based line, 1-based column.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// IsValid reports whether the position has a line number.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if p.File == "" {
+		if !p.IsValid() {
+			return "-"
+		}
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Token is a single lexical token with its spelling and position.
+type Token struct {
+	Kind Kind
+	Text string // original spelling for literals and identifiers
+	Pos  Pos
+
+	// BOL is set on the first token of a physical source line; the
+	// preprocessor uses it to recognize directive lines.
+	BOL bool
+	// WS is set when the token was preceded by whitespace on its line;
+	// macro expansion uses it to decide function-macro invocation spacing.
+	WS bool
+	// NoExpand marks an identifier that must not be macro-expanded again
+	// (blue paint, set during macro expansion).
+	NoExpand bool
+}
+
+func (t Token) String() string {
+	switch {
+	case t.Kind == EOF:
+		return "EOF"
+	case t.Text != "":
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,100 @@
+package token
+
+import "testing"
+
+func TestKindStrings(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{ADD, "+"},
+		{SHL_ASSIGN, "<<="},
+		{ARROW, "->"},
+		{ELLIPSIS, "..."},
+		{STRUCT, "struct"},
+		{IDENT, "IDENT"},
+		{EOF, "EOF"},
+		{HASHHASH, "##"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.k, got, c.want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("out-of-range kind should still render")
+	}
+}
+
+func TestIsLiteral(t *testing.T) {
+	for _, k := range []Kind{IDENT, INT, FLOAT, CHAR, STRING} {
+		if !k.IsLiteral() {
+			t.Errorf("%v should be a literal", k)
+		}
+	}
+	for _, k := range []Kind{ADD, STRUCT, EOF, LPAREN} {
+		if k.IsLiteral() {
+			t.Errorf("%v should not be a literal", k)
+		}
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	ops := []Kind{ASSIGN, ADD_ASSIGN, SUB_ASSIGN, MUL_ASSIGN, QUO_ASSIGN,
+		REM_ASSIGN, AND_ASSIGN, OR_ASSIGN, XOR_ASSIGN, SHL_ASSIGN, SHR_ASSIGN}
+	for _, k := range ops {
+		if !k.IsAssignOp() {
+			t.Errorf("%v should be an assign op", k)
+		}
+	}
+	if EQL.IsAssignOp() || ADD.IsAssignOp() {
+		t.Error("== and + are not assign ops")
+	}
+}
+
+func TestAllKeywordsRoundTrip(t *testing.T) {
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		if got := LookupKeyword(k.String()); got != k {
+			t.Errorf("LookupKeyword(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+}
+
+func TestPosString(t *testing.T) {
+	cases := []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{File: "a.c", Line: 3, Col: 7}, "a.c:3:7"},
+		{Pos{Line: 3, Col: 7}, "3:7"},
+		{Pos{}, "-"},
+	}
+	for _, c := range cases {
+		if got := c.pos.String(); got != c.want {
+			t.Errorf("Pos%+v.String() = %q, want %q", c.pos, got, c.want)
+		}
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos should be invalid")
+	}
+	if !(Pos{Line: 1, Col: 1}).IsValid() {
+		t.Error("1:1 should be valid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Text: "foo"}, "foo"},
+		{Token{Kind: ADD}, "+"},
+		{Token{Kind: EOF}, "EOF"},
+		{Token{Kind: INT, Text: "42"}, "42"},
+	}
+	for _, c := range cases {
+		if got := c.tok.String(); got != c.want {
+			t.Errorf("Token.String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+// Package types implements the C type system used by the front end and the
+// pointer analysis: scalar kinds, derived types (pointer, array, function),
+// records (struct/union) with optional bit-fields, type qualifiers, ISO-C
+// type compatibility (§6.2.7 in C99 numbering; §6.3.2.3/6.5.2.1 in the C90
+// numbering the paper cites), and the common-initial-sequence computation
+// the "Common Initial Sequence" analysis instance relies on.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the type constructors.
+type Kind int
+
+// Type kinds.
+const (
+	Invalid Kind = iota
+	Void
+	Bool // used internally for comparison results; sized like int
+	Char
+	SChar
+	UChar
+	Short
+	UShort
+	Int
+	UInt
+	Long
+	ULong
+	LongLong
+	ULongLong
+	Float
+	Double
+	LongDouble
+	Enum
+	Ptr
+	Array
+	Struct
+	Union
+	Func
+)
+
+var kindNames = [...]string{
+	Invalid:    "invalid",
+	Void:       "void",
+	Bool:       "int",
+	Char:       "char",
+	SChar:      "signed char",
+	UChar:      "unsigned char",
+	Short:      "short",
+	UShort:     "unsigned short",
+	Int:        "int",
+	UInt:       "unsigned int",
+	Long:       "long",
+	ULong:      "unsigned long",
+	LongLong:   "long long",
+	ULongLong:  "unsigned long long",
+	Float:      "float",
+	Double:     "double",
+	LongDouble: "long double",
+	Enum:       "enum",
+	Ptr:        "ptr",
+	Array:      "array",
+	Struct:     "struct",
+	Union:      "union",
+	Func:       "func",
+}
+
+func (k Kind) String() string {
+	if 0 <= int(k) && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Qualifiers is a bit set of type qualifiers.
+type Qualifiers uint8
+
+// Qualifier bits.
+const (
+	QualConst Qualifiers = 1 << iota
+	QualVolatile
+)
+
+// Field is one member of a record.
+type Field struct {
+	Name     string
+	Type     *Type
+	BitWidth int // -1 if not a bit-field; otherwise the declared width
+}
+
+// IsBitField reports whether the field is a bit-field.
+func (f *Field) IsBitField() bool { return f.BitWidth >= 0 }
+
+// Record is the shared definition of a struct or union type. Two Type values
+// with the same *Record are the same C type.
+type Record struct {
+	Tag      string // "" for anonymous
+	Union    bool
+	Fields   []Field
+	Complete bool
+	ID       int // unique per Universe, stable for map keys and diagnostics
+}
+
+// FieldIndex returns the index of the named direct field, or -1.
+func (r *Record) FieldIndex(name string) int {
+	for i := range r.Fields {
+		if r.Fields[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Param is a function parameter (name may be empty in prototypes).
+type Param struct {
+	Name string
+	Type *Type
+}
+
+// Signature is the type information of a function.
+type Signature struct {
+	Result   *Type
+	Params   []Param
+	Variadic bool
+	// OldStyle marks a () declaration with unspecified parameters.
+	OldStyle bool
+}
+
+// Type is a C type. Types are immutable after construction except that an
+// incomplete Record may later be completed in place (standard C behaviour
+// for forward-declared tags).
+type Type struct {
+	Kind Kind
+	Qual Qualifiers
+
+	Elem     *Type // Ptr: pointee; Array: element
+	ArrayLen int64 // Array: -1 when incomplete/unspecified
+
+	Record *Record    // Struct, Union
+	Sig    *Signature // Func
+
+	EnumTag string // Enum
+
+	// TypedefName records the typedef spelling used at this use site, for
+	// diagnostics only; compatibility and identity ignore it.
+	TypedefName string
+}
+
+// Universe allocates records so that IDs are unique and basic types are
+// shared singletons.
+type Universe struct {
+	nextRecordID int
+	basics       map[Kind]*Type
+}
+
+// NewUniverse creates an empty type universe.
+func NewUniverse() *Universe {
+	return &Universe{basics: make(map[Kind]*Type)}
+}
+
+// Basic returns the shared unqualified basic type of kind k.
+func (u *Universe) Basic(k Kind) *Type {
+	if t, ok := u.basics[k]; ok {
+		return t
+	}
+	t := &Type{Kind: k}
+	u.basics[k] = t
+	return t
+}
+
+// NewRecord allocates a fresh (incomplete) record type.
+func (u *Universe) NewRecord(tag string, union bool) *Type {
+	u.nextRecordID++
+	return &Type{
+		Kind:   recKind(union),
+		Record: &Record{Tag: tag, Union: union, ID: u.nextRecordID},
+	}
+}
+
+func recKind(union bool) Kind {
+	if union {
+		return Union
+	}
+	return Struct
+}
+
+// NewEnum returns a new enum type with the given tag.
+func (u *Universe) NewEnum(tag string) *Type {
+	return &Type{Kind: Enum, EnumTag: tag}
+}
+
+// PointerTo returns a pointer type to t.
+func PointerTo(t *Type) *Type { return &Type{Kind: Ptr, Elem: t} }
+
+// ArrayOf returns an array type; n < 0 means unspecified length.
+func ArrayOf(t *Type, n int64) *Type { return &Type{Kind: Array, Elem: t, ArrayLen: n} }
+
+// FuncType returns a function type.
+func FuncType(result *Type, params []Param, variadic, oldStyle bool) *Type {
+	return &Type{Kind: Func, Sig: &Signature{Result: result, Params: params, Variadic: variadic, OldStyle: oldStyle}}
+}
+
+// Qualified returns t with the extra qualifiers added (shallow copy).
+func Qualified(t *Type, q Qualifiers) *Type {
+	if q == 0 || t == nil {
+		return t
+	}
+	c := *t
+	c.Qual |= q
+	return &c
+}
+
+// Unqualified returns t without qualifiers (shallow copy when needed).
+func Unqualified(t *Type) *Type {
+	if t == nil || t.Qual == 0 {
+		return t
+	}
+	c := *t
+	c.Qual = 0
+	return &c
+}
+
+// WithTypedefName tags t with a typedef spelling for diagnostics.
+func WithTypedefName(t *Type, name string) *Type {
+	if t == nil {
+		return nil
+	}
+	c := *t
+	c.TypedefName = name
+	return &c
+}
+
+// --- Predicates ---
+
+// IsInteger reports whether t is an integer type (including enum and char).
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case Bool, Char, SChar, UChar, Short, UShort, Int, UInt, Long, ULong,
+		LongLong, ULongLong, Enum:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is a floating type.
+func (t *Type) IsFloat() bool {
+	switch t.Kind {
+	case Float, Double, LongDouble:
+		return true
+	}
+	return false
+}
+
+// IsArithmetic reports whether t is an arithmetic type.
+func (t *Type) IsArithmetic() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsPointer reports whether t is a pointer type.
+func (t *Type) IsPointer() bool { return t.Kind == Ptr }
+
+// IsScalar reports whether t is a scalar (arithmetic or pointer) type.
+func (t *Type) IsScalar() bool { return t.IsArithmetic() || t.IsPointer() }
+
+// IsRecord reports whether t is a struct or union type.
+func (t *Type) IsRecord() bool { return t.Kind == Struct || t.Kind == Union }
+
+// IsAggregate reports whether t is an array or record type.
+func (t *Type) IsAggregate() bool { return t.Kind == Array || t.IsRecord() }
+
+// IsFunc reports whether t is a function type.
+func (t *Type) IsFunc() bool { return t.Kind == Func }
+
+// IsVoid reports whether t is void.
+func (t *Type) IsVoid() bool { return t.Kind == Void }
+
+// IsComplete reports whether the size of t is known.
+func (t *Type) IsComplete() bool {
+	switch t.Kind {
+	case Void, Func:
+		return false
+	case Array:
+		return t.ArrayLen >= 0 && t.Elem.IsComplete()
+	case Struct, Union:
+		return t.Record.Complete
+	case Invalid:
+		return false
+	}
+	return true
+}
+
+// IsUnsigned reports whether t is an unsigned integer type.
+func (t *Type) IsUnsigned() bool {
+	switch t.Kind {
+	case UChar, UShort, UInt, ULong, ULongLong:
+		return true
+	}
+	return false
+}
+
+// Pointee returns the pointee of a pointer type, else nil.
+func (t *Type) Pointee() *Type {
+	if t.Kind == Ptr {
+		return t.Elem
+	}
+	return nil
+}
+
+// Decay returns the type after array-to-pointer and function-to-pointer
+// conversion (what an rvalue use of an expression of type t has).
+func (t *Type) Decay() *Type {
+	switch t.Kind {
+	case Array:
+		return PointerTo(t.Elem)
+	case Func:
+		return PointerTo(t)
+	}
+	return t
+}
+
+// String renders the type in a C-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	var sb strings.Builder
+	if t.Qual&QualConst != 0 {
+		sb.WriteString("const ")
+	}
+	if t.Qual&QualVolatile != 0 {
+		sb.WriteString("volatile ")
+	}
+	switch t.Kind {
+	case Ptr:
+		sb.WriteString(t.Elem.String())
+		sb.WriteString(" *")
+	case Array:
+		// Render dimensions left to right as C does: int [2][3].
+		elem := t
+		var dims strings.Builder
+		for elem.Kind == Array {
+			if elem.ArrayLen >= 0 {
+				fmt.Fprintf(&dims, "[%d]", elem.ArrayLen)
+			} else {
+				dims.WriteString("[]")
+			}
+			elem = elem.Elem
+		}
+		fmt.Fprintf(&sb, "%s %s", elem, dims.String())
+	case Struct, Union:
+		kw := "struct"
+		if t.Record.Union {
+			kw = "union"
+		}
+		if t.Record.Tag != "" {
+			fmt.Fprintf(&sb, "%s %s", kw, t.Record.Tag)
+		} else {
+			fmt.Fprintf(&sb, "%s <anon#%d>", kw, t.Record.ID)
+		}
+	case Enum:
+		if t.EnumTag != "" {
+			fmt.Fprintf(&sb, "enum %s", t.EnumTag)
+		} else {
+			sb.WriteString("enum <anon>")
+		}
+	case Func:
+		sb.WriteString(t.Sig.Result.String())
+		sb.WriteString(" (")
+		for i, p := range t.Sig.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(p.Type.String())
+		}
+		if t.Sig.Variadic {
+			if len(t.Sig.Params) > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("...")
+		}
+		sb.WriteString(")")
+	default:
+		sb.WriteString(t.Kind.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,156 @@
+package cli_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/frontend"
+)
+
+const src = `
+struct S { int *a; } s;
+int x, *p;
+int getp(void) { return *p; }
+int main(void) {
+	s.a = &x;
+	p = s.a;
+	return getp();
+}`
+
+func analyze(t *testing.T) (*frontend.Result, *core.Result) {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, core.Analyze(r.IR, core.NewCIS())
+}
+
+func TestParseABI(t *testing.T) {
+	for _, name := range []string{"lp64", "ilp32", "packed1", ""} {
+		if _, err := cli.ParseABI(name); err != nil {
+			t.Errorf("ParseABI(%q): %v", name, err)
+		}
+	}
+	if _, err := cli.ParseABI("bogus"); err == nil {
+		t.Error("bogus ABI accepted")
+	}
+}
+
+func TestResolveInputCorpus(t *testing.T) {
+	srcs, err := cli.ResolveInput("bc", nil)
+	if err != nil || len(srcs) != 1 {
+		t.Fatalf("corpus input: %v, %d", err, len(srcs))
+	}
+	if _, err := cli.ResolveInput("nonesuch", nil); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+	if _, err := cli.ResolveInput("", nil); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestResolveInputFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.c")
+	if err := os.WriteFile(path, []byte("int x;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srcs, err := cli.ResolveInput("", []string{path})
+	if err != nil || len(srcs) != 1 || srcs[0].Name != path {
+		t.Fatalf("file input: %v %v", err, srcs)
+	}
+	if _, err := cli.ResolveInput("", []string{filepath.Join(dir, "no.c")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPrintAll(t *testing.T) {
+	fr, res := analyze(t)
+	_ = fr
+	var sb strings.Builder
+	cli.PrintAll(&sb, res)
+	out := sb.String()
+	if !strings.Contains(out, "p ") || !strings.Contains(out, "{x}") {
+		t.Errorf("PrintAll output:\n%s", out)
+	}
+	if strings.Contains(out, "tmp") {
+		t.Errorf("temps leaked:\n%s", out)
+	}
+}
+
+func TestPrintVar(t *testing.T) {
+	fr, res := analyze(t)
+	var sb strings.Builder
+	if !cli.PrintVar(&sb, res, fr.IR, "p") {
+		t.Fatal("p not found")
+	}
+	if !strings.Contains(sb.String(), "{x}") {
+		t.Errorf("PrintVar output: %s", sb.String())
+	}
+	if cli.PrintVar(&sb, res, fr.IR, "nonesuch") {
+		t.Error("nonexistent var found")
+	}
+}
+
+func TestPrintSites(t *testing.T) {
+	fr, res := analyze(t)
+	var sb strings.Builder
+	cli.PrintSites(&sb, res, fr.IR)
+	out := sb.String()
+	if !strings.Contains(out, "average:") || !strings.Contains(out, "deref of") {
+		t.Errorf("PrintSites output:\n%s", out)
+	}
+}
+
+func TestPrintModRefAndCallGraph(t *testing.T) {
+	fr, res := analyze(t)
+	var sb strings.Builder
+	cli.PrintModRef(&sb, res, fr.IR)
+	if !strings.Contains(sb.String(), "MOD:") || !strings.Contains(sb.String(), "getp:") {
+		t.Errorf("PrintModRef output:\n%s", sb.String())
+	}
+	sb.Reset()
+	cli.PrintCallGraph(&sb, res, fr.IR)
+	if !strings.Contains(sb.String(), "main") || !strings.Contains(sb.String(), "getp") {
+		t.Errorf("PrintCallGraph output:\n%s", sb.String())
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	_, res := analyze(t)
+	var sb strings.Builder
+	cli.WriteDot(&sb, res)
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph pointsto {") || !strings.Contains(out, "->") {
+		t.Errorf("dot output:\n%s", out)
+	}
+	// Deterministic.
+	var sb2 strings.Builder
+	cli.WriteDot(&sb2, res)
+	if sb2.String() != out {
+		t.Error("dot output not deterministic")
+	}
+}
+
+func TestPrintMisuses(t *testing.T) {
+	fr, _ := analyze(t)
+	res := core.AnalyzeWith(fr.IR, core.NewCIS(), core.Options{UseUnknown: true})
+	var sb strings.Builder
+	cli.PrintMisuses(&sb, res)
+	if !strings.Contains(sb.String(), "no potential pointer misuses") {
+		t.Errorf("clean program output: %s", sb.String())
+	}
+}
+
+func TestFormatSet(t *testing.T) {
+	_, res := analyze(t)
+	if got := cli.FormatSet(nil); got != "{}" {
+		t.Errorf("FormatSet(nil) = %q", got)
+	}
+	_ = res
+}

@@ -1,0 +1,115 @@
+// Package core implements the paper's tunable pointer-analysis framework:
+// the inference rules of Figure 2 as a worklist fixpoint solver, driven by
+// a Strategy that supplies the three functions normalize, lookup and
+// resolve. The four instances — Offsets, Collapse Always, Collapse on Cast
+// and Common Initial Sequence — are provided as Strategy implementations.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Cell is a normalized abstract memory location: an object plus a selector.
+// The selector space depends on the strategy: the Offsets instance uses byte
+// offsets (Off), the field-based instances use normalized field paths
+// (Path), and the Collapse Always instance uses neither.
+type Cell struct {
+	Obj  *ir.Object
+	Off  int64
+	Path string // dotted normalized field path
+}
+
+func (c Cell) String() string {
+	switch {
+	case c.Obj == nil:
+		return "<nil>"
+	case c.Path != "":
+		return c.Obj.Name + "." + c.Path
+	case c.Off != 0:
+		return fmt.Sprintf("%s@%d", c.Obj.Name, c.Off)
+	default:
+		return c.Obj.Name
+	}
+}
+
+// PathSlice parses the dotted path back into components.
+func (c Cell) PathSlice() ir.Path {
+	if c.Path == "" {
+		return nil
+	}
+	return ir.Path(strings.Split(c.Path, "."))
+}
+
+// JoinPath renders a field path as a cell selector.
+func JoinPath(p ir.Path) string { return strings.Join(p, ".") }
+
+// CellSet is a set of cells.
+type CellSet map[Cell]struct{}
+
+// Add inserts c, reporting whether it was new.
+func (s CellSet) Add(c Cell) bool {
+	if _, ok := s[c]; ok {
+		return false
+	}
+	s[c] = struct{}{}
+	return true
+}
+
+// Has reports membership.
+func (s CellSet) Has(c Cell) bool {
+	_, ok := s[c]
+	return ok
+}
+
+// Len returns the number of cells.
+func (s CellSet) Len() int { return len(s) }
+
+// Sorted returns the cells in a stable display order.
+func (s CellSet) Sorted() []Cell {
+	out := make([]Cell, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Obj != b.Obj {
+			if a.Obj.Name != b.Obj.Name {
+				return a.Obj.Name < b.Obj.Name
+			}
+			return a.Obj.ID < b.Obj.ID
+		}
+		if a.Off != b.Off {
+			return a.Off < b.Off
+		}
+		return a.Path < b.Path
+	})
+	return out
+}
+
+// Edge is a copy constraint produced by resolve: facts arriving at (a range
+// around) Src flow to the corresponding position at Dst.
+//
+// For the field-based strategies an edge relates exactly one source cell to
+// one destination cell (Size is 0). For the Offsets strategy an edge covers
+// Size bytes starting at the two cells' offsets — the paper's
+// "⟨s.(j+i), t.(k+i)⟩ for i in 0..sizeof(τ)-1" expressed as a range rather
+// than materialized per byte.
+type Edge struct {
+	Dst, Src Cell
+	Size     int64 // 0: exact cell; >0: byte range (Offsets); -1: whole object
+}
+
+func (e Edge) String() string {
+	switch {
+	case e.Size > 0:
+		return fmt.Sprintf("%s ⇐ %s [%d bytes]", e.Dst, e.Src, e.Size)
+	case e.Size < 0:
+		return fmt.Sprintf("%s ⇐ %s [all]", e.Dst, e.Src)
+	default:
+		return fmt.Sprintf("%s ⇐ %s", e.Dst, e.Src)
+	}
+}

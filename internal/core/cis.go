@@ -1,0 +1,156 @@
+package core
+
+import (
+	"repro/internal/cc/types"
+	"repro/internal/ir"
+)
+
+// CIS implements the §4.3.3 "Common Initial Sequence" instance: like
+// Collapse on Cast, but when two structure types share a common initial
+// sequence (ISO C guarantees identical layout for it), accesses within that
+// sequence still match field-for-field even across a cast. Portable, and
+// the most precise of the portable instances.
+type CIS struct {
+	fieldOps
+}
+
+var _ Strategy = (*CIS)(nil)
+
+// NewCIS returns the Common Initial Sequence instance.
+func NewCIS() *CIS {
+	return &CIS{fieldOps: newFieldOps()}
+}
+
+// Name implements Strategy.
+func (s *CIS) Name() string { return "common-initial-seq" }
+
+// Recorder implements Strategy.
+func (s *CIS) Recorder() *Recorder { return &s.rec }
+
+// Normalize implements Strategy (same normalize as Collapse on Cast).
+func (s *CIS) Normalize(obj *ir.Object, path ir.Path) Cell {
+	return s.normalize(obj, path)
+}
+
+// lookup is the uncounted core of CIS lookup:
+//
+//  1. If some enclosing candidate δ of the target cell has a type
+//     compatible with τ, the access maps exactly (the full common case).
+//  2. Otherwise, if some candidate's type shares a non-empty common initial
+//     sequence with τ and the accessed field lies inside it, the access
+//     maps to the corresponding field.
+//  3. Otherwise all fields of the target object starting at the first field
+//     after the common initial sequence (or at the target itself when the
+//     sequence is empty) are returned.
+func (s *CIS) lookup(τ *types.Type, path ir.Path, target Cell) ([]Cell, bool) {
+	obj := target.Obj
+	if obj.Type == nil {
+		return []Cell{target}, true
+	}
+	cands := candidatesFor(obj.Type, target.PathSlice())
+
+	for _, cand := range cands {
+		if types.CompatibleLax(τ, cand.typ) {
+			full := cand.path.Extend(path...)
+			return []Cell{s.normalize(obj, full)}, false
+		}
+	}
+
+	// Partial match through a common initial sequence.
+	if isRecordType(τ) && !τ.Record.Union && len(path) > 0 {
+		for _, cand := range cands {
+			if cand.typ == nil || !cand.typ.IsRecord() || cand.typ.Record.Union {
+				continue
+			}
+			pairs := types.CommonInitialSequence(τ.Record, cand.typ.Record)
+			if len(pairs) == 0 {
+				continue
+			}
+			ai := τ.Record.FieldIndex(path[0])
+			if ai >= 0 && ai < len(pairs) {
+				// Inside the sequence: corresponding field, then the
+				// rest of the path (member types are compatible, so
+				// the remaining components exist on both sides).
+				bName := cand.typ.Record.Fields[pairs[ai].B].Name
+				full := cand.path.Extend(bName).Extend(path[1:]...)
+				return []Cell{s.normalize(obj, full)}, true
+			}
+			// Outside the sequence: all fields of the object starting
+			// with the first field after the sequence.
+			start := cand.path
+			if len(pairs) < len(cand.typ.Record.Fields) {
+				start = cand.path.Extend(cand.typ.Record.Fields[len(pairs)].Name)
+				norm := normalizePath(obj.Type, start)
+				return s.smear(Cell{Obj: obj, Path: JoinPath(norm)}), true
+			}
+			// The sequence covers the whole candidate: spill into the
+			// fields following the candidate (Complication 1).
+			return s.smearAfterPrefix(obj, cand.path), true
+		}
+	}
+
+	return s.smear(target), true
+}
+
+// smearAfterPrefix returns all cells of obj strictly after the leaves that
+// live under prefix (used when an access runs past the end of a nested
+// structure).
+func (s *CIS) smearAfterPrefix(obj *ir.Object, prefix ir.Path) []Cell {
+	ls := s.leaves(obj.Type)
+	var out []Cell
+	past := false
+	for _, l := range ls {
+		if hasPrefix(l, prefix) {
+			past = true
+			continue
+		}
+		if past {
+			out = append(out, Cell{Obj: obj, Path: JoinPath(l)})
+		}
+	}
+	if len(out) == 0 {
+		// Nothing follows: keep the last cell of the candidate so that
+		// the result is never empty (safe fallback).
+		return s.smear(s.normalize(obj, prefix))
+	}
+	return out
+}
+
+func hasPrefix(p, prefix ir.Path) bool {
+	if len(prefix) > len(p) {
+		return false
+	}
+	for i := range prefix {
+		if p[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup implements Strategy.
+func (s *CIS) Lookup(τ *types.Type, path ir.Path, target Cell) []Cell {
+	cells, mismatch := s.lookup(τ, path, target)
+	s.rec.recordLookup(structsInvolved(τ, target), mismatch)
+	return cells
+}
+
+// Resolve implements Strategy.
+func (s *CIS) Resolve(dst, src Cell, τ *types.Type) []Edge {
+	edges, mismatch := s.resolveVia(s.lookup, dst, src, τ)
+	if τ != nil { // unknown-extent library copies are not source resolves
+		s.rec.recordResolve(structsInvolved(τ, dst, src), mismatch)
+	}
+	return edges
+}
+
+// CellsOf implements Strategy.
+func (s *CIS) CellsOf(obj *ir.Object) []Cell { return s.cellsOf(obj) }
+
+// ExpandedSize implements Strategy.
+func (s *CIS) ExpandedSize(c Cell) int { return s.expandedSize(c) }
+
+// PropagateEdge implements Strategy.
+func (s *CIS) PropagateEdge(e Edge, src Cell) (Cell, bool) {
+	return exactEdgePropagate(e, src)
+}

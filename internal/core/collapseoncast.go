@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/cc/types"
+	"repro/internal/ir"
+)
+
+// CollapseOnCast implements the §4.3.2 instance: fields are kept separate,
+// and a structure's fields are smeared together only when it is accessed as
+// a type different from its declared type. Portable, and more precise than
+// Collapse Always.
+//
+//	normalize(s.α)     = innermost first field of s.α
+//	lookup(τ, α, t.β̂)  = { normalize(t.δ.α) }   if some enclosing δ of β̂
+//	                                            has (compatible) type τ
+//	                   = followingFields(t, β̂)  otherwise
+//	resolve            = pairs of lookups over the fields of the LHS type
+type CollapseOnCast struct {
+	fieldOps
+}
+
+var _ Strategy = (*CollapseOnCast)(nil)
+
+// NewCollapseOnCast returns the Collapse on Cast instance.
+func NewCollapseOnCast() *CollapseOnCast {
+	return &CollapseOnCast{fieldOps: newFieldOps()}
+}
+
+// NewCollapseOnCastNoNormalize returns a variant without the first-field
+// normalization. It is UNSOUND (misses the §4.1 Problem 1 inferences) and
+// exists only as the ablation DESIGN.md describes.
+func NewCollapseOnCastNoNormalize() *CollapseOnCast {
+	s := &CollapseOnCast{fieldOps: newFieldOps()}
+	s.noFirstField = true
+	return s
+}
+
+// Name implements Strategy.
+func (s *CollapseOnCast) Name() string { return "collapse-on-cast" }
+
+// Recorder implements Strategy.
+func (s *CollapseOnCast) Recorder() *Recorder { return &s.rec }
+
+// Normalize implements Strategy.
+func (s *CollapseOnCast) Normalize(obj *ir.Object, path ir.Path) Cell {
+	return s.normalize(obj, path)
+}
+
+// lookup is the uncounted core (also used from resolve, which per the
+// paper's footnote does not count its internal lookups).
+func (s *CollapseOnCast) lookup(τ *types.Type, path ir.Path, target Cell) ([]Cell, bool) {
+	obj := target.Obj
+	if obj.Type == nil {
+		return []Cell{target}, true // untyped blob: its single cell
+	}
+	for _, cand := range candidatesFor(obj.Type, target.PathSlice()) {
+		if types.CompatibleLax(τ, cand.typ) {
+			full := cand.path.Extend(path...)
+			return []Cell{s.normalize(obj, full)}, false
+		}
+	}
+	return s.smear(target), true
+}
+
+// Lookup implements Strategy.
+func (s *CollapseOnCast) Lookup(τ *types.Type, path ir.Path, target Cell) []Cell {
+	cells, mismatch := s.lookup(τ, path, target)
+	s.rec.recordLookup(structsInvolved(τ, target), mismatch)
+	return cells
+}
+
+// Resolve implements Strategy.
+func (s *CollapseOnCast) Resolve(dst, src Cell, τ *types.Type) []Edge {
+	edges, mismatch := s.resolveVia(s.lookup, dst, src, τ)
+	if τ != nil { // unknown-extent library copies are not source resolves
+		s.rec.recordResolve(structsInvolved(τ, dst, src), mismatch)
+	}
+	return edges
+}
+
+// CellsOf implements Strategy.
+func (s *CollapseOnCast) CellsOf(obj *ir.Object) []Cell { return s.cellsOf(obj) }
+
+// ExpandedSize implements Strategy.
+func (s *CollapseOnCast) ExpandedSize(c Cell) int { return s.expandedSize(c) }
+
+// PropagateEdge implements Strategy.
+func (s *CollapseOnCast) PropagateEdge(e Edge, src Cell) (Cell, bool) {
+	return exactEdgePropagate(e, src)
+}

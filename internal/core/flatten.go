@@ -1,0 +1,225 @@
+package core
+
+import (
+	"repro/internal/cc/types"
+	"repro/internal/ir"
+)
+
+// This file contains the type-flattening utilities shared by the field-based
+// strategies: enumerating normalized leaf cells, first-field normalization,
+// enclosing-structure candidates, and the followingFields function of
+// §4.3.2.
+//
+// Normalized cells of an object are:
+//   - for a scalar: the object itself (empty path);
+//   - for a struct: the leaves of its fields, in declaration order;
+//   - for a union: a single cell at the union (unions are collapsed, which
+//     keeps the analysis safe without modeling overlap — see DESIGN.md);
+//   - for an array: the cells of its single representative element.
+
+const maxDepth = 64 // defensive bound against malformed recursive types
+
+// leafPaths returns the normalized cell paths of type t, in layout order.
+func leafPaths(t *types.Type) []ir.Path {
+	var out []ir.Path
+	appendLeaves(t, nil, &out, 0)
+	if len(out) == 0 {
+		out = append(out, nil)
+	}
+	return out
+}
+
+func appendLeaves(t *types.Type, prefix ir.Path, out *[]ir.Path, depth int) {
+	if t == nil || depth > maxDepth {
+		*out = append(*out, prefix)
+		return
+	}
+	switch t.Kind {
+	case types.Array:
+		appendLeaves(t.Elem, prefix, out, depth+1)
+	case types.Struct:
+		if !t.Record.Complete || len(t.Record.Fields) == 0 {
+			*out = append(*out, prefix)
+			return
+		}
+		for i := range t.Record.Fields {
+			f := &t.Record.Fields[i]
+			if f.Name == "" {
+				continue // unnamed bit-field padding
+			}
+			appendLeaves(f.Type, prefix.Extend(f.Name), out, depth+1)
+		}
+	case types.Union:
+		*out = append(*out, prefix) // collapsed
+	default:
+		*out = append(*out, prefix)
+	}
+}
+
+// typeAt walks a field path from t and returns the type it names (nil when
+// the path does not fit the type).
+func typeAt(t *types.Type, path ir.Path) *types.Type {
+	cur := t
+	for _, name := range path {
+		if cur == nil {
+			return nil
+		}
+		for cur.Kind == types.Array {
+			cur = cur.Elem
+		}
+		if !cur.IsRecord() {
+			return nil
+		}
+		i := cur.Record.FieldIndex(name)
+		if i < 0 {
+			return nil
+		}
+		cur = cur.Record.Fields[i].Type
+	}
+	return cur
+}
+
+// normalizePath maps a source-level field path on an object of type t to its
+// normalized cell path: the path is truncated at the first union, and then
+// extended through first fields until it names a non-aggregate (the paper's
+// normalize for the portable instances).
+func normalizePath(t *types.Type, path ir.Path) ir.Path {
+	cur := t
+	var out ir.Path
+	for _, name := range path {
+		if cur == nil {
+			return out
+		}
+		for cur.Kind == types.Array {
+			cur = cur.Elem
+		}
+		if cur.Kind == types.Union {
+			return out // collapse: the union cell
+		}
+		if !cur.IsRecord() {
+			return out
+		}
+		i := cur.Record.FieldIndex(name)
+		if i < 0 {
+			return out
+		}
+		out = out.Extend(name)
+		cur = cur.Record.Fields[i].Type
+	}
+	return descendFirstField(cur, out)
+}
+
+// descendFirstField extends base through innermost first fields while the
+// current type is a struct (stopping at unions and scalars).
+func descendFirstField(t *types.Type, base ir.Path) ir.Path {
+	cur := t
+	for depth := 0; depth < maxDepth; depth++ {
+		if cur == nil {
+			return base
+		}
+		for cur.Kind == types.Array {
+			cur = cur.Elem
+		}
+		if cur == nil || cur.Kind != types.Struct || !cur.Record.Complete || len(cur.Record.Fields) == 0 {
+			return base
+		}
+		f := &cur.Record.Fields[0]
+		if f.Name == "" {
+			return base
+		}
+		base = base.Extend(f.Name)
+		cur = f.Type
+	}
+	return base
+}
+
+// pathEq compares two field paths.
+func pathEq(a, b ir.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// candidate is one enclosing-structure candidate δ for a normalized cell:
+// a prefix path whose normalization equals the cell.
+type candidate struct {
+	path ir.Path
+	typ  *types.Type
+}
+
+// candidatesFor returns the candidates δ with normalize(t.δ) == normPath,
+// innermost (longest δ) first. This is the paper's search for an enclosing
+// structure of which the cell is the innermost first field.
+func candidatesFor(t *types.Type, normPath ir.Path) []candidate {
+	var out []candidate
+	for n := len(normPath); n >= 0; n-- {
+		prefix := normPath[:n]
+		pt := typeAt(t, prefix)
+		if pt == nil {
+			continue
+		}
+		// A pointer to an array is a pointer to its (single
+		// representative) element, so candidates match by element type.
+		for pt.Kind == types.Array {
+			pt = pt.Elem
+		}
+		if pathEq(normalizePath(t, prefix), normPath) {
+			out = append(out, candidate{path: append(ir.Path{}, prefix...), typ: pt})
+		} else if n < len(normPath) {
+			// Once a shorter prefix stops normalizing to the cell,
+			// no shorter prefix can (normalization only descends
+			// through first fields).
+			break
+		}
+	}
+	return out
+}
+
+// followingLeaves returns the normalized leaf paths of t at or after
+// normPath in layout order (the paper's followingFields plus the field
+// itself). When normPath is not found the full leaf list is returned
+// (conservative).
+func followingLeaves(t *types.Type, normPath ir.Path) []ir.Path {
+	leaves := leafPaths(t)
+	for i, l := range leaves {
+		if pathEq(l, normPath) {
+			return leaves[i:]
+		}
+	}
+	return leaves
+}
+
+// leafCount returns the number of scalar leaves under t (unions count all
+// their members' leaves; used for the Figure 4 per-field expansion).
+func leafCount(t *types.Type) int {
+	if t == nil {
+		return 1
+	}
+	switch t.Kind {
+	case types.Array:
+		return leafCount(t.Elem)
+	case types.Struct, types.Union:
+		if !t.Record.Complete || len(t.Record.Fields) == 0 {
+			return 1
+		}
+		n := 0
+		for i := range t.Record.Fields {
+			if t.Record.Fields[i].Name == "" {
+				continue
+			}
+			n += leafCount(t.Record.Fields[i].Type)
+		}
+		if n == 0 {
+			return 1
+		}
+		return n
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cc/token"
+	"repro/internal/cc/types"
+	"repro/internal/ir"
+)
+
+// Result is the outcome of one analysis run.
+type Result struct {
+	Strategy Strategy
+	Program  *ir.Program
+
+	pts      map[Cell]CellSet
+	Duration time.Duration
+
+	// Misuses lists flagged dereferences of possibly corrupted pointers
+	// (populated only under Options.UseUnknown).
+	Misuses []Misuse
+}
+
+// PointsTo returns the points-to set of the normalized cell for obj.path.
+func (r *Result) PointsTo(obj *ir.Object, path ir.Path) CellSet {
+	c := r.Strategy.Normalize(obj, path)
+	return r.pts[c]
+}
+
+// PointsToCell returns the points-to set of a cell.
+func (r *Result) PointsToCell(c Cell) CellSet { return r.pts[c] }
+
+// Cells iterates over all cells with non-empty points-to sets.
+func (r *Result) Cells(fn func(c Cell, set CellSet)) {
+	for c, s := range r.pts {
+		if len(s) > 0 {
+			fn(c, s)
+		}
+	}
+}
+
+// TotalFacts is the total number of points-to edges (Figure 6's metric).
+func (r *Result) TotalFacts() int {
+	n := 0
+	for _, s := range r.pts {
+		n += len(s)
+	}
+	return n
+}
+
+// SiteSetSize returns the (expanded) points-to set size of a dereference
+// site: the number of fields the dereferenced pointer may reference, with
+// collapsed facts expanded per-field as in Figure 4.
+func (r *Result) SiteSetSize(site *ir.DerefSite) int {
+	set := r.PointsTo(site.Ptr, nil)
+	n := 0
+	for c := range set {
+		n += r.Strategy.ExpandedSize(c)
+	}
+	return n
+}
+
+// AvgDerefSetSize is Figure 4's metric: the average points-to set size over
+// all static dereference sites.
+func (r *Result) AvgDerefSetSize() float64 {
+	if len(r.Program.Sites) == 0 {
+		return 0
+	}
+	total := 0
+	for _, s := range r.Program.Sites {
+		total += r.SiteSetSize(s)
+	}
+	return float64(total) / float64(len(r.Program.Sites))
+}
+
+// Options tunes the solver; the zero value is the paper's configuration.
+type Options struct {
+	// NoPtrArithSmear disables the Assumption 1 rule: pointer arithmetic
+	// results then keep only the operand's own targets instead of
+	// smearing over every sub-field. Unsound; provided as an ablation.
+	NoPtrArithSmear bool
+
+	// UseUnknown implements the alternative §4.2.1 sketches before
+	// adopting Assumption 1: pointer-arithmetic results additionally
+	// carry a special Unknown value representing a possibly corrupted
+	// pointer, and every dereference whose pointer may be Unknown is
+	// flagged as a potential misuse of memory (Result.Misuses). The
+	// paper rejects this as the *sole* strategy for being overly
+	// pessimistic; here it augments the Assumption 1 treatment to
+	// provide the flagging capability the paper describes.
+	UseUnknown bool
+}
+
+// Misuse flags one dereference of a possibly corrupted pointer.
+type Misuse struct {
+	Pos  token.Pos
+	Stmt string
+	Ptr  string
+}
+
+// Analyze runs the flow-insensitive, context-insensitive fixpoint over the
+// program with the given strategy.
+func Analyze(prog *ir.Program, strat Strategy) *Result {
+	return AnalyzeWith(prog, strat, Options{})
+}
+
+// AnalyzeWith is Analyze with explicit solver options.
+func AnalyzeWith(prog *ir.Program, strat Strategy, opts Options) *Result {
+	s := &solver{
+		prog:     prog,
+		strat:    strat,
+		opts:     opts,
+		pts:      make(map[Cell]CellSet),
+		factObjs: make(map[*ir.Object][]Cell),
+		edgeSet:  make(map[Edge]bool),
+		edgeIdx:  make(map[*ir.Object][]Edge),
+		watchers: make(map[Cell][]watch),
+		bound:    make(map[callBinding]bool),
+	}
+	if opts.UseUnknown {
+		s.unknown = &ir.Object{ID: -1, Name: "<unknown>", Kind: ir.ObjVar}
+	}
+	start := time.Now()
+	s.run()
+	return &Result{
+		Strategy: strat,
+		Program:  prog,
+		pts:      s.pts,
+		Duration: time.Since(start),
+		Misuses:  s.misuses,
+	}
+}
+
+// watch is a registered statement premise: when a new points-to fact lands
+// on the watched cell, the statement's rule fires with that fact.
+type watch struct {
+	stmt *ir.Stmt
+	role int // for OpMemCopy: 0 = destination pointer, 1 = source pointer
+}
+
+type callBinding struct {
+	stmt *ir.Stmt
+	fn   *ir.Object
+}
+
+type fact struct {
+	c, tgt Cell
+}
+
+type solver struct {
+	prog  *ir.Program
+	strat Strategy
+	opts  Options
+
+	unknown *ir.Object // non-nil under Options.UseUnknown
+	misuses []Misuse
+	flagged map[*ir.Stmt]bool
+
+	pts      map[Cell]CellSet
+	factObjs map[*ir.Object][]Cell // cells with facts, per object (for edges)
+
+	edgeSet map[Edge]bool
+	edgeIdx map[*ir.Object][]Edge // copy edges indexed by source object
+
+	watchers map[Cell][]watch
+	bound    map[callBinding]bool
+
+	worklist []fact
+}
+
+func (s *solver) norm(obj *ir.Object, path ir.Path) Cell {
+	return s.strat.Normalize(obj, path)
+}
+
+func (s *solver) run() {
+	// Seed: process every statement once.
+	for _, st := range s.prog.Stmts {
+		s.initStmt(st)
+	}
+	// Fixpoint.
+	for len(s.worklist) > 0 {
+		f := s.worklist[len(s.worklist)-1]
+		s.worklist = s.worklist[:len(s.worklist)-1]
+		s.propagate(f)
+	}
+}
+
+func (s *solver) initStmt(st *ir.Stmt) {
+	switch st.Op {
+	case ir.OpAddrOf:
+		s.addFactWhy(s.norm(st.Dst, nil), s.norm(st.Src, st.Path), "addrof "+st.String())
+
+	case ir.OpCopy:
+		dst := s.norm(st.Dst, nil)
+		src := s.norm(st.Src, st.Path)
+		for _, e := range s.strat.Resolve(dst, src, st.Dst.Type) {
+			s.addEdge(e)
+		}
+
+	case ir.OpAddrField, ir.OpLoad:
+		s.watch(s.norm(st.Ptr, nil), st, 0)
+
+	case ir.OpStore:
+		if st.Src == nil {
+			return // store of a pointer-free value
+		}
+		s.watch(s.norm(st.Ptr, nil), st, 0)
+
+	case ir.OpMemCopy:
+		s.watch(s.norm(st.Ptr, nil), st, 0)
+		s.watch(s.norm(st.Src, nil), st, 1)
+
+	case ir.OpPtrArith:
+		s.watch(s.norm(st.Src, nil), st, 0)
+
+	case ir.OpCall:
+		s.watch(s.norm(st.Ptr, nil), st, 0)
+	}
+}
+
+// watch registers the statement and replays existing facts at the cell.
+func (s *solver) watch(c Cell, st *ir.Stmt, role int) {
+	s.watchers[c] = append(s.watchers[c], watch{stmt: st, role: role})
+	if set, ok := s.pts[c]; ok {
+		for tgt := range set {
+			s.applyRule(watch{stmt: st, role: role}, tgt)
+		}
+	}
+}
+
+// traceCell, when set via PTRTRACE, dumps every fact added to a matching
+// cell together with the rule that produced it (debug aid).
+var traceCell = os.Getenv("PTRTRACE")
+
+func (s *solver) addFactWhy(c, tgt Cell, why string) {
+	if traceCell != "" && strings.Contains(c.String(), traceCell) {
+		fmt.Printf("TRACE %s += %s   [%s]\n", c, tgt, why)
+	}
+	s.addFact(c, tgt)
+}
+
+// addFact records pointsTo(c, tgt) and schedules propagation.
+func (s *solver) addFact(c, tgt Cell) {
+	set, ok := s.pts[c]
+	if !ok {
+		set = make(CellSet)
+		s.pts[c] = set
+	}
+	if !set.Add(tgt) {
+		return
+	}
+	if len(set) == 1 {
+		s.factObjs[c.Obj] = append(s.factObjs[c.Obj], c)
+	}
+	s.worklist = append(s.worklist, fact{c: c, tgt: tgt})
+}
+
+// propagate pushes one new fact through copy edges and statement premises.
+func (s *solver) propagate(f fact) {
+	// Copy edges whose source object matches.
+	for _, e := range s.edgeIdx[f.c.Obj] {
+		if dst, ok := s.strat.PropagateEdge(e, f.c); ok {
+			s.addFactWhy(dst, f.tgt, "edge "+e.String())
+		}
+	}
+	// Statement premises on this cell.
+	for _, w := range s.watchers[f.c] {
+		s.applyRule(w, f.tgt)
+	}
+}
+
+// addEdge records a copy edge and replays existing facts at its source.
+func (s *solver) addEdge(e Edge) {
+	if s.edgeSet[e] {
+		return
+	}
+	s.edgeSet[e] = true
+	s.edgeIdx[e.Src.Obj] = append(s.edgeIdx[e.Src.Obj], e)
+	for _, c := range s.factObjs[e.Src.Obj] {
+		if dst, ok := s.strat.PropagateEdge(e, c); ok {
+			for tgt := range s.pts[c] {
+				s.addFact(dst, tgt)
+			}
+		}
+	}
+}
+
+// pointeeType returns the declared pointee type of a pointer-valued object.
+func pointeeType(o *ir.Object) *types.Type {
+	if o == nil || o.Type == nil {
+		return nil
+	}
+	t := o.Type
+	for t.Kind == types.Array {
+		t = t.Elem
+	}
+	if t.Kind == types.Ptr {
+		return t.Elem
+	}
+	return nil
+}
+
+// applyRule fires one statement rule for a newly discovered pointer target.
+func (s *solver) applyRule(w watch, tgt Cell) {
+	st := w.stmt
+	if s.unknown != nil && tgt.Obj == s.unknown {
+		// A possibly corrupted pointer reaches a dereference (or call):
+		// flag it once and do not derive referents from Unknown.
+		switch st.Op {
+		case ir.OpAddrField, ir.OpLoad, ir.OpStore, ir.OpMemCopy, ir.OpCall:
+			if s.flagged == nil {
+				s.flagged = make(map[*ir.Stmt]bool)
+			}
+			if !s.flagged[st] {
+				s.flagged[st] = true
+				ptr := ""
+				if st.Ptr != nil {
+					ptr = st.Ptr.Name
+				}
+				s.misuses = append(s.misuses, Misuse{Pos: st.Pos, Stmt: st.String(), Ptr: ptr})
+			}
+			return
+		}
+	}
+	switch st.Op {
+	case ir.OpAddrField:
+		// Rule 2: s = &((*p).α).
+		dst := s.norm(st.Dst, nil)
+		for _, c := range s.strat.Lookup(pointeeType(st.Ptr), st.Path, tgt) {
+			s.addFactWhy(dst, c, "addrfield "+st.String())
+		}
+
+	case ir.OpLoad:
+		// Rule 4: s = *q — lookup identifies the referenced location
+		// (counted, like Rule 2's lookups), then the copy is resolved
+		// with the LHS type fixing the extent.
+		dst := s.norm(st.Dst, nil)
+		for _, loc := range s.strat.Lookup(pointeeType(st.Ptr), nil, tgt) {
+			for _, e := range s.strat.Resolve(dst, loc, st.Dst.Type) {
+				s.addEdge(e)
+			}
+		}
+
+	case ir.OpStore:
+		// Rule 5: *p = t — lookup identifies the stored-to location;
+		// the declared pointee type of p fixes the extent
+		// (Complication 4).
+		τ := pointeeType(st.Ptr)
+		if τ == nil && st.Src.Type != nil {
+			τ = st.Src.Type
+		}
+		src := s.norm(st.Src, nil)
+		for _, loc := range s.strat.Lookup(τ, nil, tgt) {
+			for _, e := range s.strat.Resolve(loc, src, τ) {
+				s.addEdge(e)
+			}
+		}
+
+	case ir.OpMemCopy:
+		// Block copy of unknown extent between two pointees.
+		if w.role == 0 {
+			for src := range s.pts[s.norm(st.Src, nil)] {
+				for _, e := range s.strat.Resolve(tgt, src, nil) {
+					s.addEdge(e)
+				}
+			}
+		} else {
+			for dst := range s.pts[s.norm(st.Ptr, nil)] {
+				for _, e := range s.strat.Resolve(dst, tgt, nil) {
+					s.addEdge(e)
+				}
+			}
+		}
+
+	case ir.OpPtrArith:
+		// Assumption 1: the result may point to any sub-field of the
+		// pointed-to object (or of any structure containing it, which
+		// the outermost-object representation already covers). The
+		// sub-fields are the statically known cells of the object; for
+		// untyped heap storage this approximates interior offsets by
+		// the block's base cell (see DESIGN.md §6).
+		dst := s.norm(st.Dst, nil)
+		s.addFact(dst, tgt)
+		if !s.opts.NoPtrArithSmear {
+			for _, c := range s.strat.CellsOf(tgt.Obj) {
+				s.addFact(dst, c)
+			}
+		}
+		if s.unknown != nil {
+			s.addFact(dst, Cell{Obj: s.unknown})
+		}
+
+	case ir.OpCall:
+		// Context-insensitive binding.
+		if tgt.Obj.Kind != ir.ObjFunc || tgt.Obj.Sym == nil {
+			return
+		}
+		fn := s.prog.FuncOf[tgt.Obj.Sym]
+		if fn == nil {
+			return
+		}
+		key := callBinding{stmt: st, fn: tgt.Obj}
+		if s.bound[key] {
+			return
+		}
+		s.bound[key] = true
+		for i, arg := range st.Args {
+			if arg == nil {
+				continue
+			}
+			argCell := s.norm(arg, nil)
+			if i < len(fn.Params) && fn.Params[i] != nil {
+				p := fn.Params[i]
+				for _, e := range s.strat.Resolve(s.norm(p, nil), argCell, p.Type) {
+					s.addEdge(e)
+				}
+			} else if fn.Varargs != nil {
+				for _, e := range s.strat.Resolve(s.norm(fn.Varargs, nil), argCell, arg.Type) {
+					s.addEdge(e)
+				}
+			}
+		}
+		if fn.Retval != nil && st.Dst != nil {
+			for _, e := range s.strat.Resolve(s.norm(st.Dst, nil), s.norm(fn.Retval, nil), st.Dst.Type) {
+				s.addEdge(e)
+			}
+		}
+	}
+}

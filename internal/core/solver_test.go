@@ -1,0 +1,718 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/layout"
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+// loadIR runs the front end over one source file.
+func loadIR(t *testing.T, src string, abi *layout.ABI) *frontend.Result {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: src}}, frontend.Options{ABI: abi})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return r
+}
+
+// strategies returns fresh instances of all four algorithms.
+func strategies(lay *layout.Engine) map[string]core.Strategy {
+	return map[string]core.Strategy{
+		"offsets":            core.NewOffsets(lay),
+		"collapse-always":    core.NewCollapseAlways(),
+		"collapse-on-cast":   core.NewCollapseOnCast(),
+		"common-initial-seq": core.NewCIS(),
+	}
+}
+
+// objByName finds a program object by its display name.
+func objByName(t *testing.T, p *ir.Program, name string) *ir.Object {
+	t.Helper()
+	for _, o := range p.Objects {
+		if o.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("object %q not found", name)
+	return nil
+}
+
+// targets renders the points-to set of obj.path as a set of object names
+// (ignoring selectors), for easy assertions.
+func targetObjs(res *core.Result, obj *ir.Object, path ...string) map[string]bool {
+	out := make(map[string]bool)
+	for c := range res.PointsTo(obj, ir.Path(path)) {
+		out[c.Obj.Name] = true
+	}
+	return out
+}
+
+// targetCells renders the points-to set as cell strings.
+func targetCells(res *core.Result, obj *ir.Object, path ...string) map[string]bool {
+	out := make(map[string]bool)
+	for c := range res.PointsTo(obj, ir.Path(path)) {
+		out[c.String()] = true
+	}
+	return out
+}
+
+func wantSet(t *testing.T, label string, got map[string]bool, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s = %v, want %v", label, keys(got), want)
+		return
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("%s = %v, want %v", label, keys(got), want)
+			return
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// --- The Introduction's motivating example ---
+
+func TestIntroFieldSensitivity(t *testing.T) {
+	src := `
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+void f(void) {
+	s.s1 = &x;
+	s.s2 = &y;
+	p = s.s1;
+}`
+	r := loadIR(t, src, nil)
+	p := objByName(t, r.IR, "p")
+
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, p)
+		switch name {
+		case "collapse-always":
+			// Collapsing merges s1 and s2: p may point to x AND y.
+			wantSet(t, name+": pts(p)", got, "x", "y")
+		default:
+			// Field-sensitive: p points only to x.
+			wantSet(t, name+": pts(p)", got, "x")
+		}
+	}
+}
+
+// --- §4.1 Problem 1: a pointer to a struct points to its first field ---
+
+func TestProblem1FirstField(t *testing.T) {
+	src := `
+struct S { int *s1; } s;
+int x, *q, *r;
+void f(void) {
+	q = &x;
+	*(int **)&s = q;   /* store through a cast: writes s.s1 */
+	r = s.s1;
+}`
+	r := loadIR(t, src, nil)
+	rv := objByName(t, r.IR, "r")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, rv)
+		if !got["x"] {
+			t.Errorf("%s: pts(r) = %v, want x included", name, keys(got))
+		}
+	}
+}
+
+func TestProblem1Reverse(t *testing.T) {
+	// A pointer to the first field can be used as a pointer to the struct.
+	src := `
+struct S { int *s1; } s, *p;
+int x, *r;
+void f(void) {
+	s.s1 = &x;
+	p = (struct S *)&s.s1;
+	r = p->s1;
+}`
+	r := loadIR(t, src, nil)
+	rv := objByName(t, r.IR, "r")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, rv)
+		if !got["x"] {
+			t.Errorf("%s: pts(r) = %v, want x included", name, keys(got))
+		}
+	}
+}
+
+// --- §4.1 Problem 2: dereferencing a mistyped pointer (lookup) ---
+
+func TestProblem2Lookup(t *testing.T) {
+	src := `
+struct S { int *s1; int s2; char *s3; } *p;
+struct T { int *t1; int *t2; char *t3; } t;
+char **c;
+void f(void) {
+	p = (struct S *)&t;
+	c = &((*p).s3);
+}`
+	r := loadIR(t, src, nil)
+	c := objByName(t, r.IR, "c")
+	lay := r.Layout
+
+	// Offsets (LP64): s3 is at offset 16; t3 is at offset 16 → exactly t3.
+	res := core.Analyze(r.IR, core.NewOffsets(lay))
+	wantSet(t, "offsets: pts(c)", targetCells(res, c), "t@16")
+
+	// Collapse on Cast: no compatible enclosing type → all fields from t1.
+	res = core.Analyze(r.IR, core.NewCollapseOnCast())
+	wantSet(t, "coc: pts(c)", targetCells(res, c), "t.t1", "t.t2", "t.t3")
+
+	// CIS: common initial sequence of S and T is just ⟨s1,t1⟩ (int vs
+	// int* differ); s3 is outside it → fields from the first field after
+	// the sequence: {t2, t3}.
+	res = core.Analyze(r.IR, core.NewCIS())
+	wantSet(t, "cis: pts(c)", targetCells(res, c), "t.t2", "t.t3")
+
+	// Collapse Always: the whole of t.
+	res = core.Analyze(r.IR, core.NewCollapseAlways())
+	wantSet(t, "collapse: pts(c)", targetCells(res, c), "t")
+}
+
+// --- §4.1 Problem 3: block copy between different types (resolve) ---
+
+func TestProblem3Resolve(t *testing.T) {
+	src := `
+struct S { int *s1; int s2; char *s3; } s;
+struct T { int *t1; int *t2; char *t3; } t;
+int a, b;
+char ch;
+void f(void) {
+	t.t1 = &a;
+	t.t2 = &b;
+	t.t3 = &ch;
+	s = *(struct S *)&t;
+	}`
+	r := loadIR(t, src, nil)
+	s := objByName(t, r.IR, "s")
+
+	// Offsets LP64: s1@0←t1@0 (a), s2@8..11←t2@8 bytes, s3@16←t3@16 (ch).
+	res := core.Analyze(r.IR, core.NewOffsets(r.Layout))
+	wantSet(t, "offsets: pts(s.s1)", targetObjs(res, s, "s1"), "a")
+	wantSet(t, "offsets: pts(s.s3)", targetObjs(res, s, "s3"), "ch")
+	// s2 holds part of t2's pointer to b (Complication 3).
+	wantSet(t, "offsets: pts(s.s2)", targetObjs(res, s, "s2"), "b")
+
+	// CIS: initial sequence ⟨s1,t1⟩ matches precisely; the rest smears.
+	res = core.Analyze(r.IR, core.NewCIS())
+	if got := targetObjs(res, s, "s1"); !got["a"] {
+		t.Errorf("cis: pts(s.s1) = %v, want a included", keys(got))
+	}
+	// s3 must conservatively include everything from t2 on.
+	got := targetObjs(res, s, "s3")
+	if !got["b"] || !got["ch"] {
+		t.Errorf("cis: pts(s.s3) = %v, want b and ch", keys(got))
+	}
+}
+
+// --- §4.2.1 Complication 2: a double holding two pointers (ILP32) ---
+
+func TestComplication2DoubleHoldsPointers(t *testing.T) {
+	src := `
+struct R { int *r1; int *r2; } r, r2;
+double d;
+int x, y;
+void f(void) {
+	r.r1 = &x;
+	r.r2 = &y;
+	d = *(double *)&r;
+	r2 = *(struct R *)&d;
+}`
+	// ILP32: sizeof(double) == 8 == sizeof(struct R), so both pointers
+	// fit inside d and can be recovered.
+	r := loadIR(t, src, layout.ILP32)
+	r2 := objByName(t, r.IR, "r2")
+
+	res := core.Analyze(r.IR, core.NewOffsets(r.Layout))
+	wantSet(t, "offsets/ilp32: pts(r2.r1)", targetObjs(res, r2, "r1"), "x")
+	wantSet(t, "offsets/ilp32: pts(r2.r2)", targetObjs(res, r2, "r2"), "y")
+
+	// The portable instances must also recover both (conservatively).
+	for _, strat := range []core.Strategy{core.NewCollapseOnCast(), core.NewCIS()} {
+		res := core.Analyze(r.IR, strat)
+		g1 := targetObjs(res, r2, "r1")
+		g2 := targetObjs(res, r2, "r2")
+		if !g1["x"] || !g2["y"] {
+			t.Errorf("%s: pts(r2.r1)=%v pts(r2.r2)=%v, want x and y recovered",
+				strat.Name(), keys(g1), keys(g2))
+		}
+	}
+}
+
+// --- §4.2.1 Complication 4: LHS type determines the copy size ---
+
+func TestComplication4CopySize(t *testing.T) {
+	src := `
+struct R { int *r1; int *r2; char *r3; } r;
+struct S { int *s1; int *s2; int *s3; } s;
+struct T { int *t1; int *t2; } *p;
+int a, b, c;
+void f(void) {
+	s.s1 = &a;
+	s.s2 = &b;
+	s.s3 = &c;
+	p = (struct T *)&r;
+	*p = *(struct T *)&s;
+}`
+	r := loadIR(t, src, nil)
+	rv := objByName(t, r.IR, "r")
+
+	// Offsets: only the first two fields are copied (sizeof(struct T)).
+	res := core.Analyze(r.IR, core.NewOffsets(r.Layout))
+	wantSet(t, "offsets: pts(r.r1)", targetObjs(res, rv, "r1"), "a")
+	wantSet(t, "offsets: pts(r.r2)", targetObjs(res, rv, "r2"), "b")
+	if got := targetObjs(res, rv, "r3"); len(got) != 0 {
+		t.Errorf("offsets: pts(r.r3) = %v, want empty (beyond sizeof(struct T))", keys(got))
+	}
+}
+
+// --- §4.3.2 Collapse on Cast worked example ---
+
+func TestCollapseOnCastExample(t *testing.T) {
+	src := `
+struct S { int s1; char s2; } *p, *q;
+struct T { struct S t1; int t2; char t3; } t;
+char *x, *y;
+void f(void) {
+	p = &t.t1;
+	x = &(*p).s2;
+	q = (struct S *)&t.t2;
+	y = &(*q).s2;
+}`
+	r := loadIR(t, src, nil)
+	x := objByName(t, r.IR, "x")
+	y := objByName(t, r.IR, "y")
+
+	res := core.Analyze(r.IR, core.NewCollapseOnCast())
+	// p points to t.t1 whose type matches struct S: exact field.
+	wantSet(t, "coc: pts(x)", targetCells(res, x), "t.t1.s2")
+	// q points to t.t2 (an int, not a struct S): smear from t2 on.
+	wantSet(t, "coc: pts(y)", targetCells(res, y), "t.t2", "t.t3")
+}
+
+// --- §4.3.3 Common Initial Sequence worked example ---
+
+func TestCISExample(t *testing.T) {
+	src := `
+struct S { int *s1; int *s2; int *s3; } *p;
+struct T { int *t1; int *t2; char t3; int t4; } t;
+int **x, **y;
+void f(void) {
+	p = (struct S *)&t;
+	x = &(*p).s2;
+	y = &(*p).s3;
+}`
+	r := loadIR(t, src, nil)
+	x := objByName(t, r.IR, "x")
+	y := objByName(t, r.IR, "y")
+
+	res := core.Analyze(r.IR, core.NewCIS())
+	// s2 is inside the common initial sequence ⟨(s1,t1),(s2,t2)⟩.
+	wantSet(t, "cis: pts(x)", targetCells(res, x), "t.t2")
+	// s3 is outside: all fields from the first field after the CIS.
+	wantSet(t, "cis: pts(y)", targetCells(res, y), "t.t3", "t.t4")
+
+	// Collapse on Cast has no CIS refinement: everything from t1.
+	res = core.Analyze(r.IR, core.NewCollapseOnCast())
+	wantSet(t, "coc: pts(x)", targetCells(res, x), "t.t1", "t.t2", "t.t3", "t.t4")
+}
+
+// --- Interprocedural ---
+
+func TestInterproceduralIdentity(t *testing.T) {
+	src := `
+int *id(int *v) { return v; }
+int x, y, *p, *q;
+void f(void) {
+	p = id(&x);
+	q = id(&y);
+}`
+	r := loadIR(t, src, nil)
+	p := objByName(t, r.IR, "p")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, p)
+		// Context-insensitive: both calls merge.
+		if !got["x"] || !got["y"] {
+			t.Errorf("%s: pts(p) = %v, want {x,y}", name, keys(got))
+		}
+	}
+}
+
+func TestFunctionPointerDispatch(t *testing.T) {
+	src := `
+int x, y;
+int *fx(void) { return &x; }
+int *fy(void) { return &y; }
+int *(*fp)(void);
+int *r;
+void f(int c) {
+	if (c) fp = fx; else fp = fy;
+	r = fp();
+}`
+	r := loadIR(t, src, nil)
+	rv := objByName(t, r.IR, "r")
+	fp := objByName(t, r.IR, "fp")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		gotFp := targetObjs(res, fp)
+		if !gotFp["fx"] || !gotFp["fy"] {
+			t.Errorf("%s: pts(fp) = %v, want {fx,fy}", name, keys(gotFp))
+		}
+		got := targetObjs(res, rv)
+		if !got["x"] || !got["y"] {
+			t.Errorf("%s: pts(r) = %v, want {x,y}", name, keys(got))
+		}
+	}
+}
+
+func TestStructParamByValue(t *testing.T) {
+	src := `
+struct P { int *a; int *b; };
+int x, y, *r;
+void g(struct P p) { r = p.a; }
+void f(void) {
+	struct P s;
+	s.a = &x;
+	s.b = &y;
+	g(s);
+}`
+	r := loadIR(t, src, nil)
+	rv := objByName(t, r.IR, "r")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, rv)
+		if !got["x"] {
+			t.Errorf("%s: pts(r) = %v, want x", name, keys(got))
+		}
+		if name != "collapse-always" && got["y"] {
+			t.Errorf("%s: pts(r) = %v, y should not leak into p.a", name, keys(got))
+		}
+	}
+}
+
+// --- Heap ---
+
+func TestHeapListChase(t *testing.T) {
+	src := `
+#include <stdlib.h>
+struct node { struct node *next; int *val; };
+int x;
+void f(void) {
+	struct node *head = (struct node *)malloc(sizeof(struct node));
+	struct node *n2 = (struct node *)malloc(sizeof(struct node));
+	head->next = n2;
+	n2->val = &x;
+	int *r = head->next->val;
+}`
+	r := loadIR(t, src, nil)
+	var rObj *ir.Object
+	for _, o := range r.IR.Objects {
+		if o.Sym != nil && o.Sym.Name == "r" {
+			rObj = o
+		}
+	}
+	if rObj == nil {
+		t.Fatal("r not found")
+	}
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, rObj)
+		if !got["x"] {
+			t.Errorf("%s: pts(r) = %v, want x", name, keys(got))
+		}
+	}
+}
+
+func TestAllocationSitesDistinct(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int **p1, **p2;
+void f(void) {
+	p1 = (int **)malloc(8);
+	p2 = (int **)malloc(8);
+}`
+	r := loadIR(t, src, nil)
+	p1 := objByName(t, r.IR, "p1")
+	p2 := objByName(t, r.IR, "p2")
+	res := core.Analyze(r.IR, core.NewCIS())
+	g1 := targetObjs(res, p1)
+	g2 := targetObjs(res, p2)
+	if len(g1) != 1 || len(g2) != 1 {
+		t.Fatalf("pts sizes = %d/%d, want 1/1 (%v / %v)", len(g1), len(g2), keys(g1), keys(g2))
+	}
+	for k := range g1 {
+		if g2[k] {
+			t.Errorf("allocation sites merged: %v", k)
+		}
+	}
+}
+
+// --- Pointer arithmetic (Assumption 1) ---
+
+func TestPtrArithSmearsWithinObject(t *testing.T) {
+	src := `
+struct G { int *g1; int *g2; } g;
+int x, y, **p, *r;
+void f(void) {
+	g.g1 = &x;
+	g.g2 = &y;
+	p = &g.g1;
+	p = p + 1;
+	r = *p;
+}`
+	r := loadIR(t, src, nil)
+	rv := objByName(t, r.IR, "r")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, rv)
+		// After p+1, p may point to any field of g: r sees x and y.
+		if !got["x"] || !got["y"] {
+			t.Errorf("%s: pts(r) = %v, want {x,y}", name, keys(got))
+		}
+	}
+}
+
+func TestPtrArithDoesNotEscapeObject(t *testing.T) {
+	src := `
+int a[4], b[4], *p, *q;
+void f(void) {
+	p = a;
+	q = p + 1;
+}`
+	r := loadIR(t, src, nil)
+	q := objByName(t, r.IR, "q")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, q)
+		if !got["a"] {
+			t.Errorf("%s: pts(q) = %v, want a", name, keys(got))
+		}
+		if got["b"] {
+			t.Errorf("%s: pts(q) leaked to unrelated object b", name)
+		}
+	}
+}
+
+// --- Library summaries end to end ---
+
+func TestMemcpyPropagates(t *testing.T) {
+	src := `
+#include <string.h>
+struct P { int *a; } src, dst;
+int x;
+void f(void) {
+	src.a = &x;
+	memcpy(&dst, &src, sizeof dst);
+	int *r = dst.a;
+}`
+	r := loadIR(t, src, nil)
+	var rObj *ir.Object
+	for _, o := range r.IR.Objects {
+		if o.Sym != nil && o.Sym.Name == "r" {
+			rObj = o
+		}
+	}
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, rObj)
+		if !got["x"] {
+			t.Errorf("%s: pts(r) = %v, want x", name, keys(got))
+		}
+	}
+}
+
+func TestQsortInvokesComparator(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int cmp(const void *a, const void *b) {
+	const int *pa = (const int *)a;
+	return *pa;
+}
+int arr[10];
+void f(void) { qsort(arr, 10, sizeof(int), cmp); }`
+	r := loadIR(t, src, nil)
+	// cmp's parameter a must point to arr.
+	var aObj *ir.Object
+	for _, o := range r.IR.Objects {
+		if o.Kind == ir.ObjParam && o.Sym != nil && o.Sym.Name == "a" {
+			aObj = o
+		}
+	}
+	if aObj == nil {
+		t.Fatal("param a not found")
+	}
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, aObj)
+		if !got["arr"] {
+			t.Errorf("%s: pts(a) = %v, want arr", name, keys(got))
+		}
+	}
+}
+
+// --- Unions (collapsed, safe) ---
+
+func TestUnionSafety(t *testing.T) {
+	src := `
+union U { int *u1; char *u2; } u;
+int x;
+char c, *r;
+void f(void) {
+	u.u1 = (int *)&x;
+	r = u.u2;
+}`
+	r := loadIR(t, src, nil)
+	rv := objByName(t, r.IR, "r")
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		got := targetObjs(res, rv)
+		if !got["x"] {
+			t.Errorf("%s: pts(r) = %v, want x (union members overlap)", name, keys(got))
+		}
+	}
+}
+
+// --- Metrics sanity ---
+
+func TestAvgDerefSizeOrdering(t *testing.T) {
+	// On a casting-free field-heavy program, collapse-always must be no
+	// more precise than the others.
+	src := `
+struct S { int *a; int *b; int *c; } s;
+int x, y, z, *r1, *r2, *r3, **pp;
+void f(void) {
+	s.a = &x; s.b = &y; s.c = &z;
+	pp = &s.a; r1 = *pp;
+	pp = &s.b; r2 = *pp;
+	pp = &s.c; r3 = *pp;
+}`
+	r := loadIR(t, src, nil)
+	sizes := make(map[string]float64)
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		sizes[name] = res.AvgDerefSetSize()
+	}
+	if sizes["collapse-always"] < sizes["offsets"] {
+		t.Errorf("collapse-always (%v) should not beat offsets (%v)",
+			sizes["collapse-always"], sizes["offsets"])
+	}
+	if sizes["offsets"] != sizes["common-initial-seq"] {
+		t.Errorf("without casts, offsets (%v) and CIS (%v) should agree",
+			sizes["offsets"], sizes["common-initial-seq"])
+	}
+}
+
+func TestRecorderCounts(t *testing.T) {
+	src := `
+struct A { int *p; } a, b;
+void f(void) { a = b; }`
+	r := loadIR(t, src, nil)
+	strat := core.NewCIS()
+	core.Analyze(r.IR, strat)
+	rec := strat.Recorder()
+	if rec.ResolveCalls == 0 {
+		t.Error("resolve never recorded")
+	}
+	if rec.ResolveStructs == 0 {
+		t.Error("struct resolve never recorded")
+	}
+	if rec.ResolveMismatches != 0 {
+		t.Errorf("mismatches = %d on a cast-free program", rec.ResolveMismatches)
+	}
+}
+
+func TestRecorderMismatchOnCast(t *testing.T) {
+	src := `
+struct A { int *a1; char pad; } a;
+struct B { char *b1; int *b2; } b;
+void f(void) { a = *(struct A *)&b; }`
+	r := loadIR(t, src, nil)
+	strat := core.NewCIS()
+	core.Analyze(r.IR, strat)
+	rec := strat.Recorder()
+	if rec.ResolveMismatches == 0 {
+		t.Error("expected a resolve mismatch on struct cast")
+	}
+}
+
+func TestTotalFactsPositive(t *testing.T) {
+	src := "int x, *p;\nvoid f(void) { p = &x; }"
+	r := loadIR(t, src, nil)
+	for name, strat := range strategies(r.Layout) {
+		res := core.Analyze(r.IR, strat)
+		if res.TotalFacts() == 0 {
+			t.Errorf("%s: no facts", name)
+		}
+	}
+}
+
+// --- Offsets ABI sensitivity (the portability argument) ---
+
+func TestOffsetsABIDivergence(t *testing.T) {
+	// Under LP64 struct S's s2 sits at offset 8; under Packed1 at 1.
+	// A cast-based access to byte 8 therefore resolves differently —
+	// this is exactly why offsets results are not portable.
+	src := `
+struct S { char tag; int *s2; } s;
+struct U { char pad[8]; int *u2; } *p;
+int x, *r;
+void f(void) {
+	s.s2 = &x;
+	p = (struct U *)&s;
+	r = p->u2;
+}`
+	// LP64: offsetof(S.s2)=8, lookup hits byte 8 → x found.
+	r64 := loadIR(t, src, layout.LP64)
+	res := core.Analyze(r64.IR, core.NewOffsets(r64.Layout))
+	got := targetObjs(res, objByName(t, r64.IR, "r"))
+	if !got["x"] {
+		t.Errorf("lp64: pts(r) = %v, want x", keys(got))
+	}
+
+	// Packed1: offsetof(S.s2)=1 but the access reads byte 8 → miss.
+	rp := loadIR(t, src, layout.Packed1)
+	resP := core.Analyze(rp.IR, core.NewOffsets(rp.Layout))
+	gotP := targetObjs(resP, objByName(t, rp.IR, "r"))
+	if gotP["x"] {
+		t.Errorf("packed1: pts(r) = %v; finding x means offsets did not change", keys(gotP))
+	}
+}
+
+// --- Strings ---
+
+func TestStringLiteralFlow(t *testing.T) {
+	src := `char *s, *t2;
+void f(void) { s = "hello"; t2 = s; }`
+	r := loadIR(t, src, nil)
+	t2 := objByName(t, r.IR, "t2")
+	res := core.Analyze(r.IR, core.NewCIS())
+	found := false
+	for c := range res.PointsTo(t2, nil) {
+		if strings.HasPrefix(c.Obj.Name, "strlit@") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("pts(t2) = %v, want a string literal", targetObjs(res, t2))
+	}
+}

@@ -1,0 +1,107 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Tests for the Unknown-value flagging mode (the §4.2.1 alternative).
+
+func TestUnknownFlagsCorruptedDeref(t *testing.T) {
+	// A pointer spliced together by arithmetic is dereferenced: under
+	// UseUnknown the site must be flagged.
+	src := `
+int a[4], *p, x;
+void f(void) {
+	p = a;
+	p = p + 3;
+	x = *p;
+}`
+	r := loadIR(t, src, nil)
+	res := core.AnalyzeWith(r.IR, core.NewCIS(), core.Options{UseUnknown: true})
+	if len(res.Misuses) == 0 {
+		t.Fatal("no misuse flagged for arithmetic-derived dereference")
+	}
+	found := false
+	for _, m := range res.Misuses {
+		if m.Stmt != "" && m.Pos.IsValid() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("misuse records incomplete: %+v", res.Misuses)
+	}
+}
+
+func TestUnknownDoesNotFlagCleanDerefs(t *testing.T) {
+	src := `
+int x, *p, y;
+void f(void) {
+	p = &x;
+	y = *p;
+}`
+	r := loadIR(t, src, nil)
+	res := core.AnalyzeWith(r.IR, core.NewCIS(), core.Options{UseUnknown: true})
+	if len(res.Misuses) != 0 {
+		t.Errorf("clean program flagged: %+v", res.Misuses)
+	}
+}
+
+func TestUnknownPreservesRealTargets(t *testing.T) {
+	// The Unknown augmentation must not lose the Assumption 1 targets.
+	src := `
+struct G { int *g1; int *g2; } g;
+int x, y, **p, *r;
+void f(void) {
+	g.g1 = &x;
+	g.g2 = &y;
+	p = &g.g1;
+	p = p + 1;
+	r = *p;
+}`
+	r := loadIR(t, src, nil)
+	res := core.AnalyzeWith(r.IR, core.NewCIS(), core.Options{UseUnknown: true})
+	rv := objByName(t, r.IR, "r")
+	got := targetObjs(res, rv)
+	if !got["x"] || !got["y"] {
+		t.Errorf("pts(r) = %v, want x and y despite Unknown mode", keys(got))
+	}
+	// And the deref of the arithmetic-derived p is flagged.
+	if len(res.Misuses) == 0 {
+		t.Error("deref of p+1 not flagged")
+	}
+}
+
+func TestUnknownOffByDefault(t *testing.T) {
+	src := "int a[4], *p, x;\nvoid f(void) { p = a + 1; x = *p; }"
+	r := loadIR(t, src, nil)
+	res := core.Analyze(r.IR, core.NewCIS())
+	if len(res.Misuses) != 0 {
+		t.Errorf("misuses recorded without UseUnknown: %+v", res.Misuses)
+	}
+}
+
+func TestUnknownFlagsEachSiteOnce(t *testing.T) {
+	src := `
+int a[8], *p, x;
+void f(void) {
+	int i;
+	p = a;
+	for (i = 0; i < 4; i++) {
+		p = p + 1;
+		x = *p;
+	}
+}`
+	r := loadIR(t, src, nil)
+	res := core.AnalyzeWith(r.IR, core.NewCIS(), core.Options{UseUnknown: true})
+	seen := make(map[string]int)
+	for _, m := range res.Misuses {
+		seen[m.Pos.String()+m.Stmt]++
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Errorf("site %s flagged %d times", k, n)
+		}
+	}
+}

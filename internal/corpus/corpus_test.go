@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/metrics"
+)
+
+func TestAllProgramsLoad(t *testing.T) {
+	for _, e := range Programs {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			src, err := Source(e.Name)
+			if err != nil {
+				t.Fatalf("source: %v", err)
+			}
+			res, err := frontend.Load(src, frontend.Options{})
+			if err != nil {
+				t.Fatalf("frontend: %v", err)
+			}
+			if len(res.IR.Warnings) > 0 {
+				t.Errorf("warnings: %v", res.IR.Warnings)
+			}
+			if res.IR.NumStmts() == 0 {
+				t.Error("no statements lowered")
+			}
+			if len(res.IR.Sites) == 0 {
+				t.Error("no dereference sites")
+			}
+		})
+	}
+}
+
+func TestAllProgramsAnalyze(t *testing.T) {
+	for _, e := range Programs {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			src := MustSource(e.Name)
+			p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{})
+			if err != nil {
+				t.Fatalf("measure: %v", err)
+			}
+			for _, sn := range metrics.StrategyNames {
+				run := p.Runs[sn]
+				if run == nil {
+					t.Fatalf("no run for %s", sn)
+				}
+				if run.TotalFacts == 0 {
+					t.Errorf("%s: no facts", sn)
+				}
+				if run.AvgDerefSize <= 0 {
+					t.Errorf("%s: avg deref size = %v", sn, run.AvgDerefSize)
+				}
+			}
+		})
+	}
+}
+
+func TestGroupMembership(t *testing.T) {
+	// The measured mismatch counters must agree with the declared
+	// grouping: casting programs show struct-type mismatches, the others
+	// show none (the paper's 8/12 split).
+	for _, e := range Programs {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			src := MustSource(e.Name)
+			p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{
+				Strategies: []string{"common-initial-seq", "offsets"},
+			})
+			if err != nil {
+				t.Fatalf("measure: %v", err)
+			}
+			if p.HasStructCast != e.CastGroup {
+				t.Errorf("measured cast group = %v, declared %v", p.HasStructCast, e.CastGroup)
+			}
+		})
+	}
+}
+
+func TestFieldSensitivityWinsOnCastGroup(t *testing.T) {
+	// The paper's headline: collapse-always sets are never smaller, and on
+	// struct-heavy programs they are strictly larger.
+	strictly := 0
+	for _, e := range Programs {
+		src := MustSource(e.Name)
+		p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		ca := p.Runs["collapse-always"].AvgDerefSize
+		off := p.Runs["offsets"].AvgDerefSize
+		if ca+1e-9 < off {
+			t.Errorf("%s: collapse-always (%.2f) beat offsets (%.2f)", e.Name, ca, off)
+		}
+		if ca > off*1.5 {
+			strictly++
+		}
+	}
+	if strictly < 5 {
+		t.Errorf("only %d programs show collapse-always ≥1.5× offsets; corpus too easy", strictly)
+	}
+}
+
+func TestPortabilityCheap(t *testing.T) {
+	// The paper's second claim: the portable CIS instance is usually
+	// within a few percent of the layout-specific Offsets instance.
+	within5pct := 0
+	for _, e := range Programs {
+		src := MustSource(e.Name)
+		p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{
+			Strategies: []string{"common-initial-seq", "offsets"},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		cis := p.Runs["common-initial-seq"].AvgDerefSize
+		off := p.Runs["offsets"].AvgDerefSize
+		if off > 0 && cis <= off*1.05 {
+			within5pct++
+		}
+	}
+	if within5pct < 15 {
+		t.Errorf("CIS within 5%% of Offsets on only %d/20 programs; portability claim broken", within5pct)
+	}
+}
+
+func TestLookupAndSortedByGroup(t *testing.T) {
+	if _, ok := Lookup("bc"); !ok {
+		t.Error("bc not found")
+	}
+	if _, ok := Lookup("nonesuch"); ok {
+		t.Error("nonesuch found")
+	}
+	names := SortedByGroup()
+	if len(names) != len(Programs) {
+		t.Fatalf("len = %d", len(names))
+	}
+	seenCast := false
+	for _, n := range names {
+		e, _ := Lookup(n)
+		if e.CastGroup {
+			seenCast = true
+		} else if seenCast {
+			t.Errorf("non-cast program %s after cast group", n)
+		}
+	}
+}
+
+func TestGenerateLoads(t *testing.T) {
+	for _, cd := range []int{0, 25, 75} {
+		p := DefaultGenParams()
+		p.CastDensity = cd
+		src := Generate(p)
+		res, err := frontend.Load(src, frontend.Options{})
+		if err != nil {
+			t.Fatalf("cast density %d: %v", cd, err)
+		}
+		r := core.Analyze(res.IR, core.NewCIS())
+		if r.TotalFacts() == 0 {
+			t.Errorf("cast density %d: no facts", cd)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultGenParams())
+	b := Generate(DefaultGenParams())
+	if a[0].Text != b[0].Text {
+		t.Error("generator not deterministic")
+	}
+}
+
+func TestGenerateScales(t *testing.T) {
+	small := DefaultGenParams()
+	big := DefaultGenParams()
+	big.NStructs = 8
+	big.NDerefs = 200
+	ssrc := Generate(small)
+	bsrc := Generate(big)
+	if len(bsrc[0].Text) <= len(ssrc[0].Text) {
+		t.Error("bigger parameters should generate more code")
+	}
+}

@@ -1,0 +1,132 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/steens"
+)
+
+func TestGenerateCallGraphLoads(t *testing.T) {
+	src := GenerateCallGraph(DefaultCallGraphParams())
+	res, err := frontend.Load(src, frontend.Options{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(res.IR.Warnings) != 0 {
+		t.Errorf("warnings: %v", res.IR.Warnings)
+	}
+	r := core.Analyze(res.IR, core.NewCIS())
+	if r.TotalFacts() == 0 {
+		t.Error("no facts")
+	}
+}
+
+func TestGenerateCallGraphDeterministic(t *testing.T) {
+	a := GenerateCallGraph(DefaultCallGraphParams())
+	b := GenerateCallGraph(DefaultCallGraphParams())
+	if a[0].Text != b[0].Text {
+		t.Error("not deterministic")
+	}
+}
+
+func TestCallGraphWorkloadSeparatesSubsetFromUnification(t *testing.T) {
+	// The point of the dispatch workload: the subset-based framework
+	// keeps table entries separate, unification merges every handler
+	// that shares a table (and through shared handlers, tables).
+	p := DefaultCallGraphParams()
+	p.NHandlers = 8
+	p.NTables = 1
+	src := GenerateCallGraph(p)
+	res, err := frontend.Load(src, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var observed *ir.Object
+	for _, o := range res.IR.Objects {
+		if o.Sym != nil && o.Sym.Name == "observed" {
+			observed = o
+		}
+	}
+
+	subset := core.Analyze(res.IR, core.NewCIS())
+	subSize := subset.PointsTo(observed, nil).Len()
+
+	uni := steens.Analyze(res.IR)
+	uniSize := len(uni.PointsTo(observed))
+
+	if subSize == 0 {
+		t.Fatal("subset analysis found nothing")
+	}
+	if uniSize < subSize {
+		t.Errorf("unification (%d) more precise than subsets (%d)?", uniSize, subSize)
+	}
+}
+
+func TestGenerateCallGraphScales(t *testing.T) {
+	small := DefaultCallGraphParams()
+	big := DefaultCallGraphParams()
+	big.NHandlers = 32
+	big.NCalls = 200
+	if len(GenerateCallGraph(big)[0].Text) <= len(GenerateCallGraph(small)[0].Text) {
+		t.Error("bigger parameters should generate more code")
+	}
+}
+
+func TestGenerateCallGraphHandlersBindThroughTables(t *testing.T) {
+	src := GenerateCallGraph(CallGraphParams{NHandlers: 4, NTables: 2, NCalls: 10, Seed: 3})
+	res, err := frontend.Load(src, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.Analyze(res.IR, core.NewCIS())
+	var observed *ir.Object
+	for _, o := range res.IR.Objects {
+		if o.Sym != nil && o.Sym.Name == "observed" {
+			observed = o
+		}
+	}
+	set := r.PointsTo(observed, nil)
+	stateTargets := 0
+	for c := range set {
+		if strings.Contains(c.Obj.Name, "state") {
+			stateTargets++
+		}
+	}
+	if stateTargets == 0 {
+		t.Errorf("observed points to %v, want handler states", set.Sorted())
+	}
+}
+
+func TestSolverScalesOnLargeWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	p := DefaultGenParams()
+	p.NStructs = 16
+	p.NFields = 6
+	p.NObjects = 8
+	p.NDerefs = 600
+	p.CastDensity = 40
+	src := Generate(p)
+	res, err := frontend.Load(src, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() core.Strategy{
+		func() core.Strategy { return core.NewCIS() },
+		func() core.Strategy { return core.NewOffsets(res.Layout) },
+	} {
+		strat := mk()
+		r := core.Analyze(res.IR, strat)
+		if r.TotalFacts() == 0 {
+			t.Errorf("%s: no facts", strat.Name())
+		}
+		t.Logf("%s: %d stmts, %d facts in %v",
+			strat.Name(), res.IR.NumStmts(), r.TotalFacts(), r.Duration)
+	}
+}

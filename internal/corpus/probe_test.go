@@ -1,0 +1,34 @@
+package corpus
+
+// Per-(program, strategy) smoke probe with verbose timing; useful for
+// localizing performance problems: run with
+//
+//	go test -run TestProbeEach -v ./internal/corpus/
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/metrics"
+)
+
+func TestProbeEach(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe is for manual use")
+	}
+	for _, e := range Programs {
+		src := MustSource(e.Name)
+		res, err := frontend.Load(src, frontend.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		for _, sn := range metrics.StrategyNames {
+			t.Run(e.Name+"/"+sn, func(t *testing.T) {
+				strat := metrics.NewStrategy(sn, res.Layout)
+				r := core.Analyze(res.IR, strat)
+				t.Logf("%d facts in %v", r.TotalFacts(), r.Duration)
+			})
+		}
+	}
+}

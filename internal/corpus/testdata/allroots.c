@@ -1,0 +1,170 @@
+/* allroots: find all real roots of polynomials by interval bisection and
+ * Newton refinement. Structures with embedded arrays, pointer parameters,
+ * no casting of structures anywhere (paper group: no struct casts). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <math.h>
+
+#define MAXDEG 16
+#define MAXROOTS 16
+
+struct poly {
+    int deg;
+    double coef[MAXDEG + 1];   /* coef[i] multiplies x^i */
+};
+
+struct rootset {
+    int n;
+    double root[MAXROOTS];
+};
+
+struct interval {
+    double lo, hi;
+};
+
+static struct poly workp;
+static struct rootset found;
+
+double poly_eval(struct poly *p, double x)
+{
+    double v;
+    int i;
+    v = 0.0;
+    for (i = p->deg; i >= 0; i--)
+        v = v * x + p->coef[i];
+    return v;
+}
+
+void poly_derive(struct poly *p, struct poly *dp)
+{
+    int i;
+    dp->deg = p->deg - 1;
+    if (dp->deg < 0)
+        dp->deg = 0;
+    for (i = 1; i <= p->deg; i++)
+        dp->coef[i - 1] = p->coef[i] * (double)i;
+}
+
+void poly_copy(struct poly *dst, struct poly *src)
+{
+    int i;
+    dst->deg = src->deg;
+    for (i = 0; i <= src->deg; i++)
+        dst->coef[i] = src->coef[i];
+}
+
+/* Deflate p by the root r: p := p / (x - r). */
+void poly_deflate(struct poly *p, double r)
+{
+    double carry, t;
+    int i;
+    carry = p->coef[p->deg];
+    for (i = p->deg - 1; i >= 0; i--) {
+        t = p->coef[i];
+        p->coef[i] = carry;
+        carry = t + r * carry;
+    }
+    p->deg--;
+}
+
+double refine_newton(struct poly *p, struct poly *dp, double x0)
+{
+    double x, fx, dfx;
+    int iter;
+    x = x0;
+    for (iter = 0; iter < 40; iter++) {
+        fx = poly_eval(p, x);
+        dfx = poly_eval(dp, x);
+        if (fabs(dfx) < 1e-12)
+            break;
+        x = x - fx / dfx;
+    }
+    return x;
+}
+
+int bisect(struct poly *p, struct interval *iv, double *out)
+{
+    double lo, hi, mid, flo, fmid;
+    int iter;
+    lo = iv->lo;
+    hi = iv->hi;
+    flo = poly_eval(p, lo);
+    if (flo * poly_eval(p, hi) > 0.0)
+        return 0;
+    for (iter = 0; iter < 60; iter++) {
+        mid = (lo + hi) / 2.0;
+        fmid = poly_eval(p, mid);
+        if (flo * fmid <= 0.0)
+            hi = mid;
+        else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    *out = (lo + hi) / 2.0;
+    return 1;
+}
+
+void add_root(struct rootset *rs, double r)
+{
+    if (rs->n < MAXROOTS) {
+        rs->root[rs->n] = r;
+        rs->n++;
+    }
+}
+
+void find_roots(struct poly *p, struct rootset *rs)
+{
+    struct poly dp;
+    struct interval iv;
+    double r;
+    double step;
+    rs->n = 0;
+    poly_copy(&workp, p);
+    while (workp.deg > 0) {
+        poly_derive(&workp, &dp);
+        step = 0.5;
+        iv.lo = -64.0;
+        r = 0.0;
+        while (iv.lo < 64.0) {
+            iv.hi = iv.lo + step;
+            if (bisect(&workp, &iv, &r))
+                break;
+            iv.lo = iv.hi;
+        }
+        if (iv.lo >= 64.0)
+            break;
+        r = refine_newton(&workp, &dp, r);
+        add_root(rs, r);
+        poly_deflate(&workp, r);
+    }
+}
+
+void print_roots(struct rootset *rs)
+{
+    int i;
+    for (i = 0; i < rs->n; i++)
+        printf("root %d = %f\n", i, rs->root[i]);
+}
+
+void build_poly(struct poly *p, int deg)
+{
+    int i;
+    p->deg = deg;
+    for (i = 0; i <= deg; i++)
+        p->coef[i] = (double)((i * 7 + 3) % 11) - 5.0;
+    if (p->coef[deg] == 0.0)
+        p->coef[deg] = 1.0;
+}
+
+int main(void)
+{
+    struct poly p;
+    int deg;
+    for (deg = 2; deg <= 6; deg++) {
+        build_poly(&p, deg);
+        find_roots(&p, &found);
+        print_roots(&found);
+    }
+    return 0;
+}

@@ -1,0 +1,136 @@
+/* anagram: group dictionary words by sorted-letter signature, after the
+ * Austin benchmark of the same name. Dynamic word records, string handling,
+ * qsort with a comparison callback. No struct casting. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define MAXWORDS 512
+#define MAXLEN 32
+
+struct word {
+    char text[MAXLEN];
+    char sig[MAXLEN];
+    struct word *nextsig;   /* chain of words with the same signature */
+};
+
+struct sigclass {
+    char sig[MAXLEN];
+    struct word *members;
+    int count;
+};
+
+static struct word *words[MAXWORDS];
+static int nwords;
+static struct sigclass classes[MAXWORDS];
+static int nclasses;
+
+void letter_sort(char *dst, const char *src)
+{
+    int counts[26];
+    int i, k;
+    char c;
+    for (i = 0; i < 26; i++)
+        counts[i] = 0;
+    for (i = 0; src[i] != '\0'; i++) {
+        c = src[i];
+        if (isalpha(c))
+            counts[tolower(c) - 'a']++;
+    }
+    k = 0;
+    for (i = 0; i < 26; i++) {
+        int n;
+        for (n = 0; n < counts[i]; n++)
+            dst[k++] = (char)('a' + i);
+    }
+    dst[k] = '\0';
+}
+
+struct word *make_word(const char *text)
+{
+    struct word *w;
+    w = (struct word *)malloc(sizeof(struct word));
+    if (w == 0)
+        exit(1);
+    strncpy(w->text, text, MAXLEN - 1);
+    w->text[MAXLEN - 1] = '\0';
+    letter_sort(w->sig, w->text);
+    w->nextsig = 0;
+    return w;
+}
+
+struct sigclass *find_class(const char *sig)
+{
+    int i;
+    for (i = 0; i < nclasses; i++) {
+        if (strcmp(classes[i].sig, sig) == 0)
+            return &classes[i];
+    }
+    strcpy(classes[nclasses].sig, sig);
+    classes[nclasses].members = 0;
+    classes[nclasses].count = 0;
+    nclasses++;
+    return &classes[nclasses - 1];
+}
+
+void add_word(const char *text)
+{
+    struct word *w;
+    struct sigclass *sc;
+    if (nwords >= MAXWORDS)
+        return;
+    w = make_word(text);
+    words[nwords++] = w;
+    sc = find_class(w->sig);
+    w->nextsig = sc->members;
+    sc->members = w;
+    sc->count++;
+}
+
+int cmp_class(const void *a, const void *b)
+{
+    const struct sigclass *ca = (const struct sigclass *)a;
+    const struct sigclass *cb = (const struct sigclass *)b;
+    if (ca->count != cb->count)
+        return cb->count - ca->count;
+    return strcmp(ca->sig, cb->sig);
+}
+
+void report(void)
+{
+    int i;
+    struct word *w;
+    qsort(classes, nclasses, sizeof(struct sigclass), cmp_class);
+    for (i = 0; i < nclasses; i++) {
+        if (classes[i].count < 2)
+            continue;
+        printf("%s:", classes[i].sig);
+        for (w = classes[i].members; w != 0; w = w->nextsig)
+            printf(" %s", w->text);
+        printf("\n");
+    }
+}
+
+static const char *builtin[] = {
+    "listen", "silent", "enlist", "google", "dog", "god",
+    "act", "cat", "tac", "stream", "master", "tamers",
+    "night", "thing", "stop", "tops", "spot", "post",
+};
+
+int main(void)
+{
+    int i;
+    char buf[MAXLEN];
+    for (i = 0; i < (int)(sizeof(builtin) / sizeof(builtin[0])); i++)
+        add_word(builtin[i]);
+    while (fgets(buf, sizeof buf, stdin) != 0) {
+        char *nl = strchr(buf, '\n');
+        if (nl != 0)
+            *nl = '\0';
+        if (buf[0] != '\0')
+            add_word(buf);
+    }
+    report();
+    return 0;
+}

@@ -1,0 +1,220 @@
+/* backprop: a two-layer neural network trainer after the Austin benchmark.
+ * Layers are malloc'd matrices reached through double**; the network record
+ * is checkpointed by flattening it through a char* byte view and restored
+ * by the inverse cast (struct casting group). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <math.h>
+
+struct layer {
+    int nin, nout;
+    double **w;              /* nout rows of nin+1 weights (bias last) */
+    double *out;
+    double *delta;
+};
+
+struct net {
+    struct layer hidden;
+    struct layer output;
+    double rate;
+};
+
+static unsigned int seed = 4242;
+
+double frand(void)
+{
+    seed = seed * 1103515245u + 12345u;
+    return (double)((seed >> 16) & 0x7fff) / 32768.0 - 0.5;
+}
+
+double *vec_alloc(int n)
+{
+    double *v = (double *)malloc(n * sizeof(double));
+    if (v == 0)
+        exit(1);
+    return v;
+}
+
+double **mat_alloc(int rows, int cols)
+{
+    double **m;
+    int i;
+    m = (double **)malloc(rows * sizeof(double *));
+    if (m == 0)
+        exit(1);
+    for (i = 0; i < rows; i++)
+        m[i] = vec_alloc(cols);
+    return m;
+}
+
+void layer_init(struct layer *l, int nin, int nout)
+{
+    int i, j;
+    l->nin = nin;
+    l->nout = nout;
+    l->w = mat_alloc(nout, nin + 1);
+    l->out = vec_alloc(nout);
+    l->delta = vec_alloc(nout);
+    for (i = 0; i < nout; i++) {
+        for (j = 0; j <= nin; j++)
+            l->w[i][j] = frand();
+    }
+}
+
+double squash(double x)
+{
+    return 1.0 / (1.0 + exp(-x));
+}
+
+void layer_forward(struct layer *l, double *in)
+{
+    int i, j;
+    double sum;
+    for (i = 0; i < l->nout; i++) {
+        sum = l->w[i][l->nin]; /* bias */
+        for (j = 0; j < l->nin; j++)
+            sum += l->w[i][j] * in[j];
+        l->out[i] = squash(sum);
+    }
+}
+
+void net_forward(struct net *n, double *in)
+{
+    layer_forward(&n->hidden, in);
+    layer_forward(&n->output, n->hidden.out);
+}
+
+void net_backward(struct net *n, double *in, double *target)
+{
+    int i, j;
+    struct layer *o = &n->output;
+    struct layer *h = &n->hidden;
+
+    for (i = 0; i < o->nout; i++) {
+        double y = o->out[i];
+        o->delta[i] = y * (1.0 - y) * (target[i] - y);
+    }
+    for (i = 0; i < h->nout; i++) {
+        double sum = 0.0;
+        for (j = 0; j < o->nout; j++)
+            sum += o->delta[j] * o->w[j][i];
+        h->delta[i] = h->out[i] * (1.0 - h->out[i]) * sum;
+    }
+    for (i = 0; i < o->nout; i++) {
+        for (j = 0; j < o->nin; j++)
+            o->w[i][j] += n->rate * o->delta[i] * h->out[j];
+        o->w[i][o->nin] += n->rate * o->delta[i];
+    }
+    for (i = 0; i < h->nout; i++) {
+        for (j = 0; j < h->nin; j++)
+            h->w[i][j] += n->rate * h->delta[i] * in[j];
+        h->w[i][h->nin] += n->rate * h->delta[i];
+    }
+}
+
+/* checkpoint: flatten weights through a byte view into a save buffer,
+ * restore with the inverse casts */
+struct checkpoint {
+    char bytes[4096];
+    int used;
+};
+
+static struct checkpoint ckpt;
+
+void save_weights(struct net *n)
+{
+    char *p = ckpt.bytes;
+    struct layer *ls[2];
+    int k, i;
+    ls[0] = &n->hidden;
+    ls[1] = &n->output;
+    for (k = 0; k < 2; k++) {
+        struct layer *l = ls[k];
+        for (i = 0; i < l->nout; i++) {
+            int bytes = (l->nin + 1) * (int)sizeof(double);
+            memcpy(p, (char *)l->w[i], bytes);
+            p += bytes;
+        }
+    }
+    ckpt.used = (int)(p - ckpt.bytes);
+}
+
+void restore_weights(struct net *n)
+{
+    char *p = ckpt.bytes;
+    struct layer *ls[2];
+    int k, i;
+    ls[0] = &n->hidden;
+    ls[1] = &n->output;
+    for (k = 0; k < 2; k++) {
+        struct layer *l = ls[k];
+        for (i = 0; i < l->nout; i++) {
+            int bytes = (l->nin + 1) * (int)sizeof(double);
+            double *row = (double *)p;
+            memcpy((char *)l->w[i], (char *)row, bytes);
+            p += bytes;
+        }
+    }
+}
+
+/* checkpoint integrity: fold the byte image as machine words, reading the
+ * char buffer through a long* view */
+long ckpt_checksum(void)
+{
+    long sum = 0;
+    long *words = (long *)ckpt.bytes;
+    int i, nwords;
+    nwords = ckpt.used / (int)sizeof(long);
+    for (i = 0; i < nwords; i++)
+        sum ^= words[i];
+    return sum;
+}
+
+/* XOR training set */
+static double xin[4][2] = { {0, 0}, {0, 1}, {1, 0}, {1, 1} };
+static double xout[4][1] = { {0}, {1}, {1}, {0} };
+
+double total_error(struct net *n)
+{
+    int s;
+    double err = 0.0, d;
+    for (s = 0; s < 4; s++) {
+        net_forward(n, xin[s]);
+        d = n->output.out[0] - xout[s][0];
+        err += d * d;
+    }
+    return err;
+}
+
+int main(void)
+{
+    struct net net;
+    int epoch, s;
+    double err, best;
+
+    layer_init(&net.hidden, 2, 4);
+    layer_init(&net.output, 4, 1);
+    net.rate = 0.8;
+
+    best = 1e9;
+    for (epoch = 0; epoch < 2000; epoch++) {
+        for (s = 0; s < 4; s++) {
+            net_forward(&net, xin[s]);
+            net_backward(&net, xin[s], xout[s]);
+        }
+        err = total_error(&net);
+        if (err < best) {
+            best = err;
+            save_weights(&net);
+        }
+    }
+    restore_weights(&net);
+    printf("best error %.4f (checkpoint %d bytes, checksum %ld)\n",
+           best, ckpt.used, ckpt_checksum());
+    for (s = 0; s < 4; s++) {
+        net_forward(&net, xin[s]);
+        printf("%g %g -> %.3f\n", xin[s][0], xin[s][1], net.output.out[0]);
+    }
+    return 0;
+}

@@ -1,0 +1,410 @@
+/* bc: an arbitrary-precision integer calculator after the Unix utility.
+ * Numbers are variable-length records allocated as raw bytes and cast to
+ * the bignum view; the digit area is addressed past the header, so header
+ * and payload views alias (struct casting group — the paper's worst case
+ * for Collapse Always). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+struct bignum {
+    int len;                 /* number of digits used */
+    int cap;
+    int neg;
+    char *digits;            /* least significant first, points into self */
+};
+
+/* Raw allocation: header and digits in one block, linked free list of
+ * recycled blocks threaded through the same bytes. */
+struct freeblk {
+    int cap;
+    struct freeblk *next;
+};
+
+static struct freeblk *freelist;
+
+struct bignum *num_alloc(int cap)
+{
+    char *raw;
+    struct bignum *n;
+    struct freeblk **fp;
+    /* first-fit from the free list */
+    for (fp = &freelist; *fp != 0; fp = &(*fp)->next) {
+        if ((*fp)->cap >= cap) {
+            struct freeblk *b = *fp;
+            *fp = b->next;
+            n = (struct bignum *)b;
+            n->len = 0;
+            n->neg = 0;
+            n->digits = (char *)n + sizeof(struct bignum);
+            return n;
+        }
+    }
+    raw = (char *)malloc(sizeof(struct bignum) + cap);
+    if (raw == 0)
+        exit(1);
+    n = (struct bignum *)raw;
+    n->len = 0;
+    n->cap = cap;
+    n->neg = 0;
+    n->digits = raw + sizeof(struct bignum);
+    return n;
+}
+
+void num_free(struct bignum *n)
+{
+    struct freeblk *b = (struct freeblk *)n;
+    int cap = n->cap;
+    b->cap = cap;
+    b->next = freelist;
+    freelist = b;
+}
+
+struct bignum *num_from_string(const char *s)
+{
+    int len, i;
+    struct bignum *n;
+    int neg = 0;
+    if (*s == '-') {
+        neg = 1;
+        s++;
+    }
+    len = (int)strlen(s);
+    n = num_alloc(len + 1);
+    n->neg = neg;
+    n->len = len;
+    for (i = 0; i < len; i++)
+        n->digits[i] = (char)(s[len - 1 - i] - '0');
+    while (n->len > 1 && n->digits[n->len - 1] == 0)
+        n->len--;
+    return n;
+}
+
+void num_print(struct bignum *n, FILE *out)
+{
+    int i;
+    if (n->neg && !(n->len == 1 && n->digits[0] == 0))
+        fputc('-', out);
+    for (i = n->len - 1; i >= 0; i--)
+        fputc('0' + n->digits[i], out);
+}
+
+int num_cmp_abs(struct bignum *a, struct bignum *b)
+{
+    int i;
+    if (a->len != b->len)
+        return a->len - b->len;
+    for (i = a->len - 1; i >= 0; i--) {
+        if (a->digits[i] != b->digits[i])
+            return a->digits[i] - b->digits[i];
+    }
+    return 0;
+}
+
+struct bignum *num_add_abs(struct bignum *a, struct bignum *b)
+{
+    int i, carry, da, db, max;
+    struct bignum *r;
+    max = a->len > b->len ? a->len : b->len;
+    r = num_alloc(max + 2);
+    carry = 0;
+    for (i = 0; i < max || carry; i++) {
+        da = i < a->len ? a->digits[i] : 0;
+        db = i < b->len ? b->digits[i] : 0;
+        r->digits[i] = (char)((da + db + carry) % 10);
+        carry = (da + db + carry) / 10;
+    }
+    r->len = i > 0 ? i : 1;
+    return r;
+}
+
+struct bignum *num_sub_abs(struct bignum *a, struct bignum *b)
+{
+    int i, borrow, da, db;
+    struct bignum *r;
+    r = num_alloc(a->len + 1);
+    borrow = 0;
+    for (i = 0; i < a->len; i++) {
+        da = a->digits[i] - borrow;
+        db = i < b->len ? b->digits[i] : 0;
+        if (da < db) {
+            da += 10;
+            borrow = 1;
+        } else
+            borrow = 0;
+        r->digits[i] = (char)(da - db);
+    }
+    r->len = a->len;
+    while (r->len > 1 && r->digits[r->len - 1] == 0)
+        r->len--;
+    return r;
+}
+
+struct bignum *num_add(struct bignum *a, struct bignum *b)
+{
+    struct bignum *r;
+    if (a->neg == b->neg) {
+        r = num_add_abs(a, b);
+        r->neg = a->neg;
+        return r;
+    }
+    if (num_cmp_abs(a, b) >= 0) {
+        r = num_sub_abs(a, b);
+        r->neg = a->neg;
+    } else {
+        r = num_sub_abs(b, a);
+        r->neg = b->neg;
+    }
+    return r;
+}
+
+struct bignum *num_mul(struct bignum *a, struct bignum *b)
+{
+    int i, j, carry, t;
+    struct bignum *r;
+    r = num_alloc(a->len + b->len + 1);
+    for (i = 0; i < a->len + b->len + 1; i++)
+        r->digits[i] = 0;
+    for (i = 0; i < a->len; i++) {
+        carry = 0;
+        for (j = 0; j < b->len; j++) {
+            t = r->digits[i + j] + a->digits[i] * b->digits[j] + carry;
+            r->digits[i + j] = (char)(t % 10);
+            carry = t / 10;
+        }
+        r->digits[i + b->len] = (char)(r->digits[i + b->len] + carry);
+    }
+    r->len = a->len + b->len;
+    while (r->len > 1 && r->digits[r->len - 1] == 0)
+        r->len--;
+    r->neg = a->neg != b->neg;
+    return r;
+}
+
+/* long division: repeated subtraction of shifted divisors, as the real
+ * bc does digit by digit */
+struct bignum *num_divmod(struct bignum *a, struct bignum *b, struct bignum **rem)
+{
+    struct bignum *q, *r, *shifted, *t;
+    int shift, digit, i;
+
+    q = num_alloc(a->len + 1);
+    for (i = 0; i < a->len + 1; i++)
+        q->digits[i] = 0;
+    q->len = a->len > 0 ? a->len : 1;
+
+    r = num_alloc(a->len + 2);
+    r->len = 1;
+    r->digits[0] = 0;
+
+    if (b->len == 1 && b->digits[0] == 0) {
+        if (rem != 0)
+            *rem = r;
+        return q; /* division by zero yields zero, like an error flag */
+    }
+
+    for (shift = a->len - 1; shift >= 0; shift--) {
+        /* r = r * 10 + a->digits[shift] */
+        for (i = r->len; i > 0; i--)
+            r->digits[i] = r->digits[i - 1];
+        r->digits[0] = a->digits[shift];
+        r->len++;
+        while (r->len > 1 && r->digits[r->len - 1] == 0)
+            r->len--;
+
+        digit = 0;
+        for (;;) {
+            if (num_cmp_abs(r, b) < 0)
+                break;
+            t = num_sub_abs(r, b);
+            num_free(r);
+            r = t;
+            digit++;
+        }
+        q->digits[shift] = (char)digit;
+    }
+    while (q->len > 1 && q->digits[q->len - 1] == 0)
+        q->len--;
+    q->neg = a->neg != b->neg;
+    if (rem != 0)
+        *rem = r;
+    else
+        num_free(r);
+    shifted = 0;
+    (void)shifted;
+    return q;
+}
+
+/* single-letter registers, as in bc */
+static struct bignum *registers[26];
+
+void reg_store(int name, struct bignum *v)
+{
+    int i = name - 'a';
+    if (i < 0 || i >= 26)
+        return;
+    if (registers[i] != 0)
+        num_free(registers[i]);
+    registers[i] = v;
+}
+
+struct bignum *reg_load(int name)
+{
+    int i = name - 'a';
+    if (i < 0 || i >= 26 || registers[i] == 0)
+        return num_from_string("0");
+    /* return a copy so the register survives num_free by the caller */
+    {
+        struct bignum *c = num_alloc(registers[i]->len + 1);
+        int k;
+        c->len = registers[i]->len;
+        c->neg = registers[i]->neg;
+        for (k = 0; k < c->len; k++)
+            c->digits[k] = registers[i]->digits[k];
+        return c;
+    }
+}
+
+/* --- expression evaluator over a value stack --- */
+
+#define MAXSTK 32
+
+struct evalstate {
+    struct bignum *stk[MAXSTK];
+    int sp;
+    const char *src;
+    int pos;
+};
+
+static struct evalstate ev;
+
+void push_num(struct evalstate *e, struct bignum *n)
+{
+    if (e->sp < MAXSTK)
+        e->stk[e->sp++] = n;
+}
+
+struct bignum *pop_num(struct evalstate *e)
+{
+    if (e->sp == 0)
+        return num_from_string("0");
+    return e->stk[--e->sp];
+}
+
+int peekc(struct evalstate *e)
+{
+    while (e->src[e->pos] == ' ')
+        e->pos++;
+    return e->src[e->pos];
+}
+
+void expr(struct evalstate *e);
+
+void primary(struct evalstate *e)
+{
+    char buf[64];
+    int i = 0;
+    if (peekc(e) == '(') {
+        e->pos++;
+        expr(e);
+        if (peekc(e) == ')')
+            e->pos++;
+        return;
+    }
+    if (peekc(e) >= 'a' && peekc(e) <= 'z') {
+        int name = e->src[e->pos++];
+        push_num(e, reg_load(name));
+        return;
+    }
+    while (isdigit(e->src[e->pos]) && i < 63)
+        buf[i++] = e->src[e->pos++];
+    buf[i] = '\0';
+    push_num(e, num_from_string(i > 0 ? buf : "0"));
+}
+
+void term(struct evalstate *e)
+{
+    primary(e);
+    for (;;) {
+        int c = peekc(e);
+        struct bignum *a, *b, *r;
+        if (c != '*' && c != '/' && c != '%')
+            break;
+        e->pos++;
+        primary(e);
+        b = pop_num(e);
+        a = pop_num(e);
+        if (c == '*')
+            r = num_mul(a, b);
+        else if (c == '/')
+            r = num_divmod(a, b, 0);
+        else {
+            struct bignum *rem = 0;
+            struct bignum *q = num_divmod(a, b, &rem);
+            num_free(q);
+            r = rem;
+        }
+        num_free(a);
+        num_free(b);
+        push_num(e, r);
+    }
+}
+
+void expr(struct evalstate *e)
+{
+    term(e);
+    for (;;) {
+        int c = peekc(e);
+        struct bignum *a, *b, *r;
+        if (c != '+' && c != '-')
+            break;
+        e->pos++;
+        term(e);
+        b = pop_num(e);
+        a = pop_num(e);
+        if (c == '-')
+            b->neg = !b->neg;
+        r = num_add(a, b);
+        num_free(a);
+        num_free(b);
+        push_num(e, r);
+    }
+}
+
+void calc(const char *line)
+{
+    struct bignum *r;
+    ev.src = line;
+    ev.pos = 0;
+    ev.sp = 0;
+    /* "x = expr" stores into a register */
+    if (line[0] >= 'a' && line[0] <= 'z' && line[1] == ' ' && line[2] == '=') {
+        ev.pos = 3;
+        expr(&ev);
+        r = pop_num(&ev);
+        num_print(r, stdout);
+        printf("\n");
+        reg_store(line[0], r);
+        return;
+    }
+    expr(&ev);
+    r = pop_num(&ev);
+    num_print(r, stdout);
+    printf("\n");
+    num_free(r);
+}
+
+int main(void)
+{
+    calc("12345678901234567890 + 98765432109876543210");
+    calc("99999 * 99999");
+    calc("(123 + 456) * 789");
+    calc("1000000000000 - 1");
+    calc("x = 1000 / 7");
+    calc("y = 1000 % 7");
+    calc("x * 7 + y");
+    calc("z = x + y");
+    calc("z / (1 + 1)");
+    return 0;
+}

@@ -1,0 +1,316 @@
+/* compiler: an expression compiler/evaluator whose AST uses the classic
+ * C "inheritance" idiom — every node type begins with the same header and
+ * code casts between the base and variant views (struct casting group,
+ * common-initial-sequence friendly). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define N_NUM 1
+#define N_VAR 2
+#define N_BIN 3
+#define N_ASSIGN 4
+
+/* The base "class": kind, source position, and the parent link. Every
+ * variant repeats this header, so the three members form a common initial
+ * sequence that generic code exploits through base-pointer casts. */
+struct node {
+    int kind;
+    int pos;
+    struct node *parent;
+};
+
+struct numnode {
+    int kind;
+    int pos;
+    struct node *parent;
+    long value;
+};
+
+struct varnode {
+    int kind;
+    int pos;
+    struct node *parent;
+    char name[16];
+    struct vardef *def;
+};
+
+struct binnode {
+    int kind;
+    int pos;
+    struct node *parent;
+    int op;                  /* '+', '-', '*', '/' */
+    struct node *lhs, *rhs;
+};
+
+struct assignnode {
+    int kind;
+    int pos;
+    struct node *parent;
+    struct varnode *target;
+    struct node *value;
+};
+
+struct vardef {
+    char name[16];
+    long value;
+    struct vardef *next;
+};
+
+static struct vardef *globals;
+static const char *input;
+static int inpos;
+
+struct node *parse_expr(void);
+
+struct vardef *lookup_var(const char *name)
+{
+    struct vardef *v;
+    for (v = globals; v != 0; v = v->next) {
+        if (strcmp(v->name, name) == 0)
+            return v;
+    }
+    v = (struct vardef *)malloc(sizeof(struct vardef));
+    if (v == 0)
+        exit(1);
+    strncpy(v->name, name, sizeof(v->name) - 1);
+    v->name[sizeof(v->name) - 1] = '\0';
+    v->value = 0;
+    v->next = globals;
+    globals = v;
+    return v;
+}
+
+int peekch(void)
+{
+    while (input[inpos] == ' ')
+        inpos++;
+    return input[inpos];
+}
+
+int getch(void)
+{
+    int c = peekch();
+    if (c != '\0')
+        inpos++;
+    return c;
+}
+
+struct node *mk_num(long v)
+{
+    struct numnode *n = (struct numnode *)malloc(sizeof(struct numnode));
+    if (n == 0)
+        exit(1);
+    n->kind = N_NUM;
+    n->pos = inpos;
+    n->parent = 0;
+    n->value = v;
+    return (struct node *)n;
+}
+
+struct node *mk_var(const char *name)
+{
+    struct varnode *n = (struct varnode *)malloc(sizeof(struct varnode));
+    if (n == 0)
+        exit(1);
+    n->kind = N_VAR;
+    n->pos = inpos;
+    n->parent = 0;
+    strncpy(n->name, name, sizeof(n->name) - 1);
+    n->name[sizeof(n->name) - 1] = '\0';
+    n->def = lookup_var(name);
+    return (struct node *)n;
+}
+
+struct node *mk_bin(int op, struct node *l, struct node *r)
+{
+    struct binnode *n = (struct binnode *)malloc(sizeof(struct binnode));
+    if (n == 0)
+        exit(1);
+    n->kind = N_BIN;
+    n->pos = inpos;
+    n->parent = 0;
+    n->op = op;
+    n->lhs = l;
+    n->rhs = r;
+    l->parent = (struct node *)n;
+    r->parent = (struct node *)n;
+    return (struct node *)n;
+}
+
+struct node *parse_primary(void)
+{
+    int c = peekch();
+    if (isdigit(c)) {
+        long v = 0;
+        while (isdigit(peekch()))
+            v = v * 10 + (getch() - '0');
+        return mk_num(v);
+    }
+    if (isalpha(c)) {
+        char name[16];
+        int i = 0;
+        while (isalnum(peekch()) && i < 15)
+            name[i++] = (char)getch();
+        name[i] = '\0';
+        return mk_var(name);
+    }
+    if (c == '(') {
+        struct node *e;
+        getch();
+        e = parse_expr();
+        if (peekch() == ')')
+            getch();
+        return e;
+    }
+    getch();
+    return mk_num(0);
+}
+
+struct node *parse_term(void)
+{
+    struct node *l = parse_primary();
+    while (peekch() == '*' || peekch() == '/') {
+        int op = getch();
+        l = mk_bin(op, l, parse_primary());
+    }
+    return l;
+}
+
+struct node *parse_sum(void)
+{
+    struct node *l = parse_term();
+    while (peekch() == '+' || peekch() == '-') {
+        int op = getch();
+        l = mk_bin(op, l, parse_term());
+    }
+    return l;
+}
+
+struct node *parse_expr(void)
+{
+    struct node *l = parse_sum();
+    if (peekch() == '=') {
+        /* only a variable can be assigned */
+        if (l->kind == N_VAR) {
+            struct assignnode *a;
+            getch();
+            a = (struct assignnode *)malloc(sizeof(struct assignnode));
+            if (a == 0)
+                exit(1);
+            a->kind = N_ASSIGN;
+            a->pos = l->pos;
+            a->parent = 0;
+            a->target = (struct varnode *)l;
+            a->value = parse_expr();
+            l->parent = (struct node *)a;
+            a->value->parent = (struct node *)a;
+            return (struct node *)a;
+        }
+    }
+    return l;
+}
+
+/* Generic header utilities: any variant pointer can be inspected through
+ * the base view; the parent chain lives in the common initial sequence. */
+int node_depth(void *t)
+{
+    struct node *n = (struct node *)t;
+    int d = 0;
+    while (n->parent != 0) {
+        n = n->parent;
+        d++;
+    }
+    return d;
+}
+
+struct node *node_root(void *t)
+{
+    struct node *n = (struct node *)t;
+    while (n->parent != 0)
+        n = n->parent;
+    return n;
+}
+
+long eval_node(struct node *n)
+{
+    switch (n->kind) {
+    case N_NUM:
+        return ((struct numnode *)n)->value;
+    case N_VAR:
+        return ((struct varnode *)n)->def->value;
+    case N_BIN: {
+        struct binnode *b = (struct binnode *)n;
+        long l = eval_node(b->lhs);
+        long r = eval_node(b->rhs);
+        switch (b->op) {
+        case '+':
+            return l + r;
+        case '-':
+            return l - r;
+        case '*':
+            return l * r;
+        case '/':
+            return r == 0 ? 0 : l / r;
+        }
+        return 0;
+    }
+    case N_ASSIGN: {
+        struct assignnode *a = (struct assignnode *)n;
+        long v = eval_node(a->value);
+        a->target->def->value = v;
+        return v;
+    }
+    }
+    return 0;
+}
+
+/* A tiny "code generator": walk the tree emitting a stack machine. */
+void gen_node(struct node *n, FILE *out)
+{
+    switch (n->kind) {
+    case N_NUM:
+        fprintf(out, "\tpush %ld\n", ((struct numnode *)n)->value);
+        break;
+    case N_VAR: {
+        struct varnode *v = (struct varnode *)n;
+        fprintf(out, "\tload %s  ; depth %d root-kind %d\n",
+                v->name, node_depth(v), node_root(v)->kind);
+        break;
+    }
+    case N_BIN: {
+        struct binnode *b = (struct binnode *)n;
+        gen_node(b->lhs, out);
+        gen_node(b->rhs, out);
+        fprintf(out, "\top %c\n", b->op);
+        break;
+    }
+    case N_ASSIGN: {
+        struct assignnode *a = (struct assignnode *)n;
+        gen_node(a->value, out);
+        fprintf(out, "\tstore %s\n", a->target->name);
+        break;
+    }
+    }
+}
+
+void run(const char *src)
+{
+    struct node *tree;
+    input = src;
+    inpos = 0;
+    tree = parse_expr();
+    printf("; %s\n", src);
+    gen_node(tree, stdout);
+    printf("= %ld\n", eval_node(tree));
+}
+
+int main(void)
+{
+    run("x = 2 + 3 * 4");
+    run("y = x * x");
+    run("y - x");
+    run("(1 + 2) * (3 + 4)");
+    return 0;
+}

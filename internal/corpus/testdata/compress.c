@@ -1,0 +1,260 @@
+/* compress: LZW compression over stdin, after the classic utility.
+ * Hash-chained code table stored in parallel arrays inside a struct,
+ * bit-packed output. Arrays and integer tricks, but no struct casting. */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define TABSIZE 5003
+#define MAXBITS 12
+#define MAXCODE ((1 << MAXBITS) - 1)
+#define FIRSTCODE 257
+#define CLEARCODE 256
+
+struct codetable {
+    long hashkey[TABSIZE];   /* (prefix << 8) | byte, or -1 */
+    int code[TABSIZE];
+    int nextcode;
+};
+
+struct bitwriter {
+    FILE *out;
+    unsigned long acc;
+    int nbits;
+    long written;
+};
+
+static struct codetable table;
+static struct bitwriter bw;
+
+void table_clear(struct codetable *t)
+{
+    int i;
+    for (i = 0; i < TABSIZE; i++)
+        t->hashkey[i] = -1;
+    t->nextcode = FIRSTCODE;
+}
+
+int table_find(struct codetable *t, int prefix, int byte, int *slot)
+{
+    long key;
+    int h, step;
+    key = ((long)prefix << 8) | (long)byte;
+    h = (int)((key * 2654435761uL) % TABSIZE);
+    if (h < 0)
+        h = -h;
+    step = 1 + (int)(key % (TABSIZE - 2));
+    for (;;) {
+        if (t->hashkey[h] == -1) {
+            *slot = h;
+            return -1;
+        }
+        if (t->hashkey[h] == key)
+            return t->code[h];
+        h -= step;
+        if (h < 0)
+            h += TABSIZE;
+    }
+}
+
+void table_add(struct codetable *t, int slot, int prefix, int byte)
+{
+    if (t->nextcode > MAXCODE)
+        return;
+    t->hashkey[slot] = ((long)prefix << 8) | (long)byte;
+    t->code[slot] = t->nextcode;
+    t->nextcode++;
+}
+
+void bw_init(struct bitwriter *w, FILE *out)
+{
+    w->out = out;
+    w->acc = 0;
+    w->nbits = 0;
+    w->written = 0;
+}
+
+void bw_put(struct bitwriter *w, int code, int width)
+{
+    w->acc |= (unsigned long)code << w->nbits;
+    w->nbits += width;
+    while (w->nbits >= 8) {
+        fputc((int)(w->acc & 0xff), w->out);
+        w->acc >>= 8;
+        w->nbits -= 8;
+        w->written++;
+    }
+}
+
+void bw_flush(struct bitwriter *w)
+{
+    if (w->nbits > 0) {
+        fputc((int)(w->acc & 0xff), w->out);
+        w->written++;
+    }
+    w->acc = 0;
+    w->nbits = 0;
+}
+
+int codewidth(int nextcode)
+{
+    int w;
+    w = 9;
+    while ((1 << w) < nextcode && w < MAXBITS)
+        w++;
+    return w;
+}
+
+long compress_stream(FILE *in, FILE *out)
+{
+    int c, prefix, code, slot;
+    long inbytes;
+    table_clear(&table);
+    bw_init(&bw, out);
+    inbytes = 0;
+    prefix = fgetc(in);
+    if (prefix == EOF)
+        return 0;
+    inbytes++;
+    while ((c = fgetc(in)) != EOF) {
+        inbytes++;
+        code = table_find(&table, prefix, c, &slot);
+        if (code >= 0) {
+            prefix = code;
+            continue;
+        }
+        bw_put(&bw, prefix, codewidth(table.nextcode));
+        table_add(&table, slot, prefix, c);
+        prefix = c;
+        if (table.nextcode > MAXCODE) {
+            bw_put(&bw, CLEARCODE, MAXBITS);
+            table_clear(&table);
+        }
+    }
+    bw_put(&bw, prefix, codewidth(table.nextcode));
+    bw_flush(&bw);
+    return inbytes;
+}
+
+/* --- decompressor: rebuild the string table from the code stream --- */
+
+struct bitreader {
+    const unsigned char *data;
+    long len;
+    long pos;
+    unsigned long acc;
+    int nbits;
+};
+
+void br_init(struct bitreader *r, const unsigned char *data, long len)
+{
+    r->data = data;
+    r->len = len;
+    r->pos = 0;
+    r->acc = 0;
+    r->nbits = 0;
+}
+
+int br_get(struct bitreader *r, int width)
+{
+    int code;
+    while (r->nbits < width) {
+        if (r->pos >= r->len)
+            return -1;
+        r->acc |= (unsigned long)r->data[r->pos++] << r->nbits;
+        r->nbits += 8;
+    }
+    code = (int)(r->acc & ((1uL << width) - 1));
+    r->acc >>= width;
+    r->nbits -= width;
+    return code;
+}
+
+struct dicttable {
+    int prefix[1 << MAXBITS];
+    unsigned char last[1 << MAXBITS];
+    int next;
+};
+
+static struct dicttable dict;
+
+void dict_clear(struct dicttable *d)
+{
+    int i;
+    for (i = 0; i < 256; i++) {
+        d->prefix[i] = -1;
+        d->last[i] = (unsigned char)i;
+    }
+    d->next = FIRSTCODE;
+}
+
+/* expand one code into buf (reversed), returning its length */
+int dict_expand(struct dicttable *d, int code, unsigned char *buf, int cap)
+{
+    int n = 0;
+    while (code >= 0 && n < cap) {
+        buf[n++] = d->last[code];
+        code = d->prefix[code];
+    }
+    return n;
+}
+
+long decompress_buffer(const unsigned char *in, long inlen, FILE *out)
+{
+    struct bitreader br;
+    unsigned char expand[1 << MAXBITS];
+    int code, prev, i, n;
+    long written = 0;
+
+    br_init(&br, in, inlen);
+    dict_clear(&dict);
+    prev = br_get(&br, codewidth(dict.next));
+    if (prev < 0)
+        return 0;
+    n = dict_expand(&dict, prev, expand, sizeof expand);
+    for (i = n - 1; i >= 0; i--) {
+        fputc(expand[i], out);
+        written++;
+    }
+    for (;;) {
+        code = br_get(&br, codewidth(dict.next + 1));
+        if (code < 0)
+            break;
+        if (code == CLEARCODE) {
+            dict_clear(&dict);
+            prev = br_get(&br, codewidth(dict.next));
+            continue;
+        }
+        if (code < dict.next) {
+            n = dict_expand(&dict, code, expand, sizeof expand);
+        } else {
+            /* the KwKwK case: code == next */
+            n = dict_expand(&dict, prev, expand, sizeof expand);
+            if (n < (int)sizeof expand) {
+                int j;
+                for (j = n; j > 0; j--)
+                    expand[j] = expand[j - 1];
+                expand[0] = expand[n];
+                n++;
+            }
+        }
+        for (i = n - 1; i >= 0; i--) {
+            fputc(expand[i], out);
+            written++;
+        }
+        if (dict.next <= MAXCODE) {
+            dict.prefix[dict.next] = prev;
+            dict.last[dict.next] = expand[n - 1];
+            dict.next++;
+        }
+        prev = code;
+    }
+    return written;
+}
+
+int main(void)
+{
+    long in;
+    in = compress_stream(stdin, stdout);
+    fprintf(stderr, "read %ld bytes, wrote %ld bytes\n", in, bw.written);
+    return 0;
+}

@@ -1,0 +1,164 @@
+/* diffh: a line-oriented diff after diffh from the Landi suite. Lines are
+ * hashed into a generic table whose entries carry their payload as void*
+ * and are recovered by casts; candidate matches form linked chains
+ * (struct casting group). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MAXLINES 128
+#define HASHSIZE 64
+
+/* generic hash table, payloads are void* */
+struct hentry {
+    unsigned long key;
+    void *payload;
+    struct hentry *next;
+};
+
+static struct hentry *htab[HASHSIZE];
+
+void hash_insert(unsigned long key, void *payload)
+{
+    struct hentry *e = (struct hentry *)malloc(sizeof(struct hentry));
+    int slot = (int)(key % HASHSIZE);
+    if (e == 0)
+        exit(1);
+    e->key = key;
+    e->payload = payload;
+    e->next = htab[slot];
+    htab[slot] = e;
+}
+
+void *hash_find(unsigned long key)
+{
+    struct hentry *e;
+    for (e = htab[(int)(key % HASHSIZE)]; e != 0; e = e->next) {
+        if (e->key == key)
+            return e->payload;
+    }
+    return 0;
+}
+
+/* line records */
+struct line {
+    int number;              /* in its file */
+    unsigned long hash;
+    char text[80];
+    struct line *samehash;   /* chain of equal-hash lines in file A */
+    int matched;             /* matched line number in the other file */
+};
+
+struct file {
+    struct line lines[MAXLINES];
+    int nlines;
+};
+
+static struct file fileA, fileB;
+
+unsigned long hash_text(const char *s)
+{
+    unsigned long h = 5381;
+    while (*s != '\0')
+        h = h * 33 + (unsigned long)(unsigned char)*s++;
+    return h;
+}
+
+void add_line(struct file *f, const char *text)
+{
+    struct line *l;
+    if (f->nlines >= MAXLINES)
+        return;
+    l = &f->lines[f->nlines];
+    l->number = f->nlines;
+    strncpy(l->text, text, sizeof(l->text) - 1);
+    l->text[sizeof(l->text) - 1] = '\0';
+    l->hash = hash_text(l->text);
+    l->samehash = 0;
+    l->matched = -1;
+    f->nlines++;
+}
+
+/* index file A by hash; chains handle collisions of equal lines */
+void index_file(struct file *f)
+{
+    int i;
+    for (i = 0; i < f->nlines; i++) {
+        struct line *l = &f->lines[i];
+        struct line *prev = (struct line *)hash_find(l->hash);
+        if (prev != 0)
+            l->samehash = prev;
+        hash_insert(l->hash, l);
+    }
+}
+
+/* match lines of B against the index of A */
+void match_file(struct file *a, struct file *b)
+{
+    int i;
+    for (i = 0; i < b->nlines; i++) {
+        struct line *lb = &b->lines[i];
+        struct line *la = (struct line *)hash_find(lb->hash);
+        while (la != 0) {
+            if (la->matched < 0 && strcmp(la->text, lb->text) == 0) {
+                la->matched = lb->number;
+                lb->matched = la->number;
+                break;
+            }
+            la = la->samehash;
+        }
+    }
+    (void)a;
+}
+
+/* longest increasing run of matches forms the common part */
+void report(struct file *a, struct file *b)
+{
+    int i, lastb;
+    lastb = -1;
+    for (i = 0; i < a->nlines; i++) {
+        struct line *la = &a->lines[i];
+        if (la->matched > lastb) {
+            lastb = la->matched;
+        } else if (la->matched < 0) {
+            printf("< %s\n", la->text);
+        } else {
+            la->matched = -1;  /* out of order: treat as deleted */
+            printf("< %s\n", la->text);
+        }
+    }
+    for (i = 0; i < b->nlines; i++) {
+        struct line *lb = &b->lines[i];
+        if (lb->matched < 0 || a->lines[lb->matched].matched != lb->number)
+            printf("> %s\n", lb->text);
+    }
+}
+
+static const char *docA[] = {
+    "the quick brown fox",
+    "jumps over",
+    "the lazy dog",
+    "and runs away",
+    "into the woods",
+};
+
+static const char *docB[] = {
+    "the quick brown fox",
+    "leaps over",
+    "the lazy dog",
+    "into the woods",
+    "never to return",
+};
+
+int main(void)
+{
+    int i;
+    for (i = 0; i < (int)(sizeof(docA) / sizeof(docA[0])); i++)
+        add_line(&fileA, docA[i]);
+    for (i = 0; i < (int)(sizeof(docB) / sizeof(docB[0])); i++)
+        add_line(&fileB, docB[i]);
+    index_file(&fileA);
+    match_file(&fileA, &fileB);
+    report(&fileA, &fileB);
+    return 0;
+}

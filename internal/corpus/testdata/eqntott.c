@@ -1,0 +1,196 @@
+/* eqntott: boolean equation to truth-table converter after the SPEC
+ * benchmark. Product terms are bit-pair vectors stored as short arrays but
+ * shuffled through char* block operations and casts between the PTERM
+ * record and raw storage (struct casting group). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MAXVARS 12
+#define ZERO 0
+#define ONE 1
+#define DASH 2
+
+/* A product term: one bit-pair per input variable plus an output value.
+ * Terms are kept in a singly linked pool where free entries are reused
+ * through a different view. */
+struct pterm {
+    short var[MAXVARS];
+    short output;
+    struct pterm *next;
+};
+
+struct freeterm {
+    struct freeterm *chain;
+};
+
+static int nvars;
+static struct pterm *terms;
+static struct freeterm *freepool;
+static int ntermsalloc;
+
+struct pterm *term_alloc(void)
+{
+    struct pterm *t;
+    if (freepool != 0) {
+        t = (struct pterm *)freepool;
+        freepool = freepool->chain;
+    } else {
+        t = (struct pterm *)malloc(sizeof(struct pterm));
+        if (t == 0)
+            exit(1);
+        ntermsalloc++;
+    }
+    memset((char *)t, 0, sizeof(struct pterm));
+    return t;
+}
+
+void term_free(struct pterm *t)
+{
+    struct freeterm *f = (struct freeterm *)t;
+    f->chain = freepool;
+    freepool = f;
+}
+
+struct pterm *term_clone(struct pterm *src)
+{
+    struct pterm *t = term_alloc();
+    /* block copy through char pointers, as the original does */
+    memcpy((char *)t->var, (char *)src->var, sizeof(src->var));
+    t->output = src->output;
+    return t;
+}
+
+void term_add(struct pterm *t)
+{
+    t->next = terms;
+    terms = t;
+}
+
+/* parse a cube string like "01-0:1" */
+struct pterm *term_parse(const char *s)
+{
+    struct pterm *t = term_alloc();
+    int i;
+    for (i = 0; i < nvars && s[i] != '\0' && s[i] != ':'; i++) {
+        switch (s[i]) {
+        case '0':
+            t->var[i] = ZERO;
+            break;
+        case '1':
+            t->var[i] = ONE;
+            break;
+        default:
+            t->var[i] = DASH;
+            break;
+        }
+    }
+    if (s[i] == ':')
+        t->output = (short)(s[i + 1] - '0');
+    return t;
+}
+
+/* does the term cover the assignment encoded in bits? */
+int covers(struct pterm *t, unsigned int bits)
+{
+    int i;
+    for (i = 0; i < nvars; i++) {
+        int want = t->var[i];
+        int have = (bits >> i) & 1;
+        if (want == DASH)
+            continue;
+        if (want != have)
+            return 0;
+    }
+    return 1;
+}
+
+int eval(unsigned int bits)
+{
+    struct pterm *t;
+    for (t = terms; t != 0; t = t->next) {
+        if (covers(t, bits))
+            return t->output;
+    }
+    return 0;
+}
+
+/* term comparison for canonical ordering: raw memory compare of the bit
+ * vectors, viewed as bytes */
+int term_cmp(struct pterm *a, struct pterm *b)
+{
+    return memcmp((char *)a->var, (char *)b->var, sizeof(a->var));
+}
+
+/* merge pairs differing in exactly one non-dash position */
+int try_merge(void)
+{
+    struct pterm *a, *b;
+    int i, diff, at, merged;
+    merged = 0;
+    for (a = terms; a != 0; a = a->next) {
+        for (b = a->next; b != 0; b = b->next) {
+            if (a->output != b->output)
+                continue;
+            diff = 0;
+            at = -1;
+            for (i = 0; i < nvars; i++) {
+                if (a->var[i] != b->var[i]) {
+                    diff++;
+                    at = i;
+                }
+            }
+            if (diff == 1 && a->var[at] != DASH && b->var[at] != DASH) {
+                struct pterm *m = term_clone(a);
+                m->var[at] = DASH;
+                term_add(m);
+                merged++;
+            }
+        }
+    }
+    return merged;
+}
+
+void print_table(FILE *out)
+{
+    unsigned int bits, total;
+    int i;
+    total = 1u << nvars;
+    for (bits = 0; bits < total; bits++) {
+        for (i = nvars - 1; i >= 0; i--)
+            fputc('0' + (int)((bits >> i) & 1), out);
+        fprintf(out, " %d\n", eval(bits));
+    }
+}
+
+int count_terms(void)
+{
+    int n = 0;
+    struct pterm *t;
+    for (t = terms; t != 0; t = t->next)
+        n++;
+    return n;
+}
+
+int main(void)
+{
+    struct pterm *t;
+    nvars = 4;
+    term_add(term_parse("00--:1"));
+    term_add(term_parse("1-1-:1"));
+    term_add(term_parse("01-0:1"));
+    term_add(term_parse("1100:1"));
+    /* recycle a scratch term through the free list, as the real program
+     * does between passes */
+    t = term_parse("----:0");
+    term_free(t);
+    try_merge();
+    printf("%d terms (%d allocated)\n", count_terms(), ntermsalloc);
+    print_table(stdout);
+    /* canonical order check via raw compares */
+    for (t = terms; t != 0 && t->next != 0; t = t->next) {
+        if (term_cmp(t, t->next) == 0)
+            printf("duplicate cube\n");
+    }
+    return 0;
+}

@@ -1,0 +1,261 @@
+/* flex: the table-construction core of a scanner generator after
+ * flex-2.4.7: NFA states built from pattern strings, subset construction
+ * into DFA rows, with the transition structures reallocated and unioned
+ * value slots (struct casting group). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MAXNFA 128
+#define MAXDFA 64
+#define NSYMS 8              /* 'a'..'h' for compactness */
+
+/* An NFA state: out transitions are either a symbol edge or epsilon pair.
+ * The two shapes are packed into one record distinguished by kind, and
+ * parts of the record are reused through a value union. */
+union stval {
+    int target;
+    struct nfastate *ptr;
+};
+
+struct nfastate {
+    int id;
+    int kind;                /* 0 = symbol edge, 1 = epsilon, 2 = accept */
+    int sym;
+    union stval out1, out2;
+    int accept_rule;
+};
+
+struct nfafrag {
+    struct nfastate *start;
+    struct nfastate *accept;
+};
+
+static struct nfastate nfa[MAXNFA];
+static int nnfa;
+
+struct nfastate *new_state(int kind)
+{
+    struct nfastate *s;
+    if (nnfa >= MAXNFA)
+        exit(1);
+    s = &nfa[nnfa];
+    s->id = nnfa;
+    s->kind = kind;
+    s->sym = -1;
+    s->out1.target = -1;
+    s->out2.target = -1;
+    s->accept_rule = -1;
+    nnfa++;
+    return s;
+}
+
+/* Thompson construction over a trivial pattern language: literal symbols,
+ * '|' alternation and '*' star (postfix). */
+struct nfafrag frag_sym(int sym)
+{
+    struct nfafrag f;
+    struct nfastate *s = new_state(0);
+    struct nfastate *a = new_state(2);
+    s->sym = sym;
+    s->out1.ptr = a;
+    f.start = s;
+    f.accept = a;
+    return f;
+}
+
+struct nfafrag frag_cat(struct nfafrag a, struct nfafrag b)
+{
+    struct nfafrag f;
+    a.accept->kind = 1;      /* accept becomes epsilon into b */
+    a.accept->out1.ptr = b.start;
+    f.start = a.start;
+    f.accept = b.accept;
+    return f;
+}
+
+struct nfafrag frag_alt(struct nfafrag a, struct nfafrag b)
+{
+    struct nfafrag f;
+    struct nfastate *s = new_state(1);
+    struct nfastate *acc = new_state(2);
+    s->out1.ptr = a.start;
+    s->out2.ptr = b.start;
+    a.accept->kind = 1;
+    a.accept->out1.ptr = acc;
+    b.accept->kind = 1;
+    b.accept->out1.ptr = acc;
+    f.start = s;
+    f.accept = acc;
+    return f;
+}
+
+struct nfafrag frag_star(struct nfafrag a)
+{
+    struct nfafrag f;
+    struct nfastate *s = new_state(1);
+    struct nfastate *acc = new_state(2);
+    s->out1.ptr = a.start;
+    s->out2.ptr = acc;
+    a.accept->kind = 1;
+    a.accept->out1.ptr = a.start;
+    a.accept->out2.ptr = acc;
+    f.start = s;
+    f.accept = acc;
+    return f;
+}
+
+struct nfafrag parse_pattern(const char *pat, int rule);
+
+/* --- DFA rows --- */
+
+struct dfarow {
+    unsigned long nfaset;    /* bitset of NFA states */
+    int next[NSYMS];
+    int accept_rule;
+};
+
+static struct dfarow dfa[MAXDFA];
+static int ndfa;
+
+unsigned long eps_closure(unsigned long set)
+{
+    int changed, i;
+    changed = 1;
+    while (changed) {
+        changed = 0;
+        for (i = 0; i < nnfa; i++) {
+            if (!(set & (1uL << i)))
+                continue;
+            if (nfa[i].kind == 1) {
+                struct nfastate *t1 = nfa[i].out1.ptr;
+                struct nfastate *t2 = nfa[i].out2.ptr;
+                if (t1 != 0 && !(set & (1uL << t1->id))) {
+                    set |= 1uL << t1->id;
+                    changed = 1;
+                }
+                if (t2 != 0 && !(set & (1uL << t2->id))) {
+                    set |= 1uL << t2->id;
+                    changed = 1;
+                }
+            }
+        }
+    }
+    return set;
+}
+
+unsigned long move_on(unsigned long set, int sym)
+{
+    unsigned long out = 0;
+    int i;
+    for (i = 0; i < nnfa; i++) {
+        if (!(set & (1uL << i)))
+            continue;
+        if (nfa[i].kind == 0 && nfa[i].sym == sym)
+            out |= 1uL << nfa[i].out1.ptr->id;
+    }
+    return out;
+}
+
+int accept_of(unsigned long set)
+{
+    int i, best = -1;
+    for (i = 0; i < nnfa; i++) {
+        if ((set & (1uL << i)) && nfa[i].kind == 2 && nfa[i].accept_rule >= 0) {
+            if (best < 0 || nfa[i].accept_rule < best)
+                best = nfa[i].accept_rule;
+        }
+    }
+    return best;
+}
+
+int row_for(unsigned long set)
+{
+    int i;
+    for (i = 0; i < ndfa; i++) {
+        if (dfa[i].nfaset == set)
+            return i;
+    }
+    if (ndfa >= MAXDFA)
+        exit(1);
+    dfa[ndfa].nfaset = set;
+    dfa[ndfa].accept_rule = accept_of(set);
+    for (i = 0; i < NSYMS; i++)
+        dfa[ndfa].next[i] = -1;
+    return ndfa++;
+}
+
+void subset_construct(struct nfastate *start)
+{
+    int done, r, sym;
+    unsigned long set;
+    ndfa = 0;
+    row_for(eps_closure(1uL << start->id));
+    done = 0;
+    while (done < ndfa) {
+        r = done++;
+        for (sym = 0; sym < NSYMS; sym++) {
+            set = move_on(dfa[r].nfaset, sym);
+            if (set == 0)
+                continue;
+            set = eps_closure(set);
+            dfa[r].next[sym] = row_for(set);
+        }
+    }
+}
+
+struct nfafrag parse_pattern(const char *pat, int rule)
+{
+    struct nfafrag stack[16];
+    int sp = 0;
+    int i;
+    for (i = 0; pat[i] != '\0'; i++) {
+        char c = pat[i];
+        if (c >= 'a' && c < 'a' + NSYMS) {
+            stack[sp++] = frag_sym(c - 'a');
+        } else if (c == '.') {
+            struct nfafrag b = stack[--sp];
+            struct nfafrag a = stack[--sp];
+            stack[sp++] = frag_cat(a, b);
+        } else if (c == '|') {
+            struct nfafrag b = stack[--sp];
+            struct nfafrag a = stack[--sp];
+            stack[sp++] = frag_alt(a, b);
+        } else if (c == '*') {
+            struct nfafrag a = stack[--sp];
+            stack[sp++] = frag_star(a);
+        }
+    }
+    stack[0].accept->accept_rule = rule;
+    return stack[0];
+}
+
+int match(const char *text)
+{
+    int row = 0, i;
+    int last = -1;
+    for (i = 0; text[i] != '\0'; i++) {
+        int sym = text[i] - 'a';
+        if (sym < 0 || sym >= NSYMS)
+            break;
+        if (dfa[row].next[sym] < 0)
+            break;
+        row = dfa[row].next[sym];
+        if (dfa[row].accept_rule >= 0)
+            last = dfa[row].accept_rule;
+    }
+    return last;
+}
+
+int main(void)
+{
+    /* rule 0: (ab)* a  written postfix: ab.*a.  */
+    struct nfafrag f = parse_pattern("ab.*a.", 0);
+    subset_construct(f.start);
+    printf("dfa rows: %d\n", ndfa);
+    printf("match(a) = %d\n", match("a"));
+    printf("match(aba) = %d\n", match("aba"));
+    printf("match(ababa) = %d\n", match("ababa"));
+    printf("match(abb) = %d\n", match("abb"));
+    return 0;
+}

@@ -1,0 +1,176 @@
+/* ft: minimum spanning tree over a random graph, after the Austin "ft"
+ * benchmark. Linked vertex/edge records, a leftist-heap priority queue,
+ * heavy pointer chasing. No struct casting. */
+#include <stdio.h>
+#include <stdlib.h>
+
+struct vertex {
+    int id;
+    int key;
+    int intree;
+    struct vertex *parent;
+    struct edge *adj;       /* adjacency list */
+    struct vertex *next;    /* all-vertices list */
+};
+
+struct edge {
+    int weight;
+    struct vertex *to;
+    struct edge *nextadj;
+};
+
+struct heapnode {
+    struct vertex *v;
+    int rank;
+    struct heapnode *left, *right;
+};
+
+static struct vertex *vertices;
+static int nvertices;
+
+struct vertex *new_vertex(int id)
+{
+    struct vertex *v;
+    v = (struct vertex *)malloc(sizeof(struct vertex));
+    if (v == 0)
+        exit(1);
+    v->id = id;
+    v->key = 1 << 28;
+    v->intree = 0;
+    v->parent = 0;
+    v->adj = 0;
+    v->next = vertices;
+    vertices = v;
+    nvertices++;
+    return v;
+}
+
+void add_edge(struct vertex *from, struct vertex *to, int w)
+{
+    struct edge *e;
+    e = (struct edge *)malloc(sizeof(struct edge));
+    if (e == 0)
+        exit(1);
+    e->weight = w;
+    e->to = to;
+    e->nextadj = from->adj;
+    from->adj = e;
+}
+
+/* Leftist heap keyed on vertex key. */
+struct heapnode *heap_merge(struct heapnode *a, struct heapnode *b)
+{
+    struct heapnode *t;
+    if (a == 0)
+        return b;
+    if (b == 0)
+        return a;
+    if (b->v->key < a->v->key) {
+        t = a;
+        a = b;
+        b = t;
+    }
+    a->right = heap_merge(a->right, b);
+    if (a->left == 0 || a->left->rank < a->right->rank) {
+        t = a->left;
+        a->left = a->right;
+        a->right = t;
+    }
+    if (a->right == 0)
+        a->rank = 1;
+    else
+        a->rank = a->right->rank + 1;
+    return a;
+}
+
+struct heapnode *heap_insert(struct heapnode *h, struct vertex *v)
+{
+    struct heapnode *n;
+    n = (struct heapnode *)malloc(sizeof(struct heapnode));
+    if (n == 0)
+        exit(1);
+    n->v = v;
+    n->rank = 1;
+    n->left = 0;
+    n->right = 0;
+    return heap_merge(h, n);
+}
+
+struct heapnode *heap_pop(struct heapnode *h, struct vertex **out)
+{
+    *out = h->v;
+    return heap_merge(h->left, h->right);
+}
+
+static unsigned int seed = 12345;
+
+int nextrand(int mod)
+{
+    seed = seed * 1103515245u + 12345u;
+    return (int)((seed >> 16) % (unsigned int)mod);
+}
+
+void build_graph(int n, int extra)
+{
+    struct vertex **tab;
+    int i;
+    tab = (struct vertex **)malloc(n * sizeof(struct vertex *));
+    if (tab == 0)
+        exit(1);
+    for (i = 0; i < n; i++)
+        tab[i] = new_vertex(i);
+    /* spanning chain plus random extras, both directions */
+    for (i = 1; i < n; i++) {
+        int w = 1 + nextrand(100);
+        add_edge(tab[i - 1], tab[i], w);
+        add_edge(tab[i], tab[i - 1], w);
+    }
+    for (i = 0; i < extra; i++) {
+        int a = nextrand(n), b = nextrand(n);
+        int w = 1 + nextrand(100);
+        if (a != b) {
+            add_edge(tab[a], tab[b], w);
+            add_edge(tab[b], tab[a], w);
+        }
+    }
+    free(tab);
+}
+
+long prim(void)
+{
+    struct heapnode *heap;
+    struct vertex *v;
+    struct edge *e;
+    long total;
+    heap = 0;
+    total = 0;
+    vertices->key = 0;
+    heap = heap_insert(heap, vertices);
+    while (heap != 0) {
+        heap = heap_pop(heap, &v);
+        if (v->intree)
+            continue;
+        v->intree = 1;
+        total += v->key;
+        for (e = v->adj; e != 0; e = e->nextadj) {
+            if (!e->to->intree && e->weight < e->to->key) {
+                e->to->key = e->weight;
+                e->to->parent = v;
+                heap = heap_insert(heap, e->to);
+            }
+        }
+    }
+    return total;
+}
+
+int main(void)
+{
+    struct vertex *v;
+    build_graph(64, 128);
+    printf("mst weight = %ld\n", prim());
+    for (v = vertices; v != 0; v = v->next) {
+        if (v->parent != 0)
+            printf("%d <- %d (key %d)\n", v->id, v->parent->id, v->key);
+    }
+    return 0;
+}

@@ -1,0 +1,215 @@
+/* ks: Kernighan–Schweikert style graph partitioning, after the Austin "ks"
+ * benchmark. Modules and nets linked through membership records, gain
+ * buckets, swap selection. No struct casting. */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define NMODULES 64
+#define NNETS 96
+
+struct net;
+
+struct pin {
+    struct net *net;
+    struct pin *nextpin;     /* next pin of this module */
+};
+
+struct module {
+    int id;
+    int side;                /* 0 or 1 */
+    int locked;
+    int gain;
+    struct pin *pins;
+    struct module *bucketnext, *bucketprev;
+};
+
+struct conn {
+    struct module *mod;
+    struct conn *nextconn;
+};
+
+struct net {
+    int id;
+    int count[2];            /* modules on each side */
+    struct conn *conns;
+};
+
+static struct module modules[NMODULES];
+static struct net nets[NNETS];
+static struct module *bucket[2];   /* per-side gain bucket heads */
+
+static unsigned int seed = 99;
+
+int nextrand(int mod)
+{
+    seed = seed * 1103515245u + 12345u;
+    return (int)((seed >> 16) % (unsigned int)mod);
+}
+
+void connect(struct module *m, struct net *n)
+{
+    struct pin *p;
+    struct conn *c;
+    p = (struct pin *)malloc(sizeof(struct pin));
+    c = (struct conn *)malloc(sizeof(struct conn));
+    if (p == 0 || c == 0)
+        exit(1);
+    p->net = n;
+    p->nextpin = m->pins;
+    m->pins = p;
+    c->mod = m;
+    c->nextconn = n->conns;
+    n->conns = c;
+}
+
+void build(void)
+{
+    int i, k;
+    for (i = 0; i < NMODULES; i++) {
+        modules[i].id = i;
+        modules[i].side = i & 1;
+        modules[i].locked = 0;
+        modules[i].gain = 0;
+        modules[i].pins = 0;
+        modules[i].bucketnext = 0;
+        modules[i].bucketprev = 0;
+    }
+    for (i = 0; i < NNETS; i++) {
+        nets[i].id = i;
+        nets[i].conns = 0;
+        nets[i].count[0] = 0;
+        nets[i].count[1] = 0;
+        for (k = 0; k < 3; k++)
+            connect(&modules[nextrand(NMODULES)], &nets[i]);
+    }
+}
+
+void count_sides(void)
+{
+    int i;
+    struct conn *c;
+    for (i = 0; i < NNETS; i++) {
+        nets[i].count[0] = 0;
+        nets[i].count[1] = 0;
+        for (c = nets[i].conns; c != 0; c = c->nextconn)
+            nets[i].count[c->mod->side]++;
+    }
+}
+
+int cutsize(void)
+{
+    int i, cut;
+    cut = 0;
+    for (i = 0; i < NNETS; i++) {
+        if (nets[i].count[0] > 0 && nets[i].count[1] > 0)
+            cut++;
+    }
+    return cut;
+}
+
+void compute_gain(struct module *m)
+{
+    struct pin *p;
+    int from, to;
+    from = m->side;
+    to = 1 - from;
+    m->gain = 0;
+    for (p = m->pins; p != 0; p = p->nextpin) {
+        if (p->net->count[from] == 1)
+            m->gain++;
+        if (p->net->count[to] == 0)
+            m->gain--;
+    }
+}
+
+void bucket_insert(struct module *m)
+{
+    struct module **head;
+    head = &bucket[m->side];
+    m->bucketprev = 0;
+    m->bucketnext = *head;
+    if (*head != 0)
+        (*head)->bucketprev = m;
+    *head = m;
+}
+
+void bucket_remove(struct module *m)
+{
+    if (m->bucketprev != 0)
+        m->bucketprev->bucketnext = m->bucketnext;
+    else
+        bucket[m->side] = m->bucketnext;
+    if (m->bucketnext != 0)
+        m->bucketnext->bucketprev = m->bucketprev;
+    m->bucketnext = 0;
+    m->bucketprev = 0;
+}
+
+struct module *best_unlocked(int side)
+{
+    struct module *m, *best;
+    best = 0;
+    for (m = bucket[side]; m != 0; m = m->bucketnext) {
+        if (m->locked)
+            continue;
+        if (best == 0 || m->gain > best->gain)
+            best = m;
+    }
+    return best;
+}
+
+void move(struct module *m)
+{
+    struct pin *p;
+    int from, to;
+    from = m->side;
+    to = 1 - from;
+    bucket_remove(m);
+    for (p = m->pins; p != 0; p = p->nextpin) {
+        p->net->count[from]--;
+        p->net->count[to]++;
+    }
+    m->side = to;
+    m->locked = 1;
+    bucket_insert(m);
+}
+
+int one_pass(void)
+{
+    int i, before, after;
+    struct module *m;
+    count_sides();
+    before = cutsize();
+    bucket[0] = 0;
+    bucket[1] = 0;
+    for (i = 0; i < NMODULES; i++) {
+        modules[i].locked = 0;
+        compute_gain(&modules[i]);
+        bucket_insert(&modules[i]);
+    }
+    for (i = 0; i < NMODULES / 4; i++) {
+        m = best_unlocked(i & 1);
+        if (m == 0)
+            break;
+        move(m);
+    }
+    count_sides();
+    after = cutsize();
+    return before - after;
+}
+
+int main(void)
+{
+    int pass, gain;
+    build();
+    count_sides();
+    printf("initial cut = %d\n", cutsize());
+    for (pass = 0; pass < 6; pass++) {
+        gain = one_pass();
+        printf("pass %d gain %d\n", pass, gain);
+        if (gain <= 0)
+            break;
+    }
+    printf("final cut = %d\n", cutsize());
+    return 0;
+}

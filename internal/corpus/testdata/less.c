@@ -1,0 +1,278 @@
+/* less: the buffer-cache core of a pager after less-177 — the paper's worst
+ * case for Collapse on Cast. Buffer blocks are allocated as raw storage and
+ * threaded onto several chains through *differently shaped* node views that
+ * do not share useful common initial sequences, so casting smears fields. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define BUFSIZE 256
+#define NBUFS 16
+
+/* The "real" buffer record. */
+struct buf {
+    struct buf *next, *prev; /* LRU chain */
+    long block;              /* file block number */
+    int datalen;
+    char data[BUFSIZE];
+};
+
+/* The head of the LRU chain is addressed as if it were a buffer — only the
+ * two chain words exist. less-177 does exactly this trick. */
+struct bufhead {
+    struct buf *next, *prev;
+};
+
+/* Hash chains reuse the data area of free buffers via a different view. */
+struct hashlink {
+    long key;
+    struct hashlink *chain;
+};
+
+#define HASHSIZE 8
+
+struct screenpos {
+    long line;
+    long block;
+    int offset;
+};
+
+static struct bufhead lru;
+static struct hashlink *hashtab[HASHSIZE];
+static int nalloc;
+
+struct buf *buf_alloc(void)
+{
+    struct buf *b = (struct buf *)calloc(1, sizeof(struct buf));
+    if (b == 0)
+        exit(1);
+    nalloc++;
+    return b;
+}
+
+/* insert at head of LRU: the head is cast to a buf pointer */
+void lru_insert(struct buf *b)
+{
+    struct buf *head = (struct buf *)&lru;
+    b->next = head->next;
+    b->prev = head;
+    if (head->next != 0)
+        head->next->prev = b;
+    head->next = b;
+    if (lru.prev == 0)
+        lru.prev = b;
+}
+
+void lru_remove(struct buf *b)
+{
+    if (b->prev != 0)
+        b->prev->next = b->next;
+    if (b->next != 0)
+        b->next->prev = b->prev;
+    else
+        lru.prev = b->prev;
+    b->next = 0;
+    b->prev = 0;
+}
+
+struct buf *lru_tail(void)
+{
+    struct buf *head = (struct buf *)&lru;
+    struct buf *b = lru.prev;
+    if (b == head)
+        return 0;
+    return b;
+}
+
+int hashof(long block)
+{
+    return (int)(block % HASHSIZE);
+}
+
+/* Publish a buffer in the hash table: a hashlink view is overlaid onto the
+ * buffer's data area. */
+void hash_insert(struct buf *b)
+{
+    struct hashlink *h = (struct hashlink *)b->data;
+    int slot = hashof(b->block);
+    h->key = b->block;
+    h->chain = hashtab[slot];
+    hashtab[slot] = h;
+}
+
+struct buf *hash_find(long block)
+{
+    struct hashlink *h;
+    for (h = hashtab[hashof(block)]; h != 0; h = h->chain) {
+        if (h->key == block) {
+            /* recover the buffer from the embedded data pointer */
+            return (struct buf *)((char *)h - (long)&((struct buf *)0)->data);
+        }
+    }
+    return 0;
+}
+
+void hash_remove(struct buf *b)
+{
+    struct hashlink **hp;
+    struct hashlink *target = (struct hashlink *)b->data;
+    for (hp = &hashtab[hashof(b->block)]; *hp != 0; hp = &(*hp)->chain) {
+        if (*hp == target) {
+            *hp = target->chain;
+            return;
+        }
+    }
+}
+
+/* fake file reading: fill with a pattern */
+void fill_block(struct buf *b, long block)
+{
+    int i;
+    for (i = 0; i < BUFSIZE - 1; i++)
+        b->data[i] = (char)('a' + (int)((block + i) % 26));
+    b->data[BUFSIZE - 1] = '\0';
+    b->datalen = BUFSIZE - 1;
+    b->block = block;
+}
+
+struct buf *getblock(long block)
+{
+    struct buf *b;
+    b = hash_find(block);
+    if (b != 0) {
+        lru_remove(b);
+        lru_insert(b);
+        return b;
+    }
+    if (nalloc < NBUFS) {
+        b = buf_alloc();
+    } else {
+        b = lru_tail();
+        if (b == 0)
+            b = buf_alloc();
+        else {
+            lru_remove(b);
+            hash_remove(b);
+        }
+    }
+    fill_block(b, block);
+    hash_insert(b);
+    lru_insert(b);
+    return b;
+}
+
+/* screen position bookkeeping */
+static struct screenpos topline;
+
+char *line_at(struct screenpos *sp)
+{
+    struct buf *b = getblock(sp->block);
+    if (sp->offset >= b->datalen)
+        sp->offset = 0;
+    return b->data + sp->offset;
+}
+
+void forward(struct screenpos *sp, int lines)
+{
+    sp->line += lines;
+    sp->block = sp->line / 4;
+    sp->offset = (int)(sp->line % 4) * 32;
+}
+
+/* --- search: scan forward through cached blocks for a pattern --- */
+
+struct searchstate {
+    char pattern[32];
+    long lastblock;
+    int lastoffset;
+};
+
+static struct searchstate lastsearch;
+
+int match_at(const char *text, const char *pat)
+{
+    int i;
+    for (i = 0; pat[i] != '\0'; i++) {
+        if (text[i] == '\0' || text[i] != pat[i])
+            return 0;
+    }
+    return 1;
+}
+
+/* returns the block where the pattern was found, or -1 */
+long search_forward(const char *pat, long fromblock, long toblock)
+{
+    long blk;
+    int off;
+    struct buf *b;
+    strncpy(lastsearch.pattern, pat, sizeof(lastsearch.pattern) - 1);
+    lastsearch.pattern[sizeof(lastsearch.pattern) - 1] = '\0';
+    for (blk = fromblock; blk <= toblock; blk++) {
+        b = getblock(blk);
+        for (off = 0; off < b->datalen; off++) {
+            if (match_at(b->data + off, pat)) {
+                lastsearch.lastblock = blk;
+                lastsearch.lastoffset = off;
+                return blk;
+            }
+        }
+    }
+    return -1;
+}
+
+/* --- marks: single-letter saved positions, as in less --- */
+
+static struct screenpos marks[26];
+static int markset[26];
+
+void set_mark(int name, struct screenpos *sp)
+{
+    int i = name - 'a';
+    if (i < 0 || i >= 26)
+        return;
+    marks[i] = *sp;
+    markset[i] = 1;
+}
+
+int goto_mark(int name, struct screenpos *sp)
+{
+    int i = name - 'a';
+    if (i < 0 || i >= 26 || !markset[i])
+        return 0;
+    *sp = marks[i];
+    return 1;
+}
+
+int main(void)
+{
+    long i;
+    char *text;
+    topline.line = 0;
+    topline.block = 0;
+    topline.offset = 0;
+    for (i = 0; i < 40; i++) {
+        text = line_at(&topline);
+        printf("%.20s\n", text);
+        forward(&topline, 1);
+    }
+    /* jump backwards: the cache serves old blocks */
+    topline.line = 2;
+    forward(&topline, 0);
+    text = line_at(&topline);
+    printf("revisit: %.20s\n", text);
+    /* search within the cache and jump around with marks */
+    set_mark('a', &topline);
+    {
+        long hit = search_forward("mnop", 0, 12);
+        printf("search: %ld (offset %d)\n", hit, lastsearch.lastoffset);
+    }
+    forward(&topline, 20);
+    text = line_at(&topline);
+    printf("after jump: %.20s\n", text);
+    if (goto_mark('a', &topline)) {
+        text = line_at(&topline);
+        printf("back at mark: %.20s\n", text);
+    }
+    printf("buffers allocated: %d\n", nalloc);
+    return 0;
+}

@@ -1,0 +1,249 @@
+/* li: a miniature lisp interpreter after 130.li. Tagged cells carry their
+ * payload in differently-typed views that share a common header; the free
+ * list reuses cell memory through casts (struct casting group). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define T_NIL 0
+#define T_CONS 1
+#define T_SYM 2
+#define T_INT 3
+
+/* Every cell view starts with the tag: a common initial sequence. */
+struct cell {
+    int tag;
+    struct cell *link;       /* generic second word */
+};
+
+struct cons {
+    int tag;
+    struct cell *car;
+    struct cell *cdr;
+};
+
+struct symbol {
+    int tag;
+    struct symbol *next;     /* symbol table chain */
+    char name[16];
+    struct cell *value;
+};
+
+struct intcell {
+    int tag;
+    long value;
+};
+
+/* Free cells are threaded through yet another view of the same memory. */
+struct freecell {
+    int tag;
+    struct freecell *nextfree;
+};
+
+#define POOLSIZE 256
+
+union anycell {
+    struct cell c;
+    struct cons cons;
+    struct symbol sym;
+    struct intcell num;
+    struct freecell free;
+};
+
+static union anycell pool[POOLSIZE];
+static struct freecell *freelist;
+static struct symbol *symtab;
+static struct cell nilcell;
+
+void pool_init(void)
+{
+    int i;
+    freelist = 0;
+    for (i = 0; i < POOLSIZE; i++) {
+        struct freecell *f = (struct freecell *)&pool[i];
+        f->tag = T_NIL;
+        f->nextfree = freelist;
+        freelist = f;
+    }
+    nilcell.tag = T_NIL;
+    nilcell.link = 0;
+}
+
+struct cell *cell_alloc(int tag)
+{
+    struct freecell *f;
+    struct cell *c;
+    if (freelist == 0) {
+        fprintf(stderr, "li: out of cells\n");
+        exit(1);
+    }
+    f = freelist;
+    freelist = f->nextfree;
+    c = (struct cell *)f;
+    c->tag = tag;
+    c->link = 0;
+    return c;
+}
+
+void cell_free(struct cell *c)
+{
+    struct freecell *f = (struct freecell *)c;
+    f->tag = T_NIL;
+    f->nextfree = freelist;
+    freelist = f;
+}
+
+struct cell *mk_cons(struct cell *car, struct cell *cdr)
+{
+    struct cons *cc = (struct cons *)cell_alloc(T_CONS);
+    cc->car = car;
+    cc->cdr = cdr;
+    return (struct cell *)cc;
+}
+
+struct cell *mk_int(long v)
+{
+    struct intcell *ic = (struct intcell *)cell_alloc(T_INT);
+    ic->value = v;
+    return (struct cell *)ic;
+}
+
+struct symbol *intern(const char *name)
+{
+    struct symbol *s;
+    for (s = symtab; s != 0; s = s->next) {
+        if (strcmp(s->name, name) == 0)
+            return s;
+    }
+    s = (struct symbol *)cell_alloc(T_SYM);
+    strncpy(s->name, name, sizeof(s->name) - 1);
+    s->name[sizeof(s->name) - 1] = '\0';
+    s->value = &nilcell;
+    s->next = symtab;
+    symtab = s;
+    return s;
+}
+
+struct cell *car(struct cell *c)
+{
+    if (c->tag != T_CONS)
+        return &nilcell;
+    return ((struct cons *)c)->car;
+}
+
+struct cell *cdr(struct cell *c)
+{
+    if (c->tag != T_CONS)
+        return &nilcell;
+    return ((struct cons *)c)->cdr;
+}
+
+long int_value(struct cell *c)
+{
+    if (c->tag != T_INT)
+        return 0;
+    return ((struct intcell *)c)->value;
+}
+
+struct cell *eval(struct cell *e);
+
+/* (+ a b ...) over the argument list */
+struct cell *prim_add(struct cell *args)
+{
+    long sum = 0;
+    struct cell *p;
+    for (p = args; p->tag == T_CONS; p = cdr(p))
+        sum += int_value(eval(car(p)));
+    return mk_int(sum);
+}
+
+struct cell *prim_cons(struct cell *args)
+{
+    return mk_cons(eval(car(args)), eval(car(cdr(args))));
+}
+
+struct cell *prim_car(struct cell *args)
+{
+    return car(eval(car(args)));
+}
+
+struct cell *eval(struct cell *e)
+{
+    struct symbol *s;
+    if (e->tag == T_INT || e->tag == T_NIL)
+        return e;
+    if (e->tag == T_SYM)
+        return ((struct symbol *)e)->value;
+    /* a list: dispatch on the head symbol */
+    if (car(e)->tag == T_SYM) {
+        s = (struct symbol *)car(e);
+        if (strcmp(s->name, "+") == 0)
+            return prim_add(cdr(e));
+        if (strcmp(s->name, "cons") == 0)
+            return prim_cons(cdr(e));
+        if (strcmp(s->name, "car") == 0)
+            return prim_car(cdr(e));
+        if (strcmp(s->name, "quote") == 0)
+            return car(cdr(e));
+    }
+    return &nilcell;
+}
+
+void print_cell(struct cell *c)
+{
+    switch (c->tag) {
+    case T_NIL:
+        printf("nil");
+        break;
+    case T_INT:
+        printf("%ld", int_value(c));
+        break;
+    case T_SYM:
+        printf("%s", ((struct symbol *)c)->name);
+        break;
+    case T_CONS:
+        printf("(");
+        print_cell(car(c));
+        printf(" . ");
+        print_cell(cdr(c));
+        printf(")");
+        break;
+    }
+}
+
+/* set a symbol's global value */
+void set_value(const char *name, struct cell *v)
+{
+    struct symbol *s = intern(name);
+    s->value = v;
+}
+
+int main(void)
+{
+    struct cell *expr, *result;
+    pool_init();
+    symtab = 0;
+
+    set_value("x", mk_int(40));
+
+    /* (+ x 2) */
+    expr = mk_cons((struct cell *)intern("+"),
+                   mk_cons((struct cell *)intern("x"),
+                           mk_cons(mk_int(2), &nilcell)));
+    result = eval(expr);
+    print_cell(result);
+    printf("\n");
+
+    /* (car (cons 1 2)) */
+    expr = mk_cons((struct cell *)intern("car"),
+                   mk_cons(mk_cons((struct cell *)intern("cons"),
+                                   mk_cons(mk_int(1),
+                                           mk_cons(mk_int(2), &nilcell))),
+                           &nilcell));
+    result = eval(expr);
+    print_cell(result);
+    printf("\n");
+
+    cell_free(expr);
+    return 0;
+}

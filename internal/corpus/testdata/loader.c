@@ -1,0 +1,225 @@
+/* loader: an object-file loader after the Landi benchmark. A raw byte image
+ * is interpreted by casting interior pointers to header, section and symbol
+ * record views — the classic binary-format idiom (struct casting group). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define IMGSIZE 2048
+#define MAGIC 0x424A
+
+struct filehdr {
+    int magic;
+    int nsections;
+    int symoff;              /* byte offset of symbol table */
+    int nsyms;
+};
+
+struct secthdr {
+    char name[8];
+    int offset;
+    int size;
+    int flags;
+};
+
+struct symrec {
+    char name[12];
+    int section;
+    int value;
+};
+
+/* loaded representation */
+struct section {
+    char name[8];
+    char *data;
+    int size;
+    struct section *next;
+};
+
+struct symbol {
+    char name[12];
+    struct section *home;
+    int value;
+    struct symbol *next;
+};
+
+static unsigned char image[IMGSIZE];
+static struct section *sections;
+static struct symbol *symbols;
+
+/* --- image construction (the "assembler") --- */
+
+static int imgtop;
+
+int img_write(const void *src, int len)
+{
+    int at = imgtop;
+    memcpy(&image[at], src, len);
+    imgtop += len;
+    return at;
+}
+
+void build_image(void)
+{
+    struct filehdr fh;
+    struct secthdr sh;
+    struct symrec sr;
+    char text[64];
+    char data[32];
+    int textoff, dataoff;
+    int i;
+
+    imgtop = (int)sizeof(struct filehdr) + 2 * (int)sizeof(struct secthdr);
+
+    for (i = 0; i < (int)sizeof text; i++)
+        text[i] = (char)(i * 3);
+    for (i = 0; i < (int)sizeof data; i++)
+        data[i] = (char)(0x40 + i);
+
+    textoff = img_write(text, sizeof text);
+    dataoff = img_write(data, sizeof data);
+
+    fh.magic = MAGIC;
+    fh.nsections = 2;
+    fh.nsyms = 3;
+    fh.symoff = imgtop;
+
+    strcpy(sr.name, "start");
+    sr.section = 0;
+    sr.value = 0;
+    img_write(&sr, sizeof sr);
+    strcpy(sr.name, "loop");
+    sr.section = 0;
+    sr.value = 16;
+    img_write(&sr, sizeof sr);
+    strcpy(sr.name, "table");
+    sr.section = 1;
+    sr.value = 8;
+    img_write(&sr, sizeof sr);
+
+    memcpy(&image[0], &fh, sizeof fh);
+
+    strcpy(sh.name, ".text");
+    sh.offset = textoff;
+    sh.size = sizeof text;
+    sh.flags = 1;
+    memcpy(&image[sizeof fh], &sh, sizeof sh);
+
+    strcpy(sh.name, ".data");
+    sh.offset = dataoff;
+    sh.size = sizeof data;
+    sh.flags = 2;
+    memcpy(&image[sizeof fh + sizeof sh], &sh, sizeof sh);
+}
+
+/* --- the loader proper: all casts into the image --- */
+
+struct filehdr *file_header(void)
+{
+    return (struct filehdr *)image;
+}
+
+struct secthdr *section_header(int i)
+{
+    unsigned char *base = image + sizeof(struct filehdr);
+    return (struct secthdr *)(base + i * (int)sizeof(struct secthdr));
+}
+
+struct symrec *symbol_record(struct filehdr *fh, int i)
+{
+    unsigned char *base = image + fh->symoff;
+    return (struct symrec *)(base + i * (int)sizeof(struct symrec));
+}
+
+struct section *load_sections(struct filehdr *fh)
+{
+    int i;
+    struct section *head = 0;
+    for (i = fh->nsections - 1; i >= 0; i--) {
+        struct secthdr *sh = section_header(i);
+        struct section *s = (struct section *)malloc(sizeof(struct section));
+        if (s == 0)
+            exit(1);
+        memcpy(s->name, sh->name, sizeof s->name);
+        s->size = sh->size;
+        s->data = (char *)&image[sh->offset];
+        s->next = head;
+        head = s;
+    }
+    return head;
+}
+
+struct section *section_by_index(int idx)
+{
+    struct section *s = sections;
+    while (idx > 0 && s != 0) {
+        s = s->next;
+        idx--;
+    }
+    return s;
+}
+
+struct symbol *load_symbols(struct filehdr *fh)
+{
+    int i;
+    struct symbol *head = 0;
+    for (i = fh->nsyms - 1; i >= 0; i--) {
+        struct symrec *sr = symbol_record(fh, i);
+        struct symbol *sym = (struct symbol *)malloc(sizeof(struct symbol));
+        if (sym == 0)
+            exit(1);
+        memcpy(sym->name, sr->name, sizeof sym->name);
+        sym->home = section_by_index(sr->section);
+        sym->value = sr->value;
+        sym->next = head;
+        head = sym;
+    }
+    return head;
+}
+
+struct symbol *sym_lookup(const char *name)
+{
+    struct symbol *s;
+    for (s = symbols; s != 0; s = s->next) {
+        if (strcmp(s->name, name) == 0)
+            return s;
+    }
+    return 0;
+}
+
+char *sym_address(struct symbol *s)
+{
+    if (s == 0 || s->home == 0)
+        return 0;
+    return s->home->data + s->value;
+}
+
+int main(void)
+{
+    struct filehdr *fh;
+    struct section *s;
+    struct symbol *sym;
+    char *addr;
+
+    build_image();
+
+    fh = file_header();
+    if (fh->magic != MAGIC) {
+        fprintf(stderr, "loader: bad magic\n");
+        return 1;
+    }
+    sections = load_sections(fh);
+    symbols = load_symbols(fh);
+
+    for (s = sections; s != 0; s = s->next)
+        printf("section %-8s size %d\n", s->name, s->size);
+    for (sym = symbols; sym != 0; sym = sym->next)
+        printf("symbol %-12s in %-8s at %d\n", sym->name,
+               sym->home != 0 ? sym->home->name : "?", sym->value);
+
+    sym = sym_lookup("table");
+    addr = sym_address(sym);
+    if (addr != 0)
+        printf("table[0] = %d\n", (int)addr[0]);
+    return 0;
+}

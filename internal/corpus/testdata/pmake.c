@@ -1,0 +1,205 @@
+/* pmake: the heart of a make program built on a generic void*-based list
+ * library, after BSD pmake. Client payloads round-trip through void*, so
+ * every use reinstates the type with a cast (struct casting group). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* --- generic list library (Lst) --- */
+
+struct lstnode {
+    void *datum;
+    struct lstnode *next;
+};
+
+struct lst {
+    struct lstnode *first;
+    struct lstnode *last;
+    int count;
+};
+
+void lst_init(struct lst *l)
+{
+    l->first = 0;
+    l->last = 0;
+    l->count = 0;
+}
+
+void lst_append(struct lst *l, void *datum)
+{
+    struct lstnode *n = (struct lstnode *)malloc(sizeof(struct lstnode));
+    if (n == 0)
+        exit(1);
+    n->datum = datum;
+    n->next = 0;
+    if (l->last != 0)
+        l->last->next = n;
+    else
+        l->first = n;
+    l->last = n;
+    l->count++;
+}
+
+void *lst_find(struct lst *l, int (*match)(void *datum, void *key), void *key)
+{
+    struct lstnode *n;
+    for (n = l->first; n != 0; n = n->next) {
+        if (match(n->datum, key))
+            return n->datum;
+    }
+    return 0;
+}
+
+void lst_foreach(struct lst *l, void (*fn)(void *datum, void *arg), void *arg)
+{
+    struct lstnode *n;
+    for (n = l->first; n != 0; n = n->next)
+        fn(n->datum, arg);
+}
+
+/* --- make graph --- */
+
+#define ST_UNMADE 0
+#define ST_BEINGMADE 1
+#define ST_MADE 2
+
+struct gnode {
+    char name[32];
+    int state;
+    long mtime;
+    struct lst children;     /* of struct gnode* */
+    struct lst commands;     /* of char* */
+};
+
+static struct lst allnodes;
+
+int match_name(void *datum, void *key)
+{
+    struct gnode *gn = (struct gnode *)datum;
+    return strcmp(gn->name, (char *)key) == 0;
+}
+
+struct gnode *targ_find(const char *name, int create)
+{
+    struct gnode *gn;
+    gn = (struct gnode *)lst_find(&allnodes, match_name, (void *)name);
+    if (gn != 0 || !create)
+        return gn;
+    gn = (struct gnode *)malloc(sizeof(struct gnode));
+    if (gn == 0)
+        exit(1);
+    strncpy(gn->name, name, sizeof(gn->name) - 1);
+    gn->name[sizeof(gn->name) - 1] = '\0';
+    gn->state = ST_UNMADE;
+    gn->mtime = 0;
+    lst_init(&gn->children);
+    lst_init(&gn->commands);
+    lst_append(&allnodes, gn);
+    return gn;
+}
+
+void add_dependency(const char *parent, const char *child)
+{
+    struct gnode *p = targ_find(parent, 1);
+    struct gnode *c = targ_find(child, 1);
+    lst_append(&p->children, c);
+}
+
+void add_command(const char *target, const char *cmd)
+{
+    struct gnode *gn = targ_find(target, 1);
+    lst_append(&gn->commands, strdup(cmd));
+}
+
+void print_command(void *datum, void *arg)
+{
+    struct gnode *gn = (struct gnode *)arg;
+    printf("  [%s] %s\n", gn->name, (char *)datum);
+}
+
+/* out-of-date check: any child newer, or target missing */
+struct oodstate {
+    struct gnode *parent;
+    int ood;
+};
+
+void check_child(void *datum, void *arg)
+{
+    struct gnode *child = (struct gnode *)datum;
+    struct oodstate *st = (struct oodstate *)arg;
+    if (child->mtime > st->parent->mtime)
+        st->ood = 1;
+}
+
+int out_of_date(struct gnode *gn)
+{
+    struct oodstate st;
+    if (gn->mtime == 0)
+        return 1;
+    st.parent = gn;
+    st.ood = 0;
+    lst_foreach(&gn->children, check_child, &st);
+    return st.ood;
+}
+
+static long clock_now = 100;
+
+void make_node(void *datum, void *arg);
+
+int make(struct gnode *gn)
+{
+    if (gn->state == ST_MADE)
+        return 0;
+    if (gn->state == ST_BEINGMADE) {
+        fprintf(stderr, "make: cycle through %s\n", gn->name);
+        return 1;
+    }
+    gn->state = ST_BEINGMADE;
+    lst_foreach(&gn->children, make_node, 0);
+    if (out_of_date(gn)) {
+        printf("making %s:\n", gn->name);
+        lst_foreach(&gn->commands, print_command, gn);
+        gn->mtime = ++clock_now;
+    }
+    gn->state = ST_MADE;
+    return 0;
+}
+
+void make_node(void *datum, void *arg)
+{
+    (void)arg;
+    make((struct gnode *)datum);
+}
+
+void load_rules(void)
+{
+    add_dependency("all", "prog");
+    add_dependency("prog", "main.o");
+    add_dependency("prog", "util.o");
+    add_dependency("main.o", "main.c");
+    add_dependency("main.o", "util.h");
+    add_dependency("util.o", "util.c");
+    add_dependency("util.o", "util.h");
+    add_command("prog", "cc -o prog main.o util.o");
+    add_command("main.o", "cc -c main.c");
+    add_command("util.o", "cc -c util.c");
+    /* leaves exist already */
+    targ_find("main.c", 1)->mtime = 10;
+    targ_find("util.c", 1)->mtime = 12;
+    targ_find("util.h", 1)->mtime = 11;
+}
+
+int main(void)
+{
+    struct gnode *root;
+    lst_init(&allnodes);
+    load_rules();
+    root = targ_find("all", 0);
+    if (root == 0) {
+        fprintf(stderr, "make: no target\n");
+        return 1;
+    }
+    make(root);
+    printf("done; %d known targets\n", allnodes.count);
+    return 0;
+}

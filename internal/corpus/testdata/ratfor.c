@@ -1,0 +1,299 @@
+/* ratfor: a miniature rational-Fortran translator in the spirit of the
+ * Software Tools version: tokenizer, keyword table, nested control
+ * translation with an explicit stack, string output buffers. No struct
+ * casting. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+#define MAXTOK 128
+#define MAXSTACK 64
+
+#define T_EOF 0
+#define T_WORD 1
+#define T_NUM 2
+#define T_PUNCT 3
+#define T_NEWLINE 4
+
+struct token {
+    int kind;
+    char text[MAXTOK];
+};
+
+struct keyword {
+    const char *name;
+    int code;
+};
+
+#define K_IF 1
+#define K_ELSE 2
+#define K_WHILE 3
+#define K_REPEAT 4
+#define K_UNTIL 5
+
+static struct keyword keywords[] = {
+    { "if", K_IF },
+    { "else", K_ELSE },
+    { "while", K_WHILE },
+    { "repeat", K_REPEAT },
+    { "until", K_UNTIL },
+};
+
+struct frame {
+    int kind;      /* keyword code */
+    int label;
+};
+
+struct translator {
+    FILE *in;
+    FILE *out;
+    struct frame stack[MAXSTACK];
+    int sp;
+    int nextlabel;
+    struct token tok;
+    int pushedback;
+};
+
+static struct translator tr;
+
+int kw_lookup(const char *name)
+{
+    int i;
+    for (i = 0; i < (int)(sizeof(keywords) / sizeof(keywords[0])); i++) {
+        if (strcmp(keywords[i].name, name) == 0)
+            return keywords[i].code;
+    }
+    return 0;
+}
+
+void get_token(struct translator *t)
+{
+    int c, i;
+    struct token *tk;
+    if (t->pushedback) {
+        t->pushedback = 0;
+        return;
+    }
+    tk = &t->tok;
+    c = fgetc(t->in);
+    while (c == ' ' || c == '\t')
+        c = fgetc(t->in);
+    if (c == EOF) {
+        tk->kind = T_EOF;
+        tk->text[0] = '\0';
+        return;
+    }
+    if (c == '\n') {
+        tk->kind = T_NEWLINE;
+        strcpy(tk->text, "\n");
+        return;
+    }
+    if (isalpha(c)) {
+        i = 0;
+        while (isalnum(c) && i < MAXTOK - 1) {
+            tk->text[i++] = (char)c;
+            c = fgetc(t->in);
+        }
+        tk->text[i] = '\0';
+        if (c != EOF)
+            ungetc(c, t->in);
+        tk->kind = T_WORD;
+        return;
+    }
+    if (isdigit(c)) {
+        i = 0;
+        while (isdigit(c) && i < MAXTOK - 1) {
+            tk->text[i++] = (char)c;
+            c = fgetc(t->in);
+        }
+        tk->text[i] = '\0';
+        if (c != EOF)
+            ungetc(c, t->in);
+        tk->kind = T_NUM;
+        return;
+    }
+    tk->kind = T_PUNCT;
+    tk->text[0] = (char)c;
+    tk->text[1] = '\0';
+}
+
+void unget_token(struct translator *t)
+{
+    t->pushedback = 1;
+}
+
+int new_label(struct translator *t)
+{
+    t->nextlabel += 10;
+    return t->nextlabel;
+}
+
+void push_frame(struct translator *t, int kind, int label)
+{
+    if (t->sp >= MAXSTACK) {
+        fprintf(stderr, "ratfor: nesting too deep\n");
+        exit(1);
+    }
+    t->stack[t->sp].kind = kind;
+    t->stack[t->sp].label = label;
+    t->sp++;
+}
+
+struct frame *top_frame(struct translator *t)
+{
+    if (t->sp == 0)
+        return 0;
+    return &t->stack[t->sp - 1];
+}
+
+void pop_frame(struct translator *t)
+{
+    if (t->sp > 0)
+        t->sp--;
+}
+
+void copy_condition(struct translator *t)
+{
+    int depth;
+    get_token(t);
+    if (t->tok.kind != T_PUNCT || t->tok.text[0] != '(') {
+        fprintf(stderr, "ratfor: expected (\n");
+        return;
+    }
+    fputs("(", t->out);
+    depth = 1;
+    for (;;) {
+        get_token(t);
+        if (t->tok.kind == T_EOF)
+            return;
+        if (t->tok.kind == T_PUNCT && t->tok.text[0] == '(')
+            depth++;
+        if (t->tok.kind == T_PUNCT && t->tok.text[0] == ')') {
+            depth--;
+            if (depth == 0)
+                break;
+        }
+        fputs(t->tok.text, t->out);
+    }
+    fputs(")", t->out);
+}
+
+void stmt_if(struct translator *t)
+{
+    int lab;
+    lab = new_label(t);
+    fputs("      if (.not.", t->out);
+    copy_condition(t);
+    fprintf(t->out, ") goto %d\n", lab);
+    push_frame(t, K_IF, lab);
+}
+
+void stmt_else(struct translator *t)
+{
+    struct frame *f;
+    int lab;
+    f = top_frame(t);
+    if (f == 0 || f->kind != K_IF) {
+        fprintf(stderr, "ratfor: else without if\n");
+        return;
+    }
+    lab = new_label(t);
+    fprintf(t->out, "      goto %d\n", lab);
+    fprintf(t->out, "%d    continue\n", f->label);
+    f->label = lab;
+}
+
+void stmt_while(struct translator *t)
+{
+    int top, out;
+    top = new_label(t);
+    out = new_label(t);
+    fprintf(t->out, "%d    continue\n", top);
+    fputs("      if (.not.", t->out);
+    copy_condition(t);
+    fprintf(t->out, ") goto %d\n", out);
+    push_frame(t, K_WHILE, top);
+    push_frame(t, K_WHILE, out);
+}
+
+void close_block(struct translator *t)
+{
+    struct frame *f;
+    f = top_frame(t);
+    if (f == 0)
+        return;
+    if (f->kind == K_IF) {
+        fprintf(t->out, "%d    continue\n", f->label);
+        pop_frame(t);
+        return;
+    }
+    if (f->kind == K_WHILE) {
+        int out = f->label;
+        pop_frame(t);
+        f = top_frame(t);
+        fprintf(t->out, "      goto %d\n", f->label);
+        fprintf(t->out, "%d    continue\n", out);
+        pop_frame(t);
+        return;
+    }
+    pop_frame(t);
+}
+
+void translate(struct translator *t)
+{
+    int code;
+    for (;;) {
+        get_token(t);
+        if (t->tok.kind == T_EOF)
+            break;
+        if (t->tok.kind == T_NEWLINE)
+            continue;
+        if (t->tok.kind == T_WORD) {
+            code = kw_lookup(t->tok.text);
+            switch (code) {
+            case K_IF:
+                stmt_if(t);
+                continue;
+            case K_ELSE:
+                stmt_else(t);
+                continue;
+            case K_WHILE:
+                stmt_while(t);
+                continue;
+            default:
+                break;
+            }
+        }
+        if (t->tok.kind == T_PUNCT && t->tok.text[0] == '}') {
+            close_block(t);
+            continue;
+        }
+        if (t->tok.kind == T_PUNCT && t->tok.text[0] == '{')
+            continue;
+        /* ordinary statement text: copy the rest of the line */
+        fputs("      ", t->out);
+        fputs(t->tok.text, t->out);
+        for (;;) {
+            get_token(t);
+            if (t->tok.kind == T_NEWLINE || t->tok.kind == T_EOF)
+                break;
+            fputs(" ", t->out);
+            fputs(t->tok.text, t->out);
+        }
+        fputs("\n", t->out);
+    }
+    while (t->sp > 0)
+        close_block(t);
+}
+
+int main(void)
+{
+    tr.in = stdin;
+    tr.out = stdout;
+    tr.sp = 0;
+    tr.nextlabel = 100;
+    tr.pushedback = 0;
+    translate(&tr);
+    return 0;
+}

@@ -1,0 +1,217 @@
+/* simulator: a little CPU simulator whose memory is a flat byte array that
+ * gets viewed as instruction words, register save areas and task control
+ * blocks through casts (struct casting group, offsets-friendly). */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MEMSIZE 4096
+#define NREGS 8
+
+/* instruction word view */
+struct insn {
+    unsigned char opcode;
+    unsigned char rd, rs1, rs2;
+    int imm;
+};
+
+/* register save area view */
+struct savearea {
+    long regs[NREGS];
+    long pc;
+};
+
+/* task control block: lives in simulated memory too */
+struct tcb {
+    int id;
+    int state;               /* 0 ready, 1 running, 2 done */
+    struct savearea save;
+    struct tcb *next;
+};
+
+#define OP_HALT 0
+#define OP_ADDI 1
+#define OP_ADD 2
+#define OP_LD 3
+#define OP_ST 4
+#define OP_BNE 5
+#define OP_YIELD 6
+
+static unsigned char memory[MEMSIZE];
+static long regs[NREGS];
+static long pc;
+static struct tcb *runqueue;
+
+/* carve simulated memory into objects */
+static int memtop;
+
+void *mem_alloc(int size)
+{
+    void *p;
+    size = (size + 7) & ~7;
+    if (memtop + size > MEMSIZE) {
+        fprintf(stderr, "sim: out of memory\n");
+        exit(1);
+    }
+    p = &memory[memtop];
+    memtop += size;
+    return p;
+}
+
+/* program loading: encode instructions into memory */
+int emit(int where, int opcode, int rd, int rs1, int rs2, int imm)
+{
+    struct insn *i = (struct insn *)&memory[where];
+    i->opcode = (unsigned char)opcode;
+    i->rd = (unsigned char)rd;
+    i->rs1 = (unsigned char)rs1;
+    i->rs2 = (unsigned char)rs2;
+    i->imm = imm;
+    return where + (int)sizeof(struct insn);
+}
+
+struct insn *fetch(long at)
+{
+    return (struct insn *)&memory[at];
+}
+
+void save_context(struct savearea *sa)
+{
+    int i;
+    for (i = 0; i < NREGS; i++)
+        sa->regs[i] = regs[i];
+    sa->pc = pc;
+}
+
+void restore_context(struct savearea *sa)
+{
+    int i;
+    for (i = 0; i < NREGS; i++)
+        regs[i] = sa->regs[i];
+    pc = sa->pc;
+}
+
+struct tcb *new_task(long entry)
+{
+    struct tcb *t = (struct tcb *)mem_alloc(sizeof(struct tcb));
+    static int nextid = 1;
+    int i;
+    t->id = nextid++;
+    t->state = 0;
+    for (i = 0; i < NREGS; i++)
+        t->save.regs[i] = 0;
+    t->save.pc = entry;
+    t->next = runqueue;
+    runqueue = t;
+    return t;
+}
+
+struct tcb *pick_task(void)
+{
+    struct tcb *t;
+    for (t = runqueue; t != 0; t = t->next) {
+        if (t->state == 0)
+            return t;
+    }
+    return 0;
+}
+
+/* run one task until yield or halt; returns 0 when it halted */
+int run_task(struct tcb *t)
+{
+    struct insn *i;
+    long steps = 0;
+    t->state = 1;
+    restore_context(&t->save);
+    for (steps = 0; steps < 10000; steps++) {
+        i = fetch(pc);
+        pc += (long)sizeof(struct insn);
+        switch (i->opcode) {
+        case OP_HALT:
+            t->state = 2;
+            return 0;
+        case OP_ADDI:
+            regs[i->rd] = regs[i->rs1] + i->imm;
+            break;
+        case OP_ADD:
+            regs[i->rd] = regs[i->rs1] + regs[i->rs2];
+            break;
+        case OP_LD: {
+            long *slot = (long *)&memory[regs[i->rs1] + i->imm];
+            regs[i->rd] = *slot;
+            break;
+        }
+        case OP_ST: {
+            long *slot = (long *)&memory[regs[i->rs1] + i->imm];
+            *slot = regs[i->rd];
+            break;
+        }
+        case OP_BNE:
+            if (regs[i->rs1] != regs[i->rs2])
+                pc += i->imm;
+            break;
+        case OP_YIELD:
+            save_context(&t->save);
+            t->state = 0;
+            return 1;
+        default:
+            t->state = 2;
+            return 0;
+        }
+    }
+    save_context(&t->save);
+    t->state = 0;
+    return 1;
+}
+
+void scheduler(void)
+{
+    struct tcb *t;
+    int alive = 1;
+    while (alive) {
+        t = pick_task();
+        if (t == 0)
+            break;
+        run_task(t);
+    }
+}
+
+int main(void)
+{
+    int at, loop;
+    long datum;
+    struct tcb *t;
+
+    memtop = 1024;           /* below: code; above: heap for TCBs */
+
+    /* data cell at address 512 */
+    datum = 512;
+    *(long *)&memory[datum] = 0;
+
+    /* task A: add 1 to the cell five times, yielding between steps */
+    at = 0;
+    at = emit(at, OP_ADDI, 1, 0, 0, (int)datum); /* r1 = &cell */
+    loop = at;
+    at = emit(at, OP_LD, 2, 1, 0, 0);            /* r2 = *r1 */
+    at = emit(at, OP_ADDI, 2, 2, 0, 1);          /* r2++ */
+    at = emit(at, OP_ST, 2, 1, 0, 0);            /* *r1 = r2 */
+    at = emit(at, OP_YIELD, 0, 0, 0, 0);
+    at = emit(at, OP_ADDI, 3, 3, 0, 1);          /* r3++ */
+    at = emit(at, OP_ADDI, 4, 0, 0, 5);          /* r4 = 5 */
+    at = emit(at, OP_BNE, 0, 3, 4, loop - at - (int)sizeof(struct insn));
+    at = emit(at, OP_HALT, 0, 0, 0, 0);
+
+    /* two tasks run the same code */
+    t = new_task(0);
+    t = new_task(0);
+    (void)t;
+
+    scheduler();
+
+    printf("cell = %ld\n", *(long *)&memory[datum]);
+    printf("tasks:");
+    for (t = runqueue; t != 0; t = t->next)
+        printf(" %d:%s", t->id, t->state == 2 ? "done" : "live");
+    printf("\n");
+    return 0;
+}

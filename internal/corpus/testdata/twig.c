@@ -1,0 +1,209 @@
+/* twig: a tree-pattern matcher after the code-generator generator. Subject
+ * trees and pattern trees are distinct record types that share only a
+ * partial initial sequence, and the matcher walks both through casts to a
+ * "tree header" type — the paper's worst case for Common Initial Sequence. */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define OP_CONST 1
+#define OP_REG 2
+#define OP_PLUS 3
+#define OP_MUL 4
+#define OP_LOAD 5
+
+/* Generic header: the first two members are shared by both tree kinds. */
+struct treehdr {
+    int op;
+    int arity;
+};
+
+/* Subject trees carry values and child pointers. */
+struct subject {
+    int op;
+    int arity;
+    long value;
+    struct subject *kid[2];
+    int matched_rule;
+};
+
+/* Pattern trees carry costs and a wildcard flag — the third member differs
+ * in type from struct subject, so the CIS stops after two members. */
+struct pattern {
+    int op;
+    int arity;
+    short cost;              /* != subject's long value: CIS ends here */
+    short wildcard;
+    struct pattern *kid[2];
+    int rule;
+};
+
+static struct subject *subj_nodes[64];
+static int nsubj;
+
+struct subject *S(int op, long value, struct subject *l, struct subject *r)
+{
+    struct subject *s = (struct subject *)malloc(sizeof(struct subject));
+    if (s == 0)
+        exit(1);
+    s->op = op;
+    s->arity = (l != 0) + (r != 0);
+    s->value = value;
+    s->kid[0] = l;
+    s->kid[1] = r;
+    s->matched_rule = -1;
+    if (nsubj < 64)
+        subj_nodes[nsubj++] = s;
+    return s;
+}
+
+struct pattern *P(int op, int wildcard, int cost, int rule,
+                  struct pattern *l, struct pattern *r)
+{
+    struct pattern *p = (struct pattern *)malloc(sizeof(struct pattern));
+    if (p == 0)
+        exit(1);
+    p->op = op;
+    p->arity = (l != 0) + (r != 0);
+    p->cost = (short)cost;
+    p->wildcard = (short)wildcard;
+    p->kid[0] = l;
+    p->kid[1] = r;
+    p->rule = rule;
+    return p;
+}
+
+/* Both kinds are inspected through the generic header. */
+int tree_op(void *t)
+{
+    struct treehdr *h = (struct treehdr *)t;
+    return h->op;
+}
+
+int tree_arity(void *t)
+{
+    struct treehdr *h = (struct treehdr *)t;
+    return h->arity;
+}
+
+/* match: does pattern p match subject s? */
+int match(struct subject *s, struct pattern *p)
+{
+    int i;
+    if (p->wildcard)
+        return 1;
+    if (tree_op(s) != tree_op(p))
+        return 0;
+    if (tree_arity(s) != tree_arity(p))
+        return 0;
+    for (i = 0; i < s->arity; i++) {
+        if (!match(s->kid[i], p->kid[i]))
+            return 0;
+    }
+    return 1;
+}
+
+struct rule {
+    const char *name;
+    struct pattern *pat;
+    int cost;
+};
+
+#define MAXRULES 16
+static struct rule rules[MAXRULES];
+static int nrules;
+
+void add_rule(const char *name, struct pattern *pat, int cost)
+{
+    if (nrules >= MAXRULES)
+        return;
+    rules[nrules].name = name;
+    rules[nrules].pat = pat;
+    rules[nrules].cost = cost;
+    pat->rule = nrules;
+    nrules++;
+}
+
+/* label: bottom-up, choose the cheapest matching rule per subject node */
+int label(struct subject *s)
+{
+    int i, best, bestcost, total;
+    for (i = 0; i < s->arity; i++)
+        label(s->kid[i]);
+    best = -1;
+    bestcost = 1 << 30;
+    for (i = 0; i < nrules; i++) {
+        if (match(s, rules[i].pat)) {
+            total = rules[i].cost;
+            if (total < bestcost) {
+                bestcost = total;
+                best = i;
+            }
+        }
+    }
+    s->matched_rule = best;
+    return best;
+}
+
+void emit(struct subject *s, int depth)
+{
+    int i;
+    for (i = 0; i < s->arity; i++)
+        emit(s->kid[i], depth + 1);
+    for (i = 0; i < depth; i++)
+        printf("  ");
+    if (s->matched_rule >= 0)
+        printf("%s", rules[s->matched_rule].name);
+    else
+        printf("?");
+    printf(" (op %d", s->op);
+    if (s->op == OP_CONST)
+        printf(" %ld", s->value);
+    printf(")\n");
+}
+
+/* a pattern copy utility that duplicates through raw memory, another
+ * source of struct casting */
+struct pattern *pat_clone(struct pattern *p)
+{
+    char *raw;
+    struct pattern *q;
+    int i;
+    if (p == 0)
+        return 0;
+    raw = (char *)malloc(sizeof(struct pattern));
+    if (raw == 0)
+        exit(1);
+    memcpy(raw, (char *)p, sizeof(struct pattern));
+    q = (struct pattern *)raw;
+    for (i = 0; i < 2; i++)
+        q->kid[i] = pat_clone(p->kid[i]);
+    return q;
+}
+
+int main(void)
+{
+    struct subject *tree;
+    struct pattern *wild, *addri, *muli;
+
+    wild = P(0, 1, 0, -1, 0, 0);
+    /* rule: reg <- PLUS(reg, CONST) "addi" */
+    addri = P(OP_PLUS, 0, 1, -1, P(OP_REG, 1, 0, -1, 0, 0),
+              P(OP_CONST, 0, 0, -1, 0, 0));
+    /* rule: reg <- MUL(anything, anything) "mul" */
+    muli = P(OP_MUL, 0, 3, -1, pat_clone(wild), pat_clone(wild));
+
+    add_rule("anything", wild, 9);
+    add_rule("addi", addri, 1);
+    add_rule("mul", muli, 3);
+
+    /* subject: MUL(PLUS(REG, CONST 4), LOAD(REG)) */
+    tree = S(OP_MUL, 0,
+             S(OP_PLUS, 0, S(OP_REG, 1, 0, 0), S(OP_CONST, 4, 0, 0)),
+             S(OP_LOAD, 0, S(OP_REG, 2, 0, 0), 0));
+
+    label(tree);
+    emit(tree, 0);
+    printf("%d subject nodes, %d rules\n", nsubj, nrules);
+    return 0;
+}

@@ -1,0 +1,132 @@
+/* ul: do-underlining text filter, after the Unix utility. Character
+ * buffers, a small state machine over backspace sequences, mode tables.
+ * Plain char handling; no structures are cast. */
+#include <stdio.h>
+#include <string.h>
+
+#define MAXLINE 1024
+
+#define M_PLAIN 0
+#define M_UNDER 1
+#define M_BOLD  2
+
+struct cell {
+    char ch;
+    int mode;
+};
+
+static struct cell line[MAXLINE];
+static int linelen;
+static int curmode;
+
+struct modeseq {
+    int mode;
+    const char *start;
+    const char *end;
+};
+
+static struct modeseq seqs[] = {
+    { M_PLAIN, "", "" },
+    { M_UNDER, "<u>", "</u>" },
+    { M_BOLD, "<b>", "</b>" },
+};
+
+void reset_line(void)
+{
+    int i;
+    for (i = 0; i < MAXLINE; i++) {
+        line[i].ch = ' ';
+        line[i].mode = M_PLAIN;
+    }
+    linelen = 0;
+}
+
+void put_at(int col, char c, int mode)
+{
+    if (col < 0 || col >= MAXLINE)
+        return;
+    if (line[col].ch == '_' && c != '_') {
+        line[col].ch = c;
+        line[col].mode = M_UNDER;
+    } else if (c == '_' && line[col].ch != ' ') {
+        line[col].mode = M_UNDER;
+    } else if (c == line[col].ch && c != ' ') {
+        line[col].mode = M_BOLD;
+    } else {
+        line[col].ch = c;
+        line[col].mode = mode;
+    }
+    if (col >= linelen)
+        linelen = col + 1;
+}
+
+struct modeseq *seq_for(int mode)
+{
+    int i;
+    for (i = 0; i < (int)(sizeof(seqs) / sizeof(seqs[0])); i++) {
+        if (seqs[i].mode == mode)
+            return &seqs[i];
+    }
+    return &seqs[0];
+}
+
+void flush_line(FILE *out)
+{
+    int i, mode;
+    struct modeseq *ms;
+    mode = M_PLAIN;
+    for (i = 0; i < linelen; i++) {
+        if (line[i].mode != mode) {
+            ms = seq_for(mode);
+            fputs(ms->end, out);
+            mode = line[i].mode;
+            ms = seq_for(mode);
+            fputs(ms->start, out);
+        }
+        fputc(line[i].ch, out);
+    }
+    if (mode != M_PLAIN) {
+        ms = seq_for(mode);
+        fputs(ms->end, out);
+    }
+    fputc('\n', out);
+    reset_line();
+}
+
+void process(FILE *in, FILE *out)
+{
+    int c, col;
+    col = 0;
+    curmode = M_PLAIN;
+    reset_line();
+    while ((c = fgetc(in)) != EOF) {
+        switch (c) {
+        case '\b':
+            if (col > 0)
+                col--;
+            break;
+        case '\n':
+            flush_line(out);
+            col = 0;
+            break;
+        case '\t':
+            col = (col + 8) & ~7;
+            break;
+        case '\r':
+            col = 0;
+            break;
+        default:
+            put_at(col, (char)c, curmode);
+            col++;
+            break;
+        }
+    }
+    if (linelen > 0)
+        flush_line(out);
+}
+
+int main(void)
+{
+    process(stdin, stdout);
+    return 0;
+}

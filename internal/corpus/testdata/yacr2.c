@@ -1,0 +1,149 @@
+/* yacr2: a simplified channel router after the Austin benchmark. Tracks,
+ * nets with pin intervals, a vertical-constraint graph, greedy track
+ * assignment. Arrays of structs and pointer fields; no struct casting. */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define MAXNETS 48
+#define MAXCOLS 128
+#define MAXTRACKS 32
+
+struct netseg {
+    int id;
+    int left, right;         /* column interval */
+    int track;               /* assigned track, -1 if none */
+    struct netseg *above;    /* vertical constraint: must be above this */
+};
+
+struct track {
+    int used[MAXCOLS];       /* occupancy per column */
+    struct netseg *segs[MAXNETS];
+    int nsegs;
+};
+
+struct channel {
+    struct netseg nets[MAXNETS];
+    int nnets;
+    struct track tracks[MAXTRACKS];
+    int ntracks;
+};
+
+static struct channel chan;
+static unsigned int seed = 7;
+
+int nextrand(int mod)
+{
+    seed = seed * 1103515245u + 12345u;
+    return (int)((seed >> 16) % (unsigned int)mod);
+}
+
+void build_channel(struct channel *ch, int n)
+{
+    int i, a, b;
+    ch->nnets = n;
+    ch->ntracks = 0;
+    for (i = 0; i < n; i++) {
+        a = nextrand(MAXCOLS - 2);
+        b = a + 1 + nextrand(MAXCOLS - a - 1);
+        ch->nets[i].id = i;
+        ch->nets[i].left = a;
+        ch->nets[i].right = b;
+        ch->nets[i].track = -1;
+        ch->nets[i].above = 0;
+    }
+    /* random vertical constraints between overlapping nets */
+    for (i = 1; i < n; i++) {
+        struct netseg *s = &ch->nets[i];
+        struct netseg *p = &ch->nets[nextrand(i)];
+        if (p->left <= s->right && s->left <= p->right && nextrand(3) == 0)
+            s->above = p;
+    }
+}
+
+int track_fits(struct track *t, struct netseg *s)
+{
+    int c;
+    for (c = s->left; c <= s->right; c++) {
+        if (t->used[c])
+            return 0;
+    }
+    return 1;
+}
+
+void track_place(struct track *t, struct netseg *s, int trackno)
+{
+    int c;
+    for (c = s->left; c <= s->right; c++)
+        t->used[c] = 1;
+    t->segs[t->nsegs++] = s;
+    s->track = trackno;
+}
+
+/* Constraint depth: how many nets must lie above this one. */
+int depth(struct netseg *s)
+{
+    int d;
+    struct netseg *p;
+    d = 0;
+    for (p = s->above; p != 0; p = p->above) {
+        d++;
+        if (d > MAXNETS)
+            break; /* cycle guard */
+    }
+    return d;
+}
+
+int cmp_net(const void *a, const void *b)
+{
+    const struct netseg *const *na = (const struct netseg *const *)a;
+    const struct netseg *const *nb = (const struct netseg *const *)b;
+    int da = depth(*(struct netseg **)a);
+    int db = depth(*(struct netseg **)b);
+    if (da != db)
+        return db - da;
+    return (*na)->left - (*nb)->left;
+}
+
+void route(struct channel *ch)
+{
+    struct netseg *order[MAXNETS];
+    int i, t;
+    for (i = 0; i < ch->nnets; i++)
+        order[i] = &ch->nets[i];
+    qsort(order, ch->nnets, sizeof(struct netseg *), cmp_net);
+    for (i = 0; i < ch->nnets; i++) {
+        struct netseg *s = order[i];
+        int mintrack = 0;
+        if (s->above != 0 && s->above->track >= 0)
+            mintrack = s->above->track + 1;
+        for (t = mintrack; t < MAXTRACKS; t++) {
+            if (track_fits(&ch->tracks[t], s)) {
+                track_place(&ch->tracks[t], s, t);
+                if (t >= ch->ntracks)
+                    ch->ntracks = t + 1;
+                break;
+            }
+        }
+    }
+}
+
+void report(struct channel *ch)
+{
+    int i;
+    printf("%d nets routed on %d tracks\n", ch->nnets, ch->ntracks);
+    for (i = 0; i < ch->nnets; i++) {
+        struct netseg *s = &ch->nets[i];
+        printf("net %d [%d,%d] -> track %d", s->id, s->left, s->right, s->track);
+        if (s->above != 0)
+            printf(" (below net %d)", s->above->id);
+        printf("\n");
+    }
+}
+
+int main(void)
+{
+    build_channel(&chan, 40);
+    route(&chan);
+    report(&chan);
+    return 0;
+}

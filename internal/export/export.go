@@ -1,0 +1,153 @@
+// Package export serializes analysis results and experiment measurements to
+// JSON, so the reproduced figures can be consumed by external tooling
+// (plotting scripts, CI regression checks) instead of being re-parsed from
+// the text tables.
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/metrics"
+)
+
+// PointsTo is the JSON form of one cell's points-to set.
+type PointsTo struct {
+	Cell    string   `json:"cell"`
+	Targets []string `json:"targets"`
+}
+
+// ResultJSON is the JSON form of one analysis run.
+type ResultJSON struct {
+	Strategy     string     `json:"strategy"`
+	TotalFacts   int        `json:"total_facts"`
+	AvgDerefSize float64    `json:"avg_deref_size"`
+	DurationNS   int64      `json:"duration_ns"`
+	Sets         []PointsTo `json:"sets,omitempty"`
+}
+
+// Result converts a core.Result. includeSets controls whether the full
+// points-to sets are embedded (they can be large).
+func Result(r *core.Result, includeSets bool) ResultJSON {
+	out := ResultJSON{
+		Strategy:     r.Strategy.Name(),
+		TotalFacts:   r.TotalFacts(),
+		AvgDerefSize: r.AvgDerefSetSize(),
+		DurationNS:   r.Duration.Nanoseconds(),
+	}
+	if includeSets {
+		r.Cells(func(c core.Cell, set core.CellSet) {
+			if c.Obj.IsTemp() {
+				return
+			}
+			pt := PointsTo{Cell: c.String()}
+			for _, t := range set.Sorted() {
+				pt.Targets = append(pt.Targets, t.String())
+			}
+			out.Sets = append(out.Sets, pt)
+		})
+		sort.Slice(out.Sets, func(i, j int) bool { return out.Sets[i].Cell < out.Sets[j].Cell })
+	}
+	return out
+}
+
+// SiteJSON is the JSON form of one dereference site.
+type SiteJSON struct {
+	Pos     string `json:"pos"`
+	Pointer string `json:"pointer"`
+	Size    int    `json:"size"`
+}
+
+// Sites converts the per-site set sizes of a result.
+func Sites(r *core.Result, prog *ir.Program) []SiteJSON {
+	var out []SiteJSON
+	for _, s := range prog.Sites {
+		out = append(out, SiteJSON{
+			Pos:     s.Pos.String(),
+			Pointer: s.Ptr.Name,
+			Size:    r.SiteSetSize(s),
+		})
+	}
+	return out
+}
+
+// RunJSON is the JSON form of one (program, strategy) measurement.
+type RunJSON struct {
+	Strategy     string  `json:"strategy"`
+	AvgDerefSize float64 `json:"avg_deref_size"`
+	TotalFacts   int     `json:"total_facts"`
+	DurationNS   int64   `json:"duration_ns"`
+
+	LookupCalls       int `json:"lookup_calls"`
+	LookupStructs     int `json:"lookup_structs"`
+	LookupMismatches  int `json:"lookup_mismatches"`
+	ResolveCalls      int `json:"resolve_calls"`
+	ResolveStructs    int `json:"resolve_structs"`
+	ResolveMismatches int `json:"resolve_mismatches"`
+}
+
+// ProgramJSON is the JSON form of one benchmark program's measurements.
+type ProgramJSON struct {
+	Name          string             `json:"name"`
+	LOC           int                `json:"loc"`
+	NumStmts      int                `json:"num_stmts"`
+	HasStructCast bool               `json:"has_struct_cast"`
+	Runs          map[string]RunJSON `json:"runs"`
+}
+
+// Program converts a metrics.Program.
+func Program(p *metrics.Program) ProgramJSON {
+	out := ProgramJSON{
+		Name:          p.Name,
+		LOC:           p.LOC,
+		NumStmts:      p.NumStmts,
+		HasStructCast: p.HasStructCast,
+		Runs:          make(map[string]RunJSON, len(p.Runs)),
+	}
+	for name, r := range p.Runs {
+		out.Runs[name] = RunJSON{
+			Strategy:          r.Strategy,
+			AvgDerefSize:      r.AvgDerefSize,
+			TotalFacts:        r.TotalFacts,
+			DurationNS:        r.Duration.Nanoseconds(),
+			LookupCalls:       r.Recorder.LookupCalls,
+			LookupStructs:     r.Recorder.LookupStructs,
+			LookupMismatches:  r.Recorder.LookupMismatches,
+			ResolveCalls:      r.Recorder.ResolveCalls,
+			ResolveStructs:    r.Recorder.ResolveStructs,
+			ResolveMismatches: r.Recorder.ResolveMismatches,
+		}
+	}
+	return out
+}
+
+// Evaluation is the top-level JSON document for a full corpus run.
+type Evaluation struct {
+	ABI      string        `json:"abi"`
+	Programs []ProgramJSON `json:"programs"`
+}
+
+// WriteEvaluation marshals a full evaluation to w (indented).
+func WriteEvaluation(w io.Writer, abi string, progs []*metrics.Program) error {
+	ev := Evaluation{ABI: abi}
+	for _, p := range progs {
+		ev.Programs = append(ev.Programs, Program(p))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ev)
+}
+
+// WriteResult marshals one analysis result to w (indented).
+func WriteResult(w io.Writer, r *core.Result, prog *ir.Program, includeSets bool) error {
+	doc := struct {
+		ResultJSON
+		Sites []SiteJSON `json:"sites"`
+	}{Result(r, includeSets), Sites(r, prog)}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

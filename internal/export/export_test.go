@@ -1,0 +1,113 @@
+package export_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/export"
+	"repro/internal/frontend"
+	"repro/internal/metrics"
+)
+
+const src = `
+struct S { int *a; } s;
+int x, *p;
+void f(void) {
+	s.a = &x;
+	p = s.a;
+	x = *p;
+}`
+
+func analyze(t *testing.T) (*frontend.Result, *core.Result) {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, core.Analyze(r.IR, core.NewCIS())
+}
+
+func TestResultJSON(t *testing.T) {
+	fr, res := analyze(t)
+	_ = fr
+	j := export.Result(res, true)
+	if j.Strategy != "common-initial-seq" {
+		t.Errorf("strategy = %q", j.Strategy)
+	}
+	if j.TotalFacts == 0 || j.AvgDerefSize <= 0 {
+		t.Errorf("facts=%d avg=%v", j.TotalFacts, j.AvgDerefSize)
+	}
+	if len(j.Sets) == 0 {
+		t.Fatal("no sets with includeSets=true")
+	}
+	// Temps must be filtered.
+	for _, s := range j.Sets {
+		if len(s.Cell) > 3 && s.Cell[:3] == "tmp" {
+			t.Errorf("temp leaked: %s", s.Cell)
+		}
+	}
+	// Without sets.
+	if j2 := export.Result(res, false); len(j2.Sets) != 0 {
+		t.Error("sets included with includeSets=false")
+	}
+}
+
+func TestWriteResultValidJSON(t *testing.T) {
+	fr, res := analyze(t)
+	var buf bytes.Buffer
+	if err := export.WriteResult(&buf, res, fr.IR, true); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["sites"]; !ok {
+		t.Error("sites missing")
+	}
+	sites := doc["sites"].([]interface{})
+	if len(sites) == 0 {
+		t.Error("no sites serialized")
+	}
+}
+
+func TestWriteEvaluation(t *testing.T) {
+	p, err := metrics.Measure("tiny", []frontend.Source{{Name: "t.c", Text: src}},
+		frontend.Options{}, metrics.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := export.WriteEvaluation(&buf, "lp64", []*metrics.Program{p}); err != nil {
+		t.Fatal(err)
+	}
+	var ev export.Evaluation
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if ev.ABI != "lp64" || len(ev.Programs) != 1 {
+		t.Fatalf("ev = %+v", ev)
+	}
+	prog := ev.Programs[0]
+	if prog.Name != "tiny" || len(prog.Runs) != 4 {
+		t.Errorf("prog = %+v", prog)
+	}
+	for name, run := range prog.Runs {
+		if run.DurationNS <= 0 {
+			t.Errorf("%s: duration %d", name, run.DurationNS)
+		}
+	}
+}
+
+func TestRoundTripStableOrder(t *testing.T) {
+	_, res := analyze(t)
+	a := export.Result(res, true)
+	b := export.Result(res, true)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Error("export not deterministic")
+	}
+}

@@ -1,0 +1,446 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+func load(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return r.IR
+}
+
+// countOps tallies statement operations.
+func countOps(p *ir.Program) map[ir.Op]int {
+	m := make(map[ir.Op]int)
+	for _, s := range p.Stmts {
+		m[s.Op]++
+	}
+	return m
+}
+
+// stmtsOf returns the statements of the named function.
+func stmtsOf(t *testing.T, p *ir.Program, name string) []*ir.Stmt {
+	t.Helper()
+	for _, f := range p.Funcs {
+		if f.Sym.Name == name {
+			return f.Stmts
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil
+}
+
+func TestPaperExampleNormalization(t *testing.T) {
+	// The Introduction's example: field-sensitive facts must be derivable.
+	src := `
+struct S { int *s1; int *s2; } s;
+int x, y, *p;
+void f(void) {
+	s.s1 = &x;
+	s.s2 = &y;
+	p = s.s1;
+}`
+	p := load(t, src)
+	dump := p.Dump()
+	// s.s1 = &x must lower to tmp = &s.s1; tmp2 = &x; *tmp = tmp2.
+	if !strings.Contains(dump, "&s.s1") {
+		t.Errorf("missing &s.s1 in:\n%s", dump)
+	}
+	ops := countOps(p)
+	if ops[ir.OpStore] < 2 {
+		t.Errorf("expected at least 2 stores, got %d\n%s", ops[ir.OpStore], dump)
+	}
+	if ops[ir.OpCopy] < 1 {
+		t.Errorf("expected a copy for p = s.s1\n%s", dump)
+	}
+}
+
+func TestAddrOfForms(t *testing.T) {
+	src := `
+struct T { int v; } t, *q;
+int *p;
+void f(void) {
+	p = &t.v;
+	q = &t;
+	p = &q->v;
+	p = &(*q).v;
+}`
+	p := load(t, src)
+	ops := countOps(p)
+	if ops[ir.OpAddrOf] < 2 {
+		t.Errorf("addrof count = %d", ops[ir.OpAddrOf])
+	}
+	if ops[ir.OpAddrField] != 2 {
+		t.Errorf("addrfield count = %d, want 2 (for &q->v and &(*q).v)\n%s", ops[ir.OpAddrField], p.Dump())
+	}
+}
+
+func TestLoadStoreForms(t *testing.T) {
+	src := `
+int *p, **pp, x;
+void f(void) {
+	*pp = p;
+	p = *pp;
+	**pp = x;
+}`
+	p := load(t, src)
+	ops := countOps(p)
+	if ops[ir.OpLoad] < 2 {
+		t.Errorf("load count = %d\n%s", ops[ir.OpLoad], p.Dump())
+	}
+	if ops[ir.OpStore] < 2 {
+		t.Errorf("store count = %d\n%s", ops[ir.OpStore], p.Dump())
+	}
+}
+
+func TestMallocAllocationSite(t *testing.T) {
+	src := `
+#include <stdlib.h>
+struct S { int *f; };
+void g(void) {
+	struct S *a = (struct S *)malloc(sizeof(struct S));
+	struct S *b = (struct S *)malloc(sizeof(struct S));
+	char *c;
+	c = malloc(10);
+}`
+	p := load(t, src)
+	var heaps []*ir.Object
+	for _, o := range p.Objects {
+		if o.Kind == ir.ObjHeap && strings.HasPrefix(o.Name, "malloc@") {
+			heaps = append(heaps, o)
+		}
+	}
+	if len(heaps) != 3 {
+		t.Fatalf("got %d malloc sites, want 3", len(heaps))
+	}
+	if heaps[0] == heaps[1] {
+		t.Error("allocation sites must be distinct")
+	}
+	// Type hints: the first two sites are typed struct S, the third char.
+	if heaps[0].Type == nil || !heaps[0].Type.IsRecord() {
+		t.Errorf("heap 0 type = %v, want struct S", heaps[0].Type)
+	}
+	if heaps[2].Type == nil || heaps[2].Type.Kind.String() != "char" {
+		t.Errorf("heap 2 type = %v, want char", heaps[2].Type)
+	}
+}
+
+func TestCallLowering(t *testing.T) {
+	src := `
+int *id(int *p) { return p; }
+int x;
+void f(void) {
+	int *r = id(&x);
+}`
+	p := load(t, src)
+	ops := countOps(p)
+	if ops[ir.OpCall] != 1 {
+		t.Errorf("call count = %d", ops[ir.OpCall])
+	}
+	// id must have a retval object receiving p.
+	for _, f := range p.Funcs {
+		if f.Sym.Name == "id" {
+			if f.Retval == nil {
+				t.Fatal("id has no retval")
+			}
+			if len(f.Params) != 1 {
+				t.Fatalf("id params = %d", len(f.Params))
+			}
+			return
+		}
+	}
+	t.Fatal("id not found")
+}
+
+func TestFunctionPointerCall(t *testing.T) {
+	src := `
+int h(int v) { return v; }
+int (*fp)(int);
+void f(void) {
+	fp = h;
+	fp(1);
+	(*fp)(2);
+}`
+	p := load(t, src)
+	ops := countOps(p)
+	// Both calls must be OpCall through fp; h's address taken once.
+	if ops[ir.OpCall] != 2 {
+		t.Errorf("call count = %d, want 2\n%s", ops[ir.OpCall], p.Dump())
+	}
+	stmts := stmtsOf(t, p, "f")
+	addrOfH := 0
+	for _, s := range stmts {
+		if s.Op == ir.OpAddrOf && s.Src != nil && s.Src.Kind == ir.ObjFunc {
+			addrOfH++
+		}
+	}
+	if addrOfH != 1 {
+		t.Errorf("function address taken %d times, want 1 (fp = h)", addrOfH)
+	}
+}
+
+func TestStructCopyForms(t *testing.T) {
+	src := `
+struct A { int *a1; } a, b, *pa;
+void f(void) {
+	b = a;
+	*pa = a;
+	b = *pa;
+}`
+	p := load(t, src)
+	ops := countOps(p)
+	if ops[ir.OpCopy] < 1 || ops[ir.OpStore] < 1 || ops[ir.OpLoad] < 1 {
+		t.Errorf("ops = %v\n%s", ops, p.Dump())
+	}
+}
+
+func TestPtrArith(t *testing.T) {
+	src := `
+int a[10], *p, *q;
+void f(void) {
+	p = a + 2;
+	q = p + 1;
+	q = q - 1;
+	q += 3;
+	q++;
+}`
+	p := load(t, src)
+	ops := countOps(p)
+	if ops[ir.OpPtrArith] < 5 {
+		t.Errorf("ptrarith count = %d, want >= 5\n%s", ops[ir.OpPtrArith], p.Dump())
+	}
+}
+
+func TestDerefSites(t *testing.T) {
+	src := `
+struct S { int *f; } *p;
+int **q, *r, x;
+void f(void) {
+	r = p->f;    /* one deref of p */
+	r = *q;      /* one deref of q */
+	*q = &x;     /* one deref of q */
+	x = q[1] != 0;  /* one deref of q */
+}`
+	p := load(t, src)
+	if len(p.Sites) != 4 {
+		var b strings.Builder
+		for _, s := range p.Sites {
+			b.WriteString(s.Pos.String() + " of " + s.Ptr.Name + "\n")
+		}
+		t.Errorf("deref sites = %d, want 4:\n%s%s", len(p.Sites), b.String(), p.Dump())
+	}
+}
+
+func TestArraySingleElement(t *testing.T) {
+	src := `
+struct E { int *v; };
+struct E table[8];
+int x;
+void f(void) {
+	table[3].v = &x;
+	table[5].v = &x;
+}`
+	p := load(t, src)
+	// Both stores go to the same object (the array), same field path.
+	addr := 0
+	for _, s := range p.Stmts {
+		if s.Op == ir.OpAddrOf && s.Src != nil && s.Src.Name == "table" {
+			if s.Path.String() != ".v" {
+				t.Errorf("path = %q, want .v", s.Path.String())
+			}
+			addr++
+		}
+	}
+	if addr != 2 {
+		t.Errorf("addrof table.v count = %d, want 2\n%s", addr, p.Dump())
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+int x;
+int *gp = &x;
+struct P { int *a; int *b; } s = { &x, 0 };
+int *arr[2] = { &x, &x };
+`
+	p := load(t, src)
+	ops := countOps(p)
+	// gp = &x: copy via addrof; s.a = &x: store via temp; arr: two stores.
+	if ops[ir.OpAddrOf] < 4 {
+		t.Errorf("addrof = %d\n%s", ops[ir.OpAddrOf], p.Dump())
+	}
+}
+
+func TestStringLiteralObjects(t *testing.T) {
+	src := `char *s1 = "hello"; char *s2 = "world";
+void f(void) { s1 = "again"; }`
+	p := load(t, src)
+	n := 0
+	for _, o := range p.Objects {
+		if o.Kind == ir.ObjString {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("string objects = %d, want 3", n)
+	}
+}
+
+func TestLibSummaries(t *testing.T) {
+	src := `
+#include <string.h>
+#include <stdlib.h>
+char buf[64];
+void f(char *src) {
+	char *d = strcpy(buf, src);
+	char *dup = strdup(src);
+	char *sub = strchr(src, 'a');
+}`
+	p := load(t, src)
+	if len(p.Warnings) != 0 {
+		t.Errorf("warnings: %v", p.Warnings)
+	}
+	// strcpy synthetic body must contain a MemCopy.
+	found := false
+	for _, f := range p.Funcs {
+		if f.Sym.Name == "strcpy" {
+			for _, s := range f.Stmts {
+				if s.Op == ir.OpMemCopy {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("strcpy summary lacks MemCopy")
+	}
+	// strdup must be an allocation site.
+	heap := false
+	for _, o := range p.Objects {
+		if o.Kind == ir.ObjHeap && strings.HasPrefix(o.Name, "strdup@") {
+			heap = true
+		}
+	}
+	if !heap {
+		t.Error("strdup call did not create a heap object")
+	}
+}
+
+func TestUnknownExternalWarns(t *testing.T) {
+	src := "void mystery(int *p);\nint x;\nvoid f(void) { mystery(&x); }"
+	p := load(t, src)
+	found := false
+	for _, w := range p.Warnings {
+		if strings.Contains(w, "mystery") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected warning for mystery, got %v", p.Warnings)
+	}
+}
+
+func TestReturnLowering(t *testing.T) {
+	src := `
+int g;
+int *f(void) { return &g; }`
+	p := load(t, src)
+	stmts := stmtsOf(t, p, "f")
+	hasRetCopy := false
+	for _, s := range stmts {
+		if s.Op == ir.OpCopy && s.Dst != nil && s.Dst.Kind == ir.ObjRetval {
+			hasRetCopy = true
+		}
+	}
+	if !hasRetCopy {
+		t.Errorf("no retval copy in:\n%s", p.Dump())
+	}
+}
+
+func TestCondExprUnionsBothArms(t *testing.T) {
+	src := `
+int x, y, *p;
+void f(int c) { p = c ? &x : &y; }`
+	p := load(t, src)
+	stmts := stmtsOf(t, p, "f")
+	copies := 0
+	for _, s := range stmts {
+		if s.Op == ir.OpCopy {
+			copies++
+		}
+	}
+	if copies < 3 { // tmp=&x→cond, tmp=&y→cond, p=cond
+		t.Errorf("copies = %d\n%s", copies, p.Dump())
+	}
+}
+
+func TestCastCreatesTypedTemp(t *testing.T) {
+	src := `
+struct B { int *b1; } *pb;
+void *v;
+void f(void) { pb = (struct B *)v; }`
+	p := load(t, src)
+	stmts := stmtsOf(t, p, "f")
+	found := false
+	for _, s := range stmts {
+		if s.Op == ir.OpCopy && s.Cast != nil {
+			if s.Dst.Type.Kind.String() != "ptr" {
+				t.Errorf("cast temp type = %s", s.Dst.Type)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cast copy in:\n%s", p.Dump())
+	}
+}
+
+func TestVarargsBucket(t *testing.T) {
+	src := `
+#include <stdio.h>
+void f(void) { printf("%d", 1); }`
+	p := load(t, src)
+	for _, f := range p.Funcs {
+		if f.Sym.Name == "printf" {
+			if f.Varargs == nil {
+				t.Error("printf has no varargs bucket")
+			}
+			return
+		}
+	}
+	t.Fatal("printf not found")
+}
+
+func TestStoreOfLiteralKeepsSite(t *testing.T) {
+	src := "int *p;\nvoid f(void) { *p = 5; }"
+	prog := load(t, src)
+	if len(prog.Sites) != 1 {
+		t.Errorf("sites = %d, want 1 (store of literal still dereferences)", len(prog.Sites))
+	}
+	// The store statement must exist with a nil Src.
+	found := false
+	for _, s := range prog.Stmts {
+		if s.Op == ir.OpStore && s.Src == nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("store with nil source not emitted")
+	}
+}
+
+func TestSizeofDoesNotEvaluate(t *testing.T) {
+	src := "int *p;\nvoid f(void) { unsigned n = sizeof(*p); }"
+	prog := load(t, src)
+	if len(prog.Sites) != 0 {
+		t.Errorf("sizeof(*p) must not create a deref site, got %d", len(prog.Sites))
+	}
+}

@@ -1,0 +1,148 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+)
+
+const wrapperSrc = `
+#include <stdlib.h>
+struct buffer { char *data; int len; };
+
+struct buffer *mk(int n) {
+	struct buffer *b = (struct buffer *)malloc(sizeof(struct buffer));
+	b->len = n;
+	return b;
+}
+
+struct buffer *input, *output;
+
+void setup(void) {
+	input = mk(64);
+	output = mk(128);
+}
+`
+
+func TestInlineAllocWrappersSeparatesSites(t *testing.T) {
+	r, err := frontend.Load([]frontend.Source{{Name: "w.c", Text: wrapperSrc}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without cloning: both callers share mk's single allocation site.
+	base := core.Analyze(r.IR, core.NewCIS())
+	in := objNamed(t, r.IR, "input")
+	outv := objNamed(t, r.IR, "output")
+	if !sameTargets(base, in, outv) {
+		t.Fatal("precondition: plain naming should merge the two buffers")
+	}
+
+	// With cloning: each call site gets its own heap object.
+	r2, err := frontend.Load([]frontend.Source{{Name: "w.c", Text: wrapperSrc}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ir.InlineAllocWrappers(r2.IR, 0)
+	if n != 2 {
+		t.Fatalf("inlined %d call sites, want 2", n)
+	}
+	cloned := core.Analyze(r2.IR, core.NewCIS())
+	in2 := objNamed(t, r2.IR, "input")
+	out2 := objNamed(t, r2.IR, "output")
+	if sameTargets(cloned, in2, out2) {
+		t.Errorf("cloning did not separate the buffers: input=%v output=%v",
+			cloned.PointsTo(in2, nil).Sorted(), cloned.PointsTo(out2, nil).Sorted())
+	}
+	if cloned.PointsTo(in2, nil).Len() == 0 {
+		t.Error("input lost its facts after inlining")
+	}
+}
+
+func TestInlineSkipsNonWrappers(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int helper(int x) { return x + 1; }           /* no heap */
+int *chain(void) { return (int *)malloc(4); }
+int *wrap(void) { return chain(); }           /* calls: not inlined */
+int *p;
+void f(void) { p = wrap(); helper(1); }`
+	r, err := frontend.Load([]frontend.Source{{Name: "n.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(r.IR.Stmts)
+	n := ir.InlineAllocWrappers(r.IR, 0)
+	// Only chain() qualifies, and it has no direct calls in f — wrap
+	// calls it, and wrap itself is disqualified (contains a call).
+	if n != 1 {
+		t.Errorf("inlined %d, want 1 (the chain() call inside wrap)", n)
+	}
+	if len(r.IR.Stmts) < before {
+		t.Error("statements vanished")
+	}
+	// Soundness: p must still reach the heap.
+	res := core.Analyze(r.IR, core.NewCIS())
+	p := objNamed(t, r.IR, "p")
+	found := false
+	for c := range res.PointsTo(p, nil) {
+		if strings.Contains(c.Obj.Name, "malloc@") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("p lost the heap after inlining: %v", res.PointsTo(p, nil).Sorted())
+	}
+}
+
+func TestInlineCreatesFreshSites(t *testing.T) {
+	r, err := frontend.Load([]frontend.Source{{Name: "w.c", Text: wrapperSrc}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(r.IR.Sites)
+	ir.InlineAllocWrappers(r.IR, 0)
+	// mk contains one deref (b->len store); two clones add two sites.
+	if len(r.IR.Sites) != before+2 {
+		t.Errorf("sites %d -> %d, want +2", before, len(r.IR.Sites))
+	}
+}
+
+func TestInlineIdempotentWhenNothingQualifies(t *testing.T) {
+	src := "int x, *p;\nvoid f(void) { p = &x; }"
+	r, err := frontend.Load([]frontend.Source{{Name: "s.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ir.InlineAllocWrappers(r.IR, 0); n != 0 {
+		t.Errorf("inlined %d on a program without wrappers", n)
+	}
+}
+
+func objNamed(t *testing.T, p *ir.Program, name string) *ir.Object {
+	t.Helper()
+	for _, o := range p.Objects {
+		if o.Sym != nil && o.Sym.Name == name {
+			return o
+		}
+	}
+	t.Fatalf("object %q not found", name)
+	return nil
+}
+
+func sameTargets(res *core.Result, a, b *ir.Object) bool {
+	sa := res.PointsTo(a, nil)
+	sb := res.PointsTo(b, nil)
+	if sa.Len() != sb.Len() {
+		return false
+	}
+	for c := range sa {
+		if !sb.Has(c) {
+			return false
+		}
+	}
+	return sa.Len() > 0
+}

@@ -1,0 +1,122 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cc/types"
+)
+
+func TestPathString(t *testing.T) {
+	if got := (Path{}).String(); got != "" {
+		t.Errorf("empty path = %q", got)
+	}
+	if got := (Path{"a", "b"}).String(); got != ".a.b" {
+		t.Errorf("path = %q", got)
+	}
+}
+
+func TestPathExtendFreshBacking(t *testing.T) {
+	base := Path{"a"}
+	p1 := base.Extend("b")
+	p2 := base.Extend("c")
+	if p1[1] != "b" || p2[1] != "c" {
+		t.Fatalf("extend aliasing: %v %v", p1, p2)
+	}
+	if len(base) != 1 {
+		t.Error("base mutated")
+	}
+}
+
+func TestObjKindStrings(t *testing.T) {
+	kinds := map[ObjKind]string{
+		ObjVar: "var", ObjParam: "param", ObjFunc: "func", ObjHeap: "heap",
+		ObjString: "string", ObjTemp: "temp", ObjRetval: "retval", ObjVarargs: "varargs",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := map[Op]string{
+		OpAddrOf: "addrof", OpAddrField: "addrfield", OpCopy: "copy",
+		OpLoad: "load", OpStore: "store", OpPtrArith: "ptrarith",
+		OpCall: "call", OpMemCopy: "memcopy",
+	}
+	for op, want := range ops {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	u := types.NewUniverse()
+	intT := u.Basic(types.Int)
+	a := &Object{ID: 1, Name: "a", Type: intT}
+	b := &Object{ID: 2, Name: "b", Type: intT}
+	p := &Object{ID: 3, Name: "p", Type: types.PointerTo(intT)}
+
+	cases := []struct {
+		stmt *Stmt
+		want string
+	}{
+		{&Stmt{Op: OpAddrOf, Dst: a, Src: b, Path: Path{"f"}}, "a = &b.f"},
+		{&Stmt{Op: OpAddrField, Dst: a, Ptr: p, Path: Path{"g"}}, "a = &((*p).g)"},
+		{&Stmt{Op: OpCopy, Dst: a, Src: b}, "a = b"},
+		{&Stmt{Op: OpCopy, Dst: a, Src: b, Cast: intT}, "a = (int)b"},
+		{&Stmt{Op: OpLoad, Dst: a, Ptr: p}, "a = *p"},
+		{&Stmt{Op: OpStore, Ptr: p, Src: b}, "*p = b"},
+		{&Stmt{Op: OpPtrArith, Dst: a, Src: b}, "a = b ⊕ …"},
+		{&Stmt{Op: OpCall, Dst: a, Ptr: p, Args: []*Object{b, nil}}, "a = (*p)(b, _)"},
+		{&Stmt{Op: OpCall, Ptr: p}, "(*p)()"},
+		{&Stmt{Op: OpMemCopy, Ptr: p, Src: b}, "memcopy *p ⇐ *b"},
+	}
+	for _, c := range cases {
+		if got := c.stmt.String(); got != c.want {
+			t.Errorf("Stmt.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRefString(t *testing.T) {
+	o := &Object{ID: 1, Name: "s"}
+	if got := (Ref{Obj: o, Path: Path{"x"}}).String(); got != "s.x" {
+		t.Errorf("Ref = %q", got)
+	}
+	if got := (Ref{Obj: o}).String(); got != "s" {
+		t.Errorf("Ref = %q", got)
+	}
+}
+
+func TestObjectHelpers(t *testing.T) {
+	tmp := &Object{ID: 1, Name: "tmp1", Kind: ObjTemp}
+	if !tmp.IsTemp() {
+		t.Error("IsTemp false for temp")
+	}
+	v := &Object{ID: 2, Name: "v", Kind: ObjVar}
+	if v.IsTemp() {
+		t.Error("IsTemp true for var")
+	}
+	if v.String() != "v" {
+		t.Errorf("Object.String() = %q", v.String())
+	}
+}
+
+func TestProgramDumpContainsFunctions(t *testing.T) {
+	// Dump is exercised end-to-end in build_test.go; check the per-line
+	// function prefix here.
+	u := types.NewUniverse()
+	intT := u.Basic(types.Int)
+	a := &Object{ID: 1, Name: "a", Type: intT}
+	b := &Object{ID: 2, Name: "b", Type: intT}
+	p := &Program{}
+	p.Stmts = append(p.Stmts, &Stmt{Op: OpCopy, Dst: a, Src: b})
+	dump := p.Dump()
+	if !strings.Contains(dump, "<global>: a = b") {
+		t.Errorf("dump = %q", dump)
+	}
+}

@@ -1,0 +1,242 @@
+package libsum_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/libsum"
+)
+
+func load(t *testing.T, src string) *frontend.Result {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return r
+}
+
+func obj(t *testing.T, p *ir.Program, name string) *ir.Object {
+	t.Helper()
+	for _, o := range p.Objects {
+		if o.Name == name || (o.Sym != nil && o.Sym.Name == name) {
+			return o
+		}
+	}
+	t.Fatalf("object %q not found", name)
+	return nil
+}
+
+func pts(t *testing.T, r *frontend.Result, name string) map[string]bool {
+	t.Helper()
+	res := core.Analyze(r.IR, core.NewCIS())
+	out := make(map[string]bool)
+	for c := range res.PointsTo(obj(t, r.IR, name), nil) {
+		out[c.Obj.Name] = true
+	}
+	return out
+}
+
+func hasPrefix(set map[string]bool, prefix string) bool {
+	for k := range set {
+		if strings.HasPrefix(k, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIsAllocator(t *testing.T) {
+	s := libsum.New()
+	for _, name := range []string{"malloc", "calloc", "realloc", "strdup", "fopen"} {
+		if !s.IsAllocator(name) {
+			t.Errorf("%s not an allocator", name)
+		}
+	}
+	for _, name := range []string{"free", "strcpy", "printf"} {
+		if s.IsAllocator(name) {
+			t.Errorf("%s wrongly an allocator", name)
+		}
+	}
+}
+
+func TestStrcpyReturnsDest(t *testing.T) {
+	src := `#include <string.h>
+char buf[8];
+char *r;
+void f(char *s) { r = strcpy(buf, s); }`
+	got := pts(t, load(t, src), "r")
+	if !got["buf"] {
+		t.Errorf("pts(r) = %v, want buf", got)
+	}
+}
+
+func TestStrchrReturnsIntoArg(t *testing.T) {
+	src := `#include <string.h>
+char data[8];
+char *r;
+void f(void) { r = strchr(data, 'x'); }`
+	got := pts(t, load(t, src), "r")
+	if !got["data"] {
+		t.Errorf("pts(r) = %v, want data", got)
+	}
+}
+
+func TestStrtokStatic(t *testing.T) {
+	// strtok(NULL, d) returns pointers into the previously saved string.
+	src := `#include <string.h>
+char line[64];
+char *first, *second;
+void f(void) {
+	first = strtok(line, " ");
+	second = strtok(0, " ");
+}`
+	r := load(t, src)
+	got := pts(t, r, "second")
+	if !got["line"] {
+		t.Errorf("pts(second) = %v, want line (through strtok's saved state)", got)
+	}
+}
+
+func TestGetenvStatic(t *testing.T) {
+	src := `#include <stdlib.h>
+char *home;
+void f(void) { home = getenv("HOME"); }`
+	got := pts(t, load(t, src), "home")
+	if !hasPrefix(got, "getenv@static") {
+		t.Errorf("pts(home) = %v, want getenv's static buffer", got)
+	}
+}
+
+func TestReallocAliasesOldBlock(t *testing.T) {
+	src := `#include <stdlib.h>
+int *p, *q;
+void f(void) {
+	p = (int *)malloc(8);
+	q = (int *)realloc(p, 16);
+}`
+	got := pts(t, load(t, src), "q")
+	if !hasPrefix(got, "malloc@") {
+		t.Errorf("pts(q) = %v, want the original malloc block (grown in place)", got)
+	}
+	if !hasPrefix(got, "realloc@") {
+		t.Errorf("pts(q) = %v, want the fresh realloc block", got)
+	}
+}
+
+func TestStrdupCopiesContents(t *testing.T) {
+	src := `#include <string.h>
+struct box { char tag[4]; int *p; } src1;
+int x;
+char *d;
+void f(void) {
+	src1.p = &x;
+	d = strdup((char *)&src1);
+}`
+	r := load(t, src)
+	// The duplicated block must carry the pointer to x: reading it back
+	// through a cast recovers x.
+	src2 := src + `
+int *r2;
+void g(void) { r2 = ((struct box *)d)->p; }`
+	r = load(t, src2)
+	got := pts(t, r, "r2")
+	if !got["x"] {
+		t.Errorf("pts(r2) = %v, want x via strdup'd contents", got)
+	}
+}
+
+func TestBsearchReturnsIntoBase(t *testing.T) {
+	src := `#include <stdlib.h>
+int table[8];
+int cmp(const void *a, const void *b) { return 0; }
+int *r;
+void f(void) { r = (int *)bsearch(&table[0], table, 8, sizeof(int), cmp); }`
+	got := pts(t, load(t, src), "r")
+	if !got["table"] {
+		t.Errorf("pts(r) = %v, want table", got)
+	}
+}
+
+func TestAtexitInvokesHandler(t *testing.T) {
+	src := `#include <stdlib.h>
+int called;
+void handler(void) { called = 1; }
+void f(void) { atexit(handler); }`
+	r := load(t, src)
+	// handler must be reachable in the call graph: atexit's synthetic
+	// body contains an indirect call through its parameter.
+	res := core.Analyze(r.IR, core.NewCIS())
+	found := false
+	for _, f := range r.IR.Funcs {
+		if f.Sym.Name != "atexit" {
+			continue
+		}
+		for _, st := range f.Stmts {
+			if st.Op == ir.OpCall {
+				for c := range res.PointsTo(st.Ptr, nil) {
+					if c.Obj.Name == "handler" {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("atexit does not bind its handler")
+	}
+}
+
+func TestStrtolWritesEndPointer(t *testing.T) {
+	src := `#include <stdlib.h>
+char digits[8];
+char *endp;
+void f(void) { strtol(digits, &endp, 10); }`
+	got := pts(t, load(t, src), "endp")
+	if !got["digits"] {
+		t.Errorf("pts(endp) = %v, want digits", got)
+	}
+}
+
+func TestFreopenAliasesStream(t *testing.T) {
+	src := `#include <stdio.h>
+FILE *f2;
+void f(void) { f2 = freopen("x", "r", stdin); }`
+	r := load(t, src)
+	got := pts(t, r, "f2")
+	// Result aliases both a fresh FILE block and the passed stream's
+	// targets (stdin is extern with no facts here, so at least the heap).
+	if !hasPrefix(got, "freopen@") {
+		t.Errorf("pts(f2) = %v, want a freopen block", got)
+	}
+}
+
+func TestEmitBodyUnknown(t *testing.T) {
+	src := "void mystery(void);\nvoid f(void) { mystery(); }"
+	r := load(t, src)
+	found := false
+	for _, w := range r.IR.Warnings {
+		if strings.Contains(w, "mystery") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unknown external not warned: %v", r.IR.Warnings)
+	}
+}
+
+func TestNoEffectFunctionsHaveEmptyBodies(t *testing.T) {
+	src := `#include <ctype.h>
+int f(int c) { return isalpha(c) + tolower(c); }`
+	r := load(t, src)
+	for _, fn := range r.IR.Funcs {
+		if fn.Sym.Name == "isalpha" || fn.Sym.Name == "tolower" {
+			if len(fn.Stmts) != 0 {
+				t.Errorf("%s has %d stmts, want 0", fn.Sym.Name, len(fn.Stmts))
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package metrics runs the four analysis instances over a program and
+// collects the measurements behind the paper's evaluation (Figures 3–6):
+// program size, normalized statement counts, lookup/resolve instrumentation,
+// average points-to set sizes at dereference sites, analysis times, and
+// total points-to edge counts.
+package metrics
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/cc/layout"
+	"repro/internal/core"
+	"repro/internal/frontend"
+)
+
+// StrategyNames lists the four instances in the paper's presentation order.
+var StrategyNames = []string{
+	"collapse-always",
+	"collapse-on-cast",
+	"common-initial-seq",
+	"offsets",
+}
+
+// NewStrategy constructs a fresh instance by name.
+func NewStrategy(name string, lay *layout.Engine) core.Strategy {
+	switch name {
+	case "collapse-always":
+		return core.NewCollapseAlways()
+	case "collapse-on-cast":
+		return core.NewCollapseOnCast()
+	case "common-initial-seq":
+		return core.NewCIS()
+	case "offsets":
+		return core.NewOffsets(lay)
+	}
+	return nil
+}
+
+// Run is the measurement of one (program, strategy) pair.
+type Run struct {
+	Strategy string
+	Result   *core.Result
+
+	AvgDerefSize float64
+	TotalFacts   int
+	Duration     time.Duration
+	Recorder     core.Recorder
+}
+
+// Program is the full measurement of one benchmark program.
+type Program struct {
+	Name     string
+	LOC      int
+	NumStmts int // normalized assignments (Figure 3, column 4)
+
+	// HasStructCast reports whether any struct access or copy involved a
+	// type mismatch (the paper's grouping: 8 programs without, 12 with).
+	HasStructCast bool
+
+	Runs map[string]*Run
+}
+
+// PctLookupStructs returns Figure 3 column 5/6: the percentage of
+// lookup calls that involved structures, for the named strategy.
+func (p *Program) PctLookupStructs(strategy string) float64 {
+	r := p.Runs[strategy]
+	if r == nil || r.Recorder.LookupCalls == 0 {
+		return 0
+	}
+	return 100 * float64(r.Recorder.LookupStructs) / float64(r.Recorder.LookupCalls)
+}
+
+// PctLookupMismatch returns Figure 3 column 7/8: among struct lookups, the
+// percentage with a type mismatch.
+func (p *Program) PctLookupMismatch(strategy string) float64 {
+	r := p.Runs[strategy]
+	if r == nil || r.Recorder.LookupStructs == 0 {
+		return 0
+	}
+	return 100 * float64(r.Recorder.LookupMismatches) / float64(r.Recorder.LookupStructs)
+}
+
+// PctResolveStructs is the resolve analogue of PctLookupStructs.
+func (p *Program) PctResolveStructs(strategy string) float64 {
+	r := p.Runs[strategy]
+	if r == nil || r.Recorder.ResolveCalls == 0 {
+		return 0
+	}
+	return 100 * float64(r.Recorder.ResolveStructs) / float64(r.Recorder.ResolveCalls)
+}
+
+// PctResolveMismatch is the resolve analogue of PctLookupMismatch.
+func (p *Program) PctResolveMismatch(strategy string) float64 {
+	r := p.Runs[strategy]
+	if r == nil || r.Recorder.ResolveStructs == 0 {
+		return 0
+	}
+	return 100 * float64(r.Recorder.ResolveMismatches) / float64(r.Recorder.ResolveStructs)
+}
+
+// TimeRatio returns the Figure 5 metric: analysis time normalized to the
+// Offsets instance.
+func (p *Program) TimeRatio(strategy string) float64 {
+	base := p.Runs["offsets"]
+	r := p.Runs[strategy]
+	if base == nil || r == nil || base.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Duration) / float64(base.Duration)
+}
+
+// EdgeRatio returns the Figure 6 metric: total points-to edges normalized
+// to the Offsets instance.
+func (p *Program) EdgeRatio(strategy string) float64 {
+	base := p.Runs["offsets"]
+	r := p.Runs[strategy]
+	if base == nil || r == nil || base.TotalFacts == 0 {
+		return 0
+	}
+	return float64(r.TotalFacts) / float64(base.TotalFacts)
+}
+
+// CountLOC counts non-empty source lines across translation units.
+func CountLOC(sources []frontend.Source) int {
+	n := 0
+	for _, s := range sources {
+		for _, line := range strings.Split(s.Text, "\n") {
+			if strings.TrimSpace(line) != "" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Options tunes measurement.
+type Options struct {
+	// Repeat re-runs each analysis and keeps the fastest time (reduces
+	// scheduling noise in Figure 5's ratios). Minimum 1.
+	Repeat int
+	// Strategies restricts the instances to run (all four if empty).
+	Strategies []string
+}
+
+// Measure loads a program and runs every instance over it.
+func Measure(name string, sources []frontend.Source, fopts frontend.Options, opts Options) (*Program, error) {
+	res, err := frontend.Load(sources, fopts)
+	if err != nil {
+		return nil, err
+	}
+	repeat := opts.Repeat
+	if repeat < 1 {
+		repeat = 1
+	}
+	names := opts.Strategies
+	if len(names) == 0 {
+		names = StrategyNames
+	}
+
+	p := &Program{
+		Name:     name,
+		LOC:      CountLOC(sources),
+		NumStmts: res.IR.NumStmts(),
+		Runs:     make(map[string]*Run),
+	}
+	for _, sn := range names {
+		var best *Run
+		for i := 0; i < repeat; i++ {
+			strat := NewStrategy(sn, res.Layout)
+			r := core.Analyze(res.IR, strat)
+			run := &Run{
+				Strategy:     sn,
+				Result:       r,
+				AvgDerefSize: r.AvgDerefSetSize(),
+				TotalFacts:   r.TotalFacts(),
+				Duration:     r.Duration,
+				Recorder:     *strat.Recorder(),
+			}
+			if best == nil || run.Duration < best.Duration {
+				best = run
+			}
+		}
+		p.Runs[sn] = best
+	}
+
+	if cis := p.Runs["common-initial-seq"]; cis != nil {
+		p.HasStructCast = cis.Recorder.LookupMismatches > 0 || cis.Recorder.ResolveMismatches > 0
+	}
+	return p, nil
+}

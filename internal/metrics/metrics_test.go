@@ -1,0 +1,134 @@
+package metrics_test
+
+import (
+	"testing"
+
+	"repro/internal/cc/layout"
+	"repro/internal/frontend"
+	"repro/internal/metrics"
+)
+
+const castProgram = `
+struct A { int *a1; char pad; } a;
+struct B { char *b1; int *b2; } b;
+int x, *p;
+void f(void) {
+	a.a1 = &x;
+	a = *(struct A *)&b;
+	p = a.a1;
+}`
+
+const cleanProgram = `
+struct S { int *s1; int *s2; } s;
+int x, *p;
+void f(void) {
+	s.s1 = &x;
+	p = s.s1;
+}`
+
+func measure(t *testing.T, src string, opts metrics.Options) *metrics.Program {
+	t.Helper()
+	p, err := metrics.Measure("t", []frontend.Source{{Name: "t.c", Text: src}},
+		frontend.Options{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMeasureAllStrategies(t *testing.T) {
+	p := measure(t, cleanProgram, metrics.Options{})
+	if len(p.Runs) != 4 {
+		t.Fatalf("runs = %d, want 4", len(p.Runs))
+	}
+	for _, name := range metrics.StrategyNames {
+		r := p.Runs[name]
+		if r == nil {
+			t.Fatalf("missing run %s", name)
+		}
+		if r.TotalFacts == 0 || r.Duration <= 0 {
+			t.Errorf("%s: facts=%d dur=%v", name, r.TotalFacts, r.Duration)
+		}
+	}
+}
+
+func TestHasStructCastDetection(t *testing.T) {
+	if p := measure(t, cleanProgram, metrics.Options{}); p.HasStructCast {
+		t.Error("clean program flagged as casting")
+	}
+	if p := measure(t, castProgram, metrics.Options{}); !p.HasStructCast {
+		t.Error("casting program not flagged")
+	}
+}
+
+func TestRatios(t *testing.T) {
+	p := measure(t, castProgram, metrics.Options{})
+	if r := p.TimeRatio("offsets"); r != 1 {
+		t.Errorf("offsets time ratio = %v, want 1", r)
+	}
+	if r := p.EdgeRatio("offsets"); r != 1 {
+		t.Errorf("offsets edge ratio = %v, want 1", r)
+	}
+	if r := p.EdgeRatio("collapse-always"); r <= 0 {
+		t.Errorf("collapse edge ratio = %v", r)
+	}
+}
+
+func TestPercentagesInRange(t *testing.T) {
+	p := measure(t, castProgram, metrics.Options{})
+	for _, s := range []string{"collapse-on-cast", "common-initial-seq"} {
+		for _, v := range []float64{
+			p.PctLookupStructs(s), p.PctLookupMismatch(s),
+			p.PctResolveStructs(s), p.PctResolveMismatch(s),
+		} {
+			if v < 0 || v > 100 {
+				t.Errorf("%s: percentage %v out of range", s, v)
+			}
+		}
+	}
+	// The casting program must show a nonzero mismatch rate somewhere.
+	if p.PctResolveMismatch("common-initial-seq") == 0 && p.PctLookupMismatch("common-initial-seq") == 0 {
+		t.Error("no mismatch percentage recorded for casting program")
+	}
+}
+
+func TestStrategySubset(t *testing.T) {
+	p := measure(t, cleanProgram, metrics.Options{Strategies: []string{"offsets"}})
+	if len(p.Runs) != 1 || p.Runs["offsets"] == nil {
+		t.Fatalf("runs = %v", p.Runs)
+	}
+}
+
+func TestRepeatKeepsFastest(t *testing.T) {
+	p := measure(t, cleanProgram, metrics.Options{Repeat: 3})
+	if p.Runs["offsets"].Duration <= 0 {
+		t.Error("no duration recorded")
+	}
+}
+
+func TestCountLOC(t *testing.T) {
+	n := metrics.CountLOC([]frontend.Source{{Name: "a.c", Text: "int x;\n\n\nint y;\n"}})
+	if n != 2 {
+		t.Errorf("LOC = %d, want 2", n)
+	}
+}
+
+func TestNewStrategy(t *testing.T) {
+	lay := layout.New(nil)
+	for _, name := range metrics.StrategyNames {
+		if metrics.NewStrategy(name, lay) == nil {
+			t.Errorf("NewStrategy(%s) = nil", name)
+		}
+	}
+	if metrics.NewStrategy("bogus", lay) != nil {
+		t.Error("bogus strategy created")
+	}
+}
+
+func TestMeasureErrorPropagates(t *testing.T) {
+	_, err := metrics.Measure("bad", []frontend.Source{{Name: "b.c", Text: "int x"}},
+		frontend.Options{}, metrics.Options{})
+	if err == nil {
+		t.Error("expected error for malformed program")
+	}
+}

@@ -1,0 +1,83 @@
+package regress
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/export"
+)
+
+func TestBaselineParses(t *testing.T) {
+	base, ok, err := Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("no baseline recorded")
+	}
+	if len(base.Programs) != 20 {
+		t.Errorf("baseline has %d programs, want 20", len(base.Programs))
+	}
+}
+
+// TestNoDrift is the regression net: the current analysis results must
+// match the committed baseline exactly. After an intentional change, run
+// `go run ./cmd/ptrregress -update` and review the diff.
+func TestNoDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus run")
+	}
+	base, ok, err := Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("no baseline recorded")
+	}
+	cur, err := Measure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifts := Compare(base, cur)
+	for _, d := range drifts {
+		t.Errorf("drift: %s", d)
+	}
+}
+
+func TestCompareDetectsDrift(t *testing.T) {
+	mk := func() *export.Evaluation {
+		return &export.Evaluation{
+			ABI: "lp64",
+			Programs: []export.ProgramJSON{{
+				Name:     "p",
+				NumStmts: 10,
+				Runs: map[string]export.RunJSON{
+					"cis": {TotalFacts: 100, AvgDerefSize: 1.5, LookupCalls: 7},
+				},
+			}},
+		}
+	}
+	base, cur := mk(), mk()
+	if drifts := Compare(base, cur); len(drifts) != 0 {
+		t.Fatalf("identical evals drifted: %v", drifts)
+	}
+	r := cur.Programs[0].Runs["cis"]
+	r.TotalFacts = 101
+	cur.Programs[0].Runs["cis"] = r
+	drifts := Compare(base, cur)
+	if len(drifts) != 1 || drifts[0].Field != "total_facts" {
+		t.Fatalf("drifts = %v", drifts)
+	}
+	if !strings.Contains(drifts[0].String(), "total_facts") {
+		t.Errorf("drift string = %q", drifts[0].String())
+	}
+}
+
+func TestCompareDetectsAddedRemovedPrograms(t *testing.T) {
+	base := &export.Evaluation{Programs: []export.ProgramJSON{{Name: "old"}}}
+	cur := &export.Evaluation{Programs: []export.ProgramJSON{{Name: "new"}}}
+	drifts := Compare(base, cur)
+	if len(drifts) != 2 {
+		t.Fatalf("drifts = %v", drifts)
+	}
+}

@@ -1,0 +1,223 @@
+package steens_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/steens"
+)
+
+func load(t *testing.T, src string) *frontend.Result {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: src}}, frontend.Options{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return r
+}
+
+func obj(t *testing.T, p *ir.Program, name string) *ir.Object {
+	t.Helper()
+	for _, o := range p.Objects {
+		if o.Name == name || (o.Sym != nil && o.Sym.Name == name) {
+			return o
+		}
+	}
+	t.Fatalf("object %q not found", name)
+	return nil
+}
+
+func names(objs []*ir.Object) map[string]bool {
+	out := make(map[string]bool)
+	for _, o := range objs {
+		out[o.Name] = true
+	}
+	return out
+}
+
+func TestBasicAddressOf(t *testing.T) {
+	r := load(t, "int x, *p;\nvoid f(void) { p = &x; }")
+	res := steens.Analyze(r.IR)
+	got := names(res.PointsTo(obj(t, r.IR, "p")))
+	if !got["x"] {
+		t.Errorf("pts(p) = %v, want x", got)
+	}
+}
+
+func TestUnificationMergesTargets(t *testing.T) {
+	// The signature difference from the subset-based framework: after
+	// p = &x; q = &y; p = q, Steensgaard reports BOTH x and y for BOTH
+	// pointers (their pointee classes are unified).
+	src := `
+int x, y, *p, *q;
+void f(void) {
+	p = &x;
+	q = &y;
+	p = q;
+}`
+	r := load(t, src)
+	res := steens.Analyze(r.IR)
+	gp := names(res.PointsTo(obj(t, r.IR, "p")))
+	gq := names(res.PointsTo(obj(t, r.IR, "q")))
+	if !gp["x"] || !gp["y"] {
+		t.Errorf("pts(p) = %v, want x and y (unified)", gp)
+	}
+	if !gq["x"] || !gq["y"] {
+		t.Errorf("pts(q) = %v, want x and y (unified)", gq)
+	}
+
+	// The framework's subset-based Collapse Always keeps q precise.
+	cres := core.Analyze(r.IR, core.NewCollapseAlways())
+	cq := cres.PointsTo(obj(t, r.IR, "q"), nil)
+	if cq.Len() != 1 {
+		t.Errorf("subset-based pts(q) has %d targets, want 1", cq.Len())
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	src := `
+int x, *p, **pp, *r;
+void f(void) {
+	p = &x;
+	pp = &p;
+	r = *pp;
+}`
+	r := load(t, src)
+	res := steens.Analyze(r.IR)
+	if got := names(res.PointsTo(obj(t, r.IR, "r"))); !got["x"] {
+		t.Errorf("pts(r) = %v, want x", got)
+	}
+}
+
+func TestStoreThrough(t *testing.T) {
+	src := `
+int x, *q, **pp, *p;
+void f(void) {
+	pp = &p;
+	q = &x;
+	*pp = q;
+}`
+	r := load(t, src)
+	res := steens.Analyze(r.IR)
+	if got := names(res.PointsTo(obj(t, r.IR, "p"))); !got["x"] {
+		t.Errorf("pts(p) = %v, want x", got)
+	}
+}
+
+func TestInterprocedural(t *testing.T) {
+	src := `
+int *id(int *v) { return v; }
+int x, *p;
+void f(void) { p = id(&x); }`
+	r := load(t, src)
+	res := steens.Analyze(r.IR)
+	if got := names(res.PointsTo(obj(t, r.IR, "p"))); !got["x"] {
+		t.Errorf("pts(p) = %v, want x", got)
+	}
+}
+
+func TestFunctionPointerBinding(t *testing.T) {
+	src := `
+int x, y;
+int *fx(void) { return &x; }
+int *fy(void) { return &y; }
+int *(*fp)(void);
+int *r;
+void f(int c) {
+	if (c) fp = fx; else fp = fy;
+	r = fp();
+}`
+	r := load(t, src)
+	res := steens.Analyze(r.IR)
+	got := names(res.PointsTo(obj(t, r.IR, "r")))
+	if !got["x"] || !got["y"] {
+		t.Errorf("pts(r) = %v, want x and y", got)
+	}
+}
+
+func TestLateFunctionBinding(t *testing.T) {
+	// The function reaches the callee class only after the call site is
+	// processed (statement order): the pending-call mechanism must bind.
+	src := `
+int x;
+int *g(void) { return &x; }
+int *(*fp)(void);
+int *r;
+void first(void) { r = fp(); }
+void second(void) { fp = g; }`
+	r := load(t, src)
+	res := steens.Analyze(r.IR)
+	if got := names(res.PointsTo(obj(t, r.IR, "r"))); !got["x"] {
+		t.Errorf("pts(r) = %v, want x (late binding)", got)
+	}
+}
+
+func TestSoundVsFramework(t *testing.T) {
+	// On every corpus program, any target the subset-based Collapse
+	// Always analysis finds for a dereferenced pointer must be inside
+	// the Steensgaard class (unification only ever merges).
+	for _, e := range corpus.Programs {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			src := corpus.MustSource(e.Name)
+			r, err := frontend.Load(src, frontend.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			su := steens.Analyze(r.IR)
+			ca := core.Analyze(r.IR, core.NewCollapseAlways())
+			for _, site := range r.IR.Sites {
+				steensSet := names(su.PointsTo(site.Ptr))
+				for c := range ca.PointsTo(site.Ptr, nil) {
+					if !steensSet[c.Obj.Name] {
+						t.Fatalf("site %v: %s found by collapse-always but not steensgaard",
+							site.Pos, c.Obj.Name)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPrecisionNeverBeatsSubset(t *testing.T) {
+	// Average set sizes: unification ≥ subset collapse on every program.
+	expand := func(o *ir.Object) int { return 1 }
+	for _, e := range corpus.Programs {
+		src := corpus.MustSource(e.Name)
+		r, err := frontend.Load(src, frontend.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		su := steens.Analyze(r.IR)
+		ca := core.Analyze(r.IR, core.NewCollapseAlways())
+
+		// Count subset sizes without expansion for a fair comparison.
+		subsetTotal := 0
+		for _, site := range r.IR.Sites {
+			subsetTotal += ca.PointsTo(site.Ptr, nil).Len()
+		}
+		steensAvg := su.AvgDerefSetSize(expand)
+		subsetAvg := float64(subsetTotal) / float64(len(r.IR.Sites))
+		if steensAvg+1e-9 < subsetAvg {
+			t.Errorf("%s: steensgaard avg %.2f < collapse-always avg %.2f",
+				e.Name, steensAvg, subsetAvg)
+		}
+	}
+}
+
+func TestAnalysisRunsFastOnCorpus(t *testing.T) {
+	for _, e := range corpus.Programs {
+		src := corpus.MustSource(e.Name)
+		r, err := frontend.Load(src, frontend.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := steens.Analyze(r.IR)
+		if res.TotalFacts() == 0 {
+			t.Errorf("%s: no facts", e.Name)
+		}
+	}
+}
