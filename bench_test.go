@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/cc/layout"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/frontend"
@@ -98,6 +99,36 @@ func BenchmarkFig5(b *testing.B) {
 				benchAnalysis(b, name, s)
 			})
 		}
+	}
+}
+
+// BenchmarkFig5Batch runs the whole Figure 5 workload — every (program,
+// instance) pair — through the parallel batch driver at several worker
+// counts. On a multi-core host the parallel/1 vs parallel/N ratio is the
+// batch-path speedup; on a single core the pool must at least not regress.
+func BenchmarkFig5Batch(b *testing.B) {
+	var loaded []*frontend.Result
+	for _, name := range corpus.SortedByGroup() {
+		loaded = append(loaded, loadProgram(b, name))
+	}
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var jobs []core.BatchJob
+				for _, res := range loaded {
+					for _, s := range metrics.StrategyNames {
+						// Per-job layout engines: concurrent jobs must not
+						// share the engine's lazily-filled record cache.
+						lay := layout.New(res.Layout.ABI())
+						jobs = append(jobs, core.BatchJob{
+							Prog:  res.IR,
+							Strat: metrics.NewStrategy(s, lay),
+						})
+					}
+				}
+				core.AnalyzeBatch(jobs, par)
+			}
+		})
 	}
 }
 

@@ -12,6 +12,8 @@
 //	              all (default)
 //	-abi name     layout for the offsets instance (lp64, ilp32, packed1)
 //	-repeat n     timing repetitions per (program, instance) (default 3)
+//	-parallel n   worker count for the corpus run (default GOMAXPROCS;
+//	              1 forces the sequential path)
 //	-program p    restrict to one corpus program
 //	-sweep        also run the synthetic generator sweep
 package main
@@ -36,6 +38,7 @@ func main() {
 	table := flag.String("table", "all", "fig3, fig4, fig5, fig6, summary, or all")
 	abi := flag.String("abi", "lp64", "ABI for the offsets instance")
 	repeat := flag.Int("repeat", 3, "timing repetitions")
+	parallel := flag.Int("parallel", 0, "corpus worker count (0 = GOMAXPROCS)")
 	program := flag.String("program", "", "restrict to one corpus program")
 	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON instead of tables")
@@ -63,20 +66,20 @@ func main() {
 		names = []string{*program}
 	}
 
-	var progs []*metrics.Program
+	var specs []metrics.Spec
 	for _, name := range names {
 		src, err := corpus.Source(name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ptrbench: %v\n", err)
 			os.Exit(1)
 		}
-		p, err := metrics.Measure(name, src, frontend.Options{ABI: theABI},
-			metrics.Options{Repeat: *repeat})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptrbench: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		progs = append(progs, p)
+		specs = append(specs, metrics.Spec{Name: name, Sources: src})
+	}
+	progs, err := metrics.MeasureCorpus(specs, frontend.Options{ABI: theABI},
+		metrics.Options{Repeat: *repeat, Parallelism: *parallel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ptrbench: %v\n", err)
+		os.Exit(1)
 	}
 
 	w := os.Stdout

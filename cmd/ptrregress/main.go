@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	ptrregress            # check against the baseline; exit 1 on drift
-//	ptrregress -update    # re-record the baseline after intentional changes
+//	ptrregress             # check against the baseline; exit 1 on drift
+//	ptrregress -update     # re-record the baseline after intentional changes
+//	ptrregress -parallel n # bound the corpus worker pool (0 = GOMAXPROCS)
 package main
 
 import (
@@ -20,10 +21,11 @@ import (
 func main() {
 	update := flag.Bool("update", false, "re-record the baseline")
 	root := flag.String("root", ".", "repository root (for -update)")
+	parallel := flag.Int("parallel", 0, "corpus worker count (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
 	if *update {
-		ev, err := regress.Measure()
+		ev, err := regress.MeasureParallel(*parallel)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ptrregress:", err)
 			os.Exit(1)

@@ -9,11 +9,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/cc/layout"
-	"repro/internal/core"
-	"repro/internal/frontend"
-	"repro/internal/ir"
+	"repro/pointsto"
 )
 
 // The access pattern reads byte 8 of struct S through an overlay type; on
@@ -31,31 +29,22 @@ void f(void) {
 `
 
 func main() {
-	abis := []*layout.ABI{layout.LP64, layout.ILP32, layout.Packed1}
+	abis := []string{"lp64", "ilp32", "packed1"}
 
 	fmt.Println("what may r point to after reading through the overlay?")
 	fmt.Println()
 	fmt.Printf("%-10s %-28s %-28s\n", "ABI", "offsets instance", "common-initial-seq instance")
 
 	for _, abi := range abis {
-		res, err := frontend.Load(
-			[]frontend.Source{{Name: "overlay.c", Text: program}},
-			frontend.Options{ABI: abi},
-		)
+		sources := []pointsto.Source{{Name: "overlay.c", Text: program}}
+		reports, err := pointsto.AnalyzeAll(sources, pointsto.Config{ABI: abi},
+			pointsto.Offsets, pointsto.CIS)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var r *ir.Object
-		for _, o := range res.IR.Objects {
-			if o.Name == "r" {
-				r = o
-			}
-		}
-		offsets := core.Analyze(res.IR, core.NewOffsets(res.Layout))
-		cis := core.Analyze(res.IR, core.NewCIS())
-		fmt.Printf("%-10s %-28s %-28s\n", abi.Name,
-			render(offsets.PointsTo(r, nil)),
-			render(cis.PointsTo(r, nil)))
+		fmt.Printf("%-10s %-28s %-28s\n", abi,
+			render(reports[0].PointsTo("r")),
+			render(reports[1].PointsTo("r")))
 	}
 
 	fmt.Println()
@@ -66,13 +55,6 @@ func main() {
 	fmt.Println("quantifies in Figures 4-6.")
 }
 
-func render(set core.CellSet) string {
-	s := "{"
-	for i, t := range set.Sorted() {
-		if i > 0 {
-			s += ", "
-		}
-		s += t.String()
-	}
-	return s + "}"
+func render(targets []string) string {
+	return "{" + strings.Join(targets, ", ") + "}"
 }

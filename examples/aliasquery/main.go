@@ -8,10 +8,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/frontend"
-	"repro/internal/ir"
+	"repro/pointsto"
 )
 
 const program = `
@@ -31,33 +30,13 @@ void setup(void) {
 }
 `
 
-// mayAlias reports whether two pointers may reference the same object,
-// by intersecting their points-to sets.
-func mayAlias(res *core.Result, a, b *ir.Object) bool {
-	pa := res.PointsTo(a, nil)
-	for c := range res.PointsTo(b, nil) {
-		if pa.Has(c) {
-			return true
-		}
-	}
-	return false
-}
-
 func main() {
-	res, err := frontend.Load(
-		[]frontend.Source{{Name: "buffers.c", Text: program}},
-		frontend.Options{},
+	report, err := pointsto.Analyze(
+		[]pointsto.Source{{Name: "buffers.c", Text: program}},
+		pointsto.Config{},
 	)
 	if err != nil {
 		log.Fatal(err)
-	}
-	result := core.Analyze(res.IR, core.NewCIS())
-
-	byName := make(map[string]*ir.Object)
-	for _, o := range res.IR.Objects {
-		if o.Sym != nil {
-			byName[o.Sym.Name] = o
-		}
 	}
 
 	pairs := [][2]string{
@@ -67,21 +46,12 @@ func main() {
 	}
 	fmt.Println("may-alias queries (common-initial-sequence instance):")
 	for _, p := range pairs {
-		a, b := byName[p[0]], byName[p[1]]
-		fmt.Printf("  %-8s vs %-8s : %v\n", p[0], p[1], mayAlias(result, a, b))
+		fmt.Printf("  %-8s vs %-8s : %v\n", p[0], p[1], report.MayAlias(p[0], p[1]))
 	}
 
 	fmt.Println()
 	fmt.Println("points-to sets behind the answers:")
 	for _, n := range []string{"input", "output", "scratch"} {
-		set := result.PointsTo(byName[n], nil)
-		fmt.Printf("  %-8s -> {", n)
-		for i, t := range set.Sorted() {
-			if i > 0 {
-				fmt.Print(", ")
-			}
-			fmt.Print(t)
-		}
-		fmt.Println("}")
+		fmt.Printf("  %-8s -> {%s}\n", n, strings.Join(report.PointsTo(n), ", "))
 	}
 }

@@ -9,10 +9,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/frontend"
-	"repro/internal/ir"
+	"repro/pointsto"
 )
 
 // An event system where every event begins with a common header (kind,
@@ -78,19 +77,13 @@ int main(void) {
 `
 
 func main() {
-	res, err := frontend.Load(
-		[]frontend.Source{{Name: "events.c", Text: program}},
-		frontend.Options{},
+	reports, err := pointsto.AnalyzeAll(
+		[]pointsto.Source{{Name: "events.c", Text: program}},
+		pointsto.Config{},
+		pointsto.Strategies()...,
 	)
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	var deviceSeen *ir.Object
-	for _, o := range res.IR.Objects {
-		if o.Sym != nil && o.Sym.Name == "device_seen" {
-			deviceSeen = o
-		}
 	}
 
 	fmt.Println("ke->device read through a downcast pointer that may target a")
@@ -98,23 +91,9 @@ func main() {
 	fmt.Println("(the precise answer is {devbuf})")
 	fmt.Println()
 
-	strategies := []core.Strategy{
-		core.NewCollapseAlways(),
-		core.NewCollapseOnCast(),
-		core.NewCIS(),
-		core.NewOffsets(res.Layout),
-	}
-	for _, strat := range strategies {
-		result := core.Analyze(res.IR, strat)
-		set := result.PointsTo(deviceSeen, nil)
-		fmt.Printf("  %-20s pts(device_seen) = {", strat.Name())
-		for i, t := range set.Sorted() {
-			if i > 0 {
-				fmt.Print(", ")
-			}
-			fmt.Print(t)
-		}
-		fmt.Println("}")
+	for _, report := range reports {
+		fmt.Printf("  %-20s pts(device_seen) = {%s}\n",
+			report.Strategy(), strings.Join(report.PointsTo("device_seen"), ", "))
 	}
 
 	fmt.Println()

@@ -8,10 +8,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/frontend"
-	"repro/internal/ir"
+	"repro/pointsto"
 )
 
 // The code fragment from the paper's Introduction.
@@ -27,40 +26,20 @@ void f(void) {
 `
 
 func main() {
-	res, err := frontend.Load(
-		[]frontend.Source{{Name: "intro.c", Text: program}},
-		frontend.Options{},
+	reports, err := pointsto.AnalyzeAll(
+		[]pointsto.Source{{Name: "intro.c", Text: program}},
+		pointsto.Config{},
+		pointsto.Strategies()...,
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	var p *ir.Object
-	for _, o := range res.IR.Objects {
-		if o.Name == "p" {
-			p = o
-		}
-	}
-
-	strategies := []core.Strategy{
-		core.NewCollapseAlways(),
-		core.NewCollapseOnCast(),
-		core.NewCIS(),
-		core.NewOffsets(res.Layout),
-	}
-
 	fmt.Println("the Introduction example: what may p point to after p = s.s1?")
 	fmt.Println()
-	for _, strat := range strategies {
-		result := core.Analyze(res.IR, strat)
-		fmt.Printf("  %-20s pts(p) = {", strat.Name())
-		for i, t := range result.PointsTo(p, nil).Sorted() {
-			if i > 0 {
-				fmt.Print(", ")
-			}
-			fmt.Print(t)
-		}
-		fmt.Println("}")
+	for _, report := range reports {
+		fmt.Printf("  %-20s pts(p) = {%s}\n",
+			report.Strategy(), strings.Join(report.PointsTo("p"), ", "))
 	}
 
 	fmt.Println()

@@ -7,9 +7,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/core"
-	"repro/internal/frontend"
+	"repro/pointsto"
 )
 
 const program = `
@@ -32,39 +32,25 @@ int main(void) {
 `
 
 func main() {
-	// 1. Run the front end: preprocess, parse, type-check, normalize to
-	//    the paper's five assignment forms.
-	res, err := frontend.Load(
-		[]frontend.Source{{Name: "quickstart.c", Text: program}},
-		frontend.Options{},
+	// Run the full pipeline — preprocess, parse, type-check, normalize to
+	// the paper's five assignment forms, solve to fixpoint. The zero
+	// Config selects the Common Initial Sequence instance, the most
+	// precise portable one; Strategy: pointsto.Offsets would pick the
+	// layout-specific one.
+	report, err := pointsto.Analyze(
+		[]pointsto.Source{{Name: "quickstart.c", Text: program}},
+		pointsto.Config{Strategy: pointsto.CIS},
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Pick an analysis instance. NewCIS is the most precise portable
-	//    one; NewOffsets(res.Layout) would be the layout-specific one.
-	strategy := core.NewCIS()
-
-	// 3. Solve to fixpoint.
-	result := core.Analyze(res.IR, strategy)
-
-	// 4. Query: every named variable's points-to set.
+	// Query: every named variable's points-to set, sorted.
 	fmt.Println("points-to sets (common-initial-sequence instance):")
-	result.Cells(func(c core.Cell, set core.CellSet) {
-		if c.Obj.IsTemp() {
-			return // skip normalization temporaries
-		}
-		fmt.Printf("  %-18s -> {", c)
-		for i, t := range set.Sorted() {
-			if i > 0 {
-				fmt.Print(", ")
-			}
-			fmt.Print(t)
-		}
-		fmt.Println("}")
-	})
+	for _, set := range report.Sets() {
+		fmt.Printf("  %-18s -> {%s}\n", set.Cell, strings.Join(set.Targets, ", "))
+	}
 
 	fmt.Printf("\n%d points-to facts, %d dereference sites, avg set size %.2f\n",
-		result.TotalFacts(), len(res.IR.Sites), result.AvgDerefSetSize())
+		report.TotalFacts(), report.NumDerefSites(), report.DerefSetSize())
 }

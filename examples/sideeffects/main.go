@@ -9,10 +9,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/frontend"
-	"repro/internal/ir"
-	"repro/internal/modref"
+	"repro/pointsto"
 )
 
 const program = `
@@ -36,46 +33,28 @@ void set_logfd(int fd) {
 `
 
 func main() {
-	res, err := frontend.Load(
-		[]frontend.Source{{Name: "cfg.c", Text: program}},
-		frontend.Options{},
-	)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	show := func(strat core.Strategy) {
-		result := core.Analyze(res.IR, strat)
-		sum := modref.Compute(res.IR, result)
-		fmt.Printf("with the %s instance:\n", strat.Name())
-		for _, fn := range res.IR.Funcs {
-			if fn.Sym.Def == nil || fn.Sym.Name == "init_config" {
-				continue
-			}
-			eff := sum.Transitive[fn]
-			fmt.Printf("  %-16s MOD %v\n", fn.Sym.Name, modref.Names(filterGlobals(eff.Mod)))
+	show := func(strategy pointsto.Strategy) {
+		report, err := pointsto.Analyze(
+			[]pointsto.Source{{Name: "cfg.c", Text: program}},
+			pointsto.Config{Strategy: strategy},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("with the %s instance:\n", report.Strategy())
+		for _, fn := range []string{"bump_verbosity", "set_logfd"} {
+			fmt.Printf("  %-16s MOD %v\n", fn, report.ModifiedGlobals(fn))
 		}
 		fmt.Println()
 	}
 
 	fmt.Println("which globals may each function modify through pointers?")
 	fmt.Println()
-	show(core.NewCollapseAlways())
-	show(core.NewCIS())
+	show(pointsto.CollapseAlways)
+	show(pointsto.CIS)
 
 	fmt.Println("Collapsing cfg merges its two pointer fields, so both functions")
 	fmt.Println("appear to modify both stores — exactly the imprecision that hurt")
 	fmt.Println("the paper's slicing experiment. The field-sensitive instance keeps")
 	fmt.Println("the two effects apart.")
-}
-
-// filterGlobals keeps only named global variables (drops temps/heap noise).
-func filterGlobals(set map[*ir.Object]bool) map[*ir.Object]bool {
-	out := make(map[*ir.Object]bool)
-	for o := range set {
-		if o.Kind == ir.ObjVar && o.Sym != nil && o.Sym.Global {
-			out[o] = true
-		}
-	}
-	return out
 }

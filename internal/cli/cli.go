@@ -68,12 +68,12 @@ func PrintAll(w io.Writer, result *core.Result) {
 		cell, tgts string
 	}
 	var rows []row
-	result.Cells(func(c core.Cell, set core.CellSet) {
+	for _, c := range result.SortedCells() {
 		if c.Obj.IsTemp() {
-			return
+			continue
 		}
-		rows = append(rows, row{cell: c.String(), tgts: FormatSet(set)})
-	})
+		rows = append(rows, row{cell: c.String(), tgts: FormatSet(result.PointsToCell(c))})
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].cell < rows[j].cell })
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-24s -> %s\n", r.cell, r.tgts)
@@ -137,14 +137,14 @@ func WriteDot(w io.Writer, result *core.Result) {
 	fmt.Fprintln(w, "digraph pointsto {")
 	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
 	var lines []string
-	result.Cells(func(c core.Cell, set core.CellSet) {
+	for _, c := range result.SortedCells() {
 		if c.Obj.IsTemp() {
-			return
+			continue
 		}
-		for _, t := range set.Sorted() {
+		for _, t := range result.PointsToCell(c).Sorted() {
 			lines = append(lines, fmt.Sprintf("  %q -> %q;", c.String(), t.String()))
 		}
-	})
+	}
 	sort.Strings(lines)
 	for _, l := range lines {
 		fmt.Fprintln(w, l)

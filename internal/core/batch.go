@@ -1,0 +1,62 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ir"
+)
+
+// BatchJob is one analysis to run as part of AnalyzeBatch. Programs may be
+// shared between jobs (the solver only reads them), but every job MUST carry
+// its own Strategy instance: strategies hold per-run state (the Recorder and
+// the lookup/resolve memo tables) and are not safe for concurrent use.
+type BatchJob struct {
+	Prog  *ir.Program
+	Strat Strategy
+	Opts  Options
+}
+
+// AnalyzeBatch runs the jobs across a pool of parallelism workers and
+// returns their results indexed exactly like jobs, so output ordering is
+// deterministic regardless of scheduling. parallelism <= 0 selects
+// GOMAXPROCS. The solver itself is sequential per job; the speedup comes
+// from fanning independent (program, strategy) pairs — the shape of the
+// paper's evaluation, which runs four instances over twenty programs.
+func AnalyzeBatch(jobs []BatchJob, parallelism int) []*Result {
+	results := make([]*Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(jobs) {
+		parallelism = len(jobs)
+	}
+	if parallelism == 1 {
+		for i, j := range jobs {
+			results[i] = AnalyzeWith(j.Prog, j.Strat, j.Opts)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				results[i] = AnalyzeWith(j.Prog, j.Strat, j.Opts)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

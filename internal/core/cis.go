@@ -128,20 +128,14 @@ func hasPrefix(p, prefix ir.Path) bool {
 	return true
 }
 
-// Lookup implements Strategy.
+// Lookup implements Strategy (memoized; see memo.go).
 func (s *CIS) Lookup(τ *types.Type, path ir.Path, target Cell) []Cell {
-	cells, mismatch := s.lookup(τ, path, target)
-	s.rec.recordLookup(structsInvolved(τ, target), mismatch)
-	return cells
+	return s.memoLookup(s.lookup, τ, path, target)
 }
 
-// Resolve implements Strategy.
+// Resolve implements Strategy (memoized; see memo.go).
 func (s *CIS) Resolve(dst, src Cell, τ *types.Type) []Edge {
-	edges, mismatch := s.resolveVia(s.lookup, dst, src, τ)
-	if τ != nil { // unknown-extent library copies are not source resolves
-		s.rec.recordResolve(structsInvolved(τ, dst, src), mismatch)
-	}
-	return edges
+	return s.memoResolve(s.lookup, dst, src, τ)
 }
 
 // CellsOf implements Strategy.

@@ -62,20 +62,14 @@ func (s *CollapseOnCast) lookup(τ *types.Type, path ir.Path, target Cell) ([]Ce
 	return s.smear(target), true
 }
 
-// Lookup implements Strategy.
+// Lookup implements Strategy (memoized; see memo.go).
 func (s *CollapseOnCast) Lookup(τ *types.Type, path ir.Path, target Cell) []Cell {
-	cells, mismatch := s.lookup(τ, path, target)
-	s.rec.recordLookup(structsInvolved(τ, target), mismatch)
-	return cells
+	return s.memoLookup(s.lookup, τ, path, target)
 }
 
-// Resolve implements Strategy.
+// Resolve implements Strategy (memoized; see memo.go).
 func (s *CollapseOnCast) Resolve(dst, src Cell, τ *types.Type) []Edge {
-	edges, mismatch := s.resolveVia(s.lookup, dst, src, τ)
-	if τ != nil { // unknown-extent library copies are not source resolves
-		s.rec.recordResolve(structsInvolved(τ, dst, src), mismatch)
-	}
-	return edges
+	return s.memoResolve(s.lookup, dst, src, τ)
 }
 
 // CellsOf implements Strategy.

@@ -10,7 +10,8 @@ import (
 // normalization, enclosing-candidate search, followingFields smearing, and
 // the resolve construction that pairs both sides through lookup.
 type fieldOps struct {
-	rec Recorder
+	rec  Recorder
+	memo memoTable
 
 	// noFirstField disables the innermost-first-field normalization
 	// (ablation only: without it, a pointer to a structure and a pointer
@@ -24,6 +25,9 @@ type fieldOps struct {
 func newFieldOps() fieldOps {
 	return fieldOps{leafCache: make(map[*types.Type][]ir.Path)}
 }
+
+// SetMemoization implements Memoizer for the field-based strategies.
+func (f *fieldOps) SetMemoization(on bool) { f.memo.SetMemoization(on) }
 
 func (f *fieldOps) leaves(t *types.Type) []ir.Path {
 	if cached, ok := f.leafCache[t]; ok {

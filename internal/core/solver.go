@@ -33,13 +33,27 @@ func (r *Result) PointsTo(obj *ir.Object, path ir.Path) CellSet {
 // PointsToCell returns the points-to set of a cell.
 func (r *Result) PointsToCell(c Cell) CellSet { return r.pts[c] }
 
-// Cells iterates over all cells with non-empty points-to sets.
+// Cells iterates over all cells with non-empty points-to sets, in map order.
+// Use SortedCells when the iteration order must be deterministic.
 func (r *Result) Cells(fn func(c Cell, set CellSet)) {
 	for c, s := range r.pts {
 		if len(s) > 0 {
 			fn(c, s)
 		}
 	}
+}
+
+// SortedCells returns every cell with a non-empty points-to set in the
+// stable display order of CellSet.Sorted, so dumps, graphs and golden tests
+// do not depend on Go's randomized map iteration.
+func (r *Result) SortedCells() []Cell {
+	cells := make(CellSet, len(r.pts))
+	for c, s := range r.pts {
+		if len(s) > 0 {
+			cells[c] = struct{}{}
+		}
+	}
+	return cells.Sorted()
 }
 
 // TotalFacts is the total number of points-to edges (Figure 6's metric).
@@ -146,8 +160,14 @@ type callBinding struct {
 	fn   *ir.Object
 }
 
-type fact struct {
-	c, tgt Cell
+// memPair identifies one (destination target, source target) pair of a
+// memcopy statement. Both pointer operands watch their cells, so without
+// dedup a pair would be resolved once or twice depending on the order the
+// two facts reach the worklist; resolving each pair exactly once keeps the
+// instrumentation counts independent of the propagation schedule.
+type memPair struct {
+	stmt     *ir.Stmt
+	dst, src Cell
 }
 
 type solver struct {
@@ -167,8 +187,16 @@ type solver struct {
 
 	watchers map[Cell][]watch
 	bound    map[callBinding]bool
+	memDone  map[memPair]bool
 
-	worklist []fact
+	// Difference propagation (Heintze–Tardieu): the worklist holds cells
+	// whose points-to sets grew, and delta holds, per cell, exactly the
+	// targets added since the cell was last processed. Rules and copy
+	// edges therefore fire once per *new* fact, and the per-cell watcher
+	// and edge lists are walked once per batch of new facts rather than
+	// once per fact.
+	delta map[Cell][]Cell
+	dirty []Cell
 }
 
 func (s *solver) norm(obj *ir.Object, path ir.Path) Cell {
@@ -180,18 +208,22 @@ func (s *solver) run() {
 	for _, st := range s.prog.Stmts {
 		s.initStmt(st)
 	}
-	// Fixpoint.
-	for len(s.worklist) > 0 {
-		f := s.worklist[len(s.worklist)-1]
-		s.worklist = s.worklist[:len(s.worklist)-1]
-		s.propagate(f)
+	// Fixpoint over cell deltas.
+	for len(s.dirty) > 0 {
+		c := s.dirty[len(s.dirty)-1]
+		s.dirty = s.dirty[:len(s.dirty)-1]
+		s.drain(c)
 	}
 }
 
 func (s *solver) initStmt(st *ir.Stmt) {
 	switch st.Op {
 	case ir.OpAddrOf:
-		s.addFactWhy(s.norm(st.Dst, nil), s.norm(st.Src, st.Path), "addrof "+st.String())
+		why := ""
+		if traceCell != "" {
+			why = "addrof " + st.String()
+		}
+		s.addFactWhy(s.norm(st.Dst, nil), s.norm(st.Src, st.Path), why)
 
 	case ir.OpCopy:
 		dst := s.norm(st.Dst, nil)
@@ -242,7 +274,7 @@ func (s *solver) addFactWhy(c, tgt Cell, why string) {
 	s.addFact(c, tgt)
 }
 
-// addFact records pointsTo(c, tgt) and schedules propagation.
+// addFact records pointsTo(c, tgt) and schedules propagation of the delta.
 func (s *solver) addFact(c, tgt Cell) {
 	set, ok := s.pts[c]
 	if !ok {
@@ -255,20 +287,44 @@ func (s *solver) addFact(c, tgt Cell) {
 	if len(set) == 1 {
 		s.factObjs[c.Obj] = append(s.factObjs[c.Obj], c)
 	}
-	s.worklist = append(s.worklist, fact{c: c, tgt: tgt})
+	if s.delta == nil {
+		s.delta = make(map[Cell][]Cell)
+	}
+	pend := s.delta[c]
+	if len(pend) == 0 {
+		s.dirty = append(s.dirty, c)
+	}
+	s.delta[c] = append(pend, tgt)
 }
 
-// propagate pushes one new fact through copy edges and statement premises.
-func (s *solver) propagate(f fact) {
-	// Copy edges whose source object matches.
-	for _, e := range s.edgeIdx[f.c.Obj] {
-		if dst, ok := s.strat.PropagateEdge(e, f.c); ok {
-			s.addFactWhy(dst, f.tgt, "edge "+e.String())
+// drain pushes a cell's pending delta through copy edges and statement
+// premises. Rules fired here may grow the delta of any cell, including c
+// itself; addFact re-enqueues it in that case.
+func (s *solver) drain(c Cell) {
+	batch := s.delta[c]
+	if len(batch) == 0 {
+		return
+	}
+	s.delta[c] = nil
+	// Copy edges whose source object matches. The edge list is snapshotted
+	// by the range header: edges added while draining replay existing facts
+	// themselves (addEdge), so they must not also see this batch.
+	for _, e := range s.edgeIdx[c.Obj] {
+		if dst, ok := s.strat.PropagateEdge(e, c); ok {
+			why := ""
+			if traceCell != "" {
+				why = "edge " + e.String()
+			}
+			for _, tgt := range batch {
+				s.addFactWhy(dst, tgt, why)
+			}
 		}
 	}
 	// Statement premises on this cell.
-	for _, w := range s.watchers[f.c] {
-		s.applyRule(w, f.tgt)
+	for _, w := range s.watchers[c] {
+		for _, tgt := range batch {
+			s.applyRule(w, tgt)
+		}
 	}
 }
 
@@ -285,6 +341,22 @@ func (s *solver) addEdge(e Edge) {
 				s.addFact(dst, tgt)
 			}
 		}
+	}
+}
+
+// memCopy resolves one (dst target, src target) pair of a memcopy statement,
+// skipping pairs already resolved from the other operand's watch.
+func (s *solver) memCopy(st *ir.Stmt, dst, src Cell) {
+	key := memPair{stmt: st, dst: dst, src: src}
+	if s.memDone[key] {
+		return
+	}
+	if s.memDone == nil {
+		s.memDone = make(map[memPair]bool)
+	}
+	s.memDone[key] = true
+	for _, e := range s.strat.Resolve(dst, src, nil) {
+		s.addEdge(e)
 	}
 }
 
@@ -329,8 +401,12 @@ func (s *solver) applyRule(w watch, tgt Cell) {
 	case ir.OpAddrField:
 		// Rule 2: s = &((*p).α).
 		dst := s.norm(st.Dst, nil)
+		why := ""
+		if traceCell != "" {
+			why = "addrfield " + st.String()
+		}
 		for _, c := range s.strat.Lookup(pointeeType(st.Ptr), st.Path, tgt) {
-			s.addFactWhy(dst, c, "addrfield "+st.String())
+			s.addFactWhy(dst, c, why)
 		}
 
 	case ir.OpLoad:
@@ -360,18 +436,15 @@ func (s *solver) applyRule(w watch, tgt Cell) {
 		}
 
 	case ir.OpMemCopy:
-		// Block copy of unknown extent between two pointees.
+		// Block copy of unknown extent between two pointees: resolve each
+		// (dst target, src target) pair exactly once.
 		if w.role == 0 {
 			for src := range s.pts[s.norm(st.Src, nil)] {
-				for _, e := range s.strat.Resolve(tgt, src, nil) {
-					s.addEdge(e)
-				}
+				s.memCopy(st, tgt, src)
 			}
 		} else {
 			for dst := range s.pts[s.norm(st.Ptr, nil)] {
-				for _, e := range s.strat.Resolve(dst, tgt, nil) {
-					s.addEdge(e)
-				}
+				s.memCopy(st, dst, tgt)
 			}
 		}
 

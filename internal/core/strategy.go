@@ -16,6 +16,15 @@ type Recorder struct {
 	ResolveCalls      int
 	ResolveStructs    int
 	ResolveMismatches int
+
+	// Cache counters for the strategy-level memoization. The call counts
+	// above are LOGICAL calls — hits increment them too — so Figure 3's
+	// semantics are unchanged by caching; hits+misses always equals the
+	// corresponding call count.
+	LookupCacheHits    int
+	LookupCacheMisses  int
+	ResolveCacheHits   int
+	ResolveCacheMisses int
 }
 
 func (r *Recorder) recordLookup(isStruct, mismatch bool) {

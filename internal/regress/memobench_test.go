@@ -1,0 +1,34 @@
+package regress
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+	"repro/internal/metrics"
+)
+
+func benchCorpus(b *testing.B, opts metrics.Options) {
+	var specs []metrics.Spec
+	for _, name := range corpus.SortedByGroup() {
+		src, err := corpus.Source(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, metrics.Spec{Name: name, Sources: src})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := metrics.MeasureCorpus(specs, frontend.Options{}, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCorpusMemo(b *testing.B) {
+	benchCorpus(b, metrics.Options{Parallelism: 1})
+}
+
+func BenchmarkCorpusNoMemo(b *testing.B) {
+	benchCorpus(b, metrics.Options{Parallelism: 1, NoMemo: true})
+}

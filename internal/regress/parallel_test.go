@@ -1,0 +1,72 @@
+package regress
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/export"
+	"repro/internal/frontend"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+func measureCorpus(t *testing.T, parallelism int) []*metrics.Program {
+	t.Helper()
+	var specs []metrics.Spec
+	for _, name := range corpus.SortedByGroup() {
+		src, err := corpus.Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, metrics.Spec{Name: name, Sources: src})
+	}
+	progs, err := metrics.MeasureCorpus(specs, frontend.Options{},
+		metrics.Options{Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return progs
+}
+
+// TestParallelMatchesSequential runs the full corpus sequentially and with a
+// 4-way worker pool and demands byte-identical Figure 4 and Figure 6 tables
+// plus zero drift between the two evaluation documents: the batch driver
+// must not change a single fact or counter, only the wall-clock.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full corpus measurement")
+	}
+	seq := measureCorpus(t, 1)
+	par := measureCorpus(t, 4)
+
+	toEval := func(progs []*metrics.Program) *export.Evaluation {
+		ev := &export.Evaluation{ABI: "lp64"}
+		for _, p := range progs {
+			ev.Programs = append(ev.Programs, export.Program(p))
+		}
+		return ev
+	}
+	if drifts := Compare(toEval(seq), toEval(par)); len(drifts) != 0 {
+		for _, d := range drifts {
+			t.Errorf("drift: %s", d)
+		}
+	}
+
+	renderers := []struct {
+		name   string
+		render func(*bytes.Buffer, []*metrics.Program)
+	}{
+		{"Figure 4", func(b *bytes.Buffer, p []*metrics.Program) { report.Fig4(b, p) }},
+		{"Figure 6", func(b *bytes.Buffer, p []*metrics.Program) { report.Fig6(b, p) }},
+	}
+	for _, r := range renderers {
+		var b1, b2 bytes.Buffer
+		r.render(&b1, seq)
+		r.render(&b2, par)
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s differs:\nsequential:\n%s\nparallel:\n%s",
+				r.name, b1.String(), b2.String())
+		}
+	}
+}

@@ -31,18 +31,31 @@ var baselineJSON []byte
 const BaselinePath = "internal/regress/baseline.json"
 
 // Measure runs the full corpus once (single repetition; timing is not
-// compared) and returns the evaluation document.
+// compared) and returns the evaluation document. The corpus is fanned
+// across GOMAXPROCS workers; the solver is deterministic and the runs are
+// isolated, so the document is identical to a sequential measurement.
 func Measure() (*export.Evaluation, error) {
-	ev := &export.Evaluation{ABI: "lp64"}
+	return MeasureParallel(0)
+}
+
+// MeasureParallel is Measure with an explicit worker count (0 = GOMAXPROCS,
+// 1 = sequential).
+func MeasureParallel(parallelism int) (*export.Evaluation, error) {
+	var specs []metrics.Spec
 	for _, name := range corpus.SortedByGroup() {
 		src, err := corpus.Source(name)
 		if err != nil {
 			return nil, err
 		}
-		p, err := metrics.Measure(name, src, frontend.Options{}, metrics.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", name, err)
-		}
+		specs = append(specs, metrics.Spec{Name: name, Sources: src})
+	}
+	progs, err := metrics.MeasureCorpus(specs, frontend.Options{},
+		metrics.Options{Parallelism: parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("measure corpus: %w", err)
+	}
+	ev := &export.Evaluation{ABI: "lp64"}
+	for _, p := range progs {
 		ev.Programs = append(ev.Programs, export.Program(p))
 	}
 	return ev, nil

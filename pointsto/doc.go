@@ -1,0 +1,43 @@
+// Package pointsto is the public façade of the pointer-analysis framework:
+// a single entry point — Analyze — over the C front end and the tunable
+// normalize/lookup/resolve solver of "Pointer Analysis for Programs with
+// Structures and Casting" (Yong, Horwitz, Reps — PLDI 1999), with the four
+// analysis instances of the paper exposed as a Strategy enum and the results
+// exposed through name-based query methods.
+//
+// # Usage
+//
+//	report, err := pointsto.Analyze([]pointsto.Source{{Name: "a.c", Text: src}},
+//		pointsto.Config{Strategy: pointsto.CIS})
+//	if err != nil { ... }
+//	targets := report.PointsTo("p")        // {"x", "s.s1", ...}
+//	aliased := report.MayAlias("p", "q")
+//	avg := report.DerefSetSize()           // the paper's Figure 4 metric
+//
+// AnalyzeAll fans one translation unit across several instances (or use
+// Config.Parallelism with your own loop) and returns the reports in input
+// order.
+//
+// # Stability contract
+//
+// This package is the supported surface of the module. Everything under
+// internal/ — the front end, the IR, the solver, the metrics harness — is
+// implementation detail and may change without notice between commits;
+// nothing outside this module can import it, and nothing inside the module's
+// examples does. The façade itself follows these rules:
+//
+//   - The signatures of Analyze, AnalyzeAll and the Report query methods
+//     are append-only: new methods and new Config fields may appear, but
+//     existing ones keep their meaning.
+//   - Strategy values are stable identifiers; their String() forms
+//     ("collapse-always", "collapse-on-cast", "common-initial-seq",
+//     "offsets") match the paper's four instances and the CLI flags.
+//   - Query results are deterministic: sets are returned sorted, and
+//     repeated calls on one Report return equal values.
+//   - Analysis semantics (which facts are derived) follow the paper; they
+//     only change together with a documented baseline regeneration in
+//     internal/regress.
+//
+// The package depends only on the standard library and the module's internal
+// packages, so external consumers need nothing beyond this import path.
+package pointsto

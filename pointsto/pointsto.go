@@ -1,0 +1,370 @@
+package pointsto
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cc/layout"
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/ir"
+	"repro/internal/modref"
+)
+
+// Source is one C translation unit presented to the analysis.
+type Source struct {
+	Name string // file name, used in positions and diagnostics
+	Text string // the source text
+}
+
+// Strategy selects one of the paper's four analysis instances. The zero
+// value is CIS, the most precise portable instance.
+type Strategy int
+
+const (
+	// CIS is the §4.3.3 Common Initial Sequence instance: field-sensitive,
+	// portable, and precise across casts that stay inside a shared prefix.
+	CIS Strategy = iota
+	// CollapseAlways is the §4.3.1 instance: every structure collapses to
+	// one variable (portable, least precise).
+	CollapseAlways
+	// CollapseOnCast is the §4.3.2 instance: fields stay separate until a
+	// mismatched access smears them (portable, intermediate precision).
+	CollapseOnCast
+	// Offsets is the §4.2.2 instance: cells are byte offsets under one
+	// specific ABI (most precise, not portable across layouts).
+	Offsets
+)
+
+// String returns the instance name used by the paper tooling and CLI flags.
+func (s Strategy) String() string {
+	switch s {
+	case CIS:
+		return "common-initial-seq"
+	case CollapseAlways:
+		return "collapse-always"
+	case CollapseOnCast:
+		return "collapse-on-cast"
+	case Offsets:
+		return "offsets"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Strategies lists all four instances in the paper's presentation order.
+func Strategies() []Strategy {
+	return []Strategy{CollapseAlways, CollapseOnCast, CIS, Offsets}
+}
+
+// Options tunes the front end and the solver; the zero value reproduces the
+// paper's configuration.
+type Options struct {
+	// ModelMainArgs gives main's argv synthetic target objects.
+	ModelMainArgs bool
+	// NoLibSummaries disables the built-in libc summaries.
+	NoLibSummaries bool
+	// CloneAllocWrappers inlines small allocation wrappers so each caller
+	// gets distinct heap objects.
+	CloneAllocWrappers bool
+	// NoPtrArithSmear disables the Assumption 1 pointer-arithmetic rule
+	// (unsound; ablation only).
+	NoPtrArithSmear bool
+	// FlagMisuse additionally tracks possibly corrupted pointers and
+	// reports dereferences of them via Report.Misuses.
+	FlagMisuse bool
+	// NoMemoization disables the solver's lookup/resolve caches (results
+	// are identical; ablation only).
+	NoMemoization bool
+}
+
+// Config configures one Analyze call.
+type Config struct {
+	// Strategy picks the analysis instance; the zero value is CIS.
+	Strategy Strategy
+	// ABI names the structure-layout strategy used by sizeof/offsetof and
+	// the Offsets instance: "lp64" (default), "ilp32" or "packed1".
+	ABI string
+	// Options tunes the front end and solver.
+	Options Options
+	// Parallelism bounds the worker pool of AnalyzeAll (0 = GOMAXPROCS).
+	// A single Analyze call is sequential.
+	Parallelism int
+}
+
+// Analyze runs the full pipeline — preprocess, parse, type-check, normalize
+// to the paper's five assignment forms, then solve to fixpoint with the
+// configured instance — and returns a queryable Report.
+func Analyze(sources []Source, cfg Config) (*Report, error) {
+	res, err := load(sources, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return solve(res, cfg), nil
+}
+
+// AnalyzeAll analyzes the same sources under several instances, fanning the
+// solver runs across Config.Parallelism workers (the front end runs once).
+// Reports are returned in strategies order.
+func AnalyzeAll(sources []Source, cfg Config, strategies ...Strategy) ([]*Report, error) {
+	res, err := load(sources, cfg)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]core.BatchJob, len(strategies))
+	for i, s := range strategies {
+		// Per-job layout engines keep the jobs free of shared mutable
+		// state (the engine caches record layouts on demand).
+		jobs[i] = core.BatchJob{
+			Prog:  res.IR,
+			Strat: newStrategy(s, layout.New(res.Layout.ABI())),
+			Opts:  coreOptions(cfg),
+		}
+		if cfg.Options.NoMemoization {
+			core.SetMemoization(jobs[i].Strat, false)
+		}
+	}
+	results := core.AnalyzeBatch(jobs, cfg.Parallelism)
+	reports := make([]*Report, len(results))
+	for i, r := range results {
+		reports[i] = &Report{strategy: strategies[i], res: res, result: r}
+	}
+	return reports, nil
+}
+
+func load(sources []Source, cfg Config) (*frontend.Result, error) {
+	abi, err := parseABI(cfg.ABI)
+	if err != nil {
+		return nil, err
+	}
+	fsrc := make([]frontend.Source, len(sources))
+	for i, s := range sources {
+		fsrc[i] = frontend.Source{Name: s.Name, Text: s.Text}
+	}
+	return frontend.Load(fsrc, frontend.Options{
+		ABI:                abi,
+		ModelMainArgs:      cfg.Options.ModelMainArgs,
+		NoLibSummaries:     cfg.Options.NoLibSummaries,
+		CloneAllocWrappers: cfg.Options.CloneAllocWrappers,
+	})
+}
+
+func solve(res *frontend.Result, cfg Config) *Report {
+	strat := newStrategy(cfg.Strategy, res.Layout)
+	if cfg.Options.NoMemoization {
+		core.SetMemoization(strat, false)
+	}
+	result := core.AnalyzeWith(res.IR, strat, coreOptions(cfg))
+	return &Report{strategy: cfg.Strategy, res: res, result: result}
+}
+
+func coreOptions(cfg Config) core.Options {
+	return core.Options{
+		NoPtrArithSmear: cfg.Options.NoPtrArithSmear,
+		UseUnknown:      cfg.Options.FlagMisuse,
+	}
+}
+
+func parseABI(name string) (*layout.ABI, error) {
+	switch name {
+	case "", "lp64":
+		return layout.LP64, nil
+	case "ilp32":
+		return layout.ILP32, nil
+	case "packed1":
+		return layout.Packed1, nil
+	}
+	return nil, fmt.Errorf("pointsto: unknown ABI %q (want lp64, ilp32 or packed1)", name)
+}
+
+func newStrategy(s Strategy, lay *layout.Engine) core.Strategy {
+	switch s {
+	case CollapseAlways:
+		return core.NewCollapseAlways()
+	case CollapseOnCast:
+		return core.NewCollapseOnCast()
+	case Offsets:
+		return core.NewOffsets(lay)
+	default:
+		return core.NewCIS()
+	}
+}
+
+// Report is the queryable result of one analysis run. All query methods are
+// deterministic and safe for concurrent use after the Report is built.
+type Report struct {
+	strategy Strategy
+	res      *frontend.Result
+	result   *core.Result
+
+	byName map[string][]*ir.Object
+	sum    *modref.Summary
+}
+
+// Strategy returns the instance that produced the report.
+func (r *Report) Strategy() Strategy { return r.strategy }
+
+// Duration returns the solver's wall-clock time.
+func (r *Report) Duration() time.Duration { return r.result.Duration }
+
+// TotalFacts returns the number of points-to edges (the Figure 6 metric).
+func (r *Report) TotalFacts() int { return r.result.TotalFacts() }
+
+// NumDerefSites returns the number of static dereference sites.
+func (r *Report) NumDerefSites() int { return len(r.res.IR.Sites) }
+
+// DerefSetSize returns the average points-to set size over all static
+// dereference sites (the Figure 4 metric), with collapsed facts expanded
+// per-field for comparability.
+func (r *Report) DerefSetSize() float64 { return r.result.AvgDerefSetSize() }
+
+// objects resolves a source-level variable or function name to its abstract
+// objects (several when distinct scopes reuse the name).
+func (r *Report) objects(name string) []*ir.Object {
+	if r.byName == nil {
+		r.byName = make(map[string][]*ir.Object)
+		for _, o := range r.res.IR.Objects {
+			if o.Sym != nil && o.Sym.Name != "" {
+				r.byName[o.Sym.Name] = append(r.byName[o.Sym.Name], o)
+			} else if o.Name != "" {
+				r.byName[o.Name] = append(r.byName[o.Name], o)
+			}
+		}
+	}
+	return r.byName[name]
+}
+
+// pointsToSet unions the points-to sets of every object with the name.
+func (r *Report) pointsToSet(name string) core.CellSet {
+	objs := r.objects(name)
+	if len(objs) == 1 {
+		return r.result.PointsTo(objs[0], nil)
+	}
+	union := make(core.CellSet)
+	for _, o := range objs {
+		for c := range r.result.PointsTo(o, nil) {
+			union.Add(c)
+		}
+	}
+	return union
+}
+
+// PointsTo returns the points-to set of the named variable's base cell as
+// sorted cell names ("x", "s.s1", "heap@12", ...). Names shared by several
+// scopes are conservatively unioned; unknown names yield nil.
+func (r *Report) PointsTo(name string) []string {
+	set := r.pointsToSet(name)
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for _, c := range set.Sorted() {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+// MayAlias reports whether the two named pointers may reference the same
+// cell, by intersecting their points-to sets. Unknown names never alias.
+func (r *Report) MayAlias(a, b string) bool {
+	sa := r.pointsToSet(a)
+	if len(sa) == 0 {
+		return false
+	}
+	for c := range r.pointsToSet(b) {
+		if sa.Has(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Set is one cell's points-to set in display form.
+type Set struct {
+	Cell    string   // the pointer cell ("p", "s.s1", ...)
+	Targets []string // sorted target cells
+}
+
+// Sets returns every named (non-temporary) cell with a non-empty points-to
+// set, sorted by cell, with sorted targets.
+func (r *Report) Sets() []Set {
+	var out []Set
+	for _, c := range r.result.SortedCells() {
+		if c.Obj.IsTemp() {
+			continue
+		}
+		s := Set{Cell: c.String()}
+		for _, t := range r.result.PointsToCell(c).Sorted() {
+			s.Targets = append(s.Targets, t.String())
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out
+}
+
+// summary computes the MOD/REF side-effect summary once per report.
+func (r *Report) summary() *modref.Summary {
+	if r.sum == nil {
+		r.sum = modref.Compute(r.res.IR, r.result)
+	}
+	return r.sum
+}
+
+// fn resolves a defined function by name.
+func (r *Report) fn(name string) *ir.Func {
+	for _, fn := range r.res.IR.Funcs {
+		if fn.Sym != nil && fn.Sym.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// globals filters an effect set to named global variables and returns their
+// sorted names.
+func globals(set map[*ir.Object]bool) []string {
+	out := make(map[*ir.Object]bool)
+	for o := range set {
+		if o.Kind == ir.ObjVar && o.Sym != nil && o.Sym.Global {
+			out[o] = true
+		}
+	}
+	return modref.Names(out)
+}
+
+// ModifiedGlobals returns the sorted names of global variables the named
+// function may modify through pointers, directly or via calls (the MOD set
+// of the classic MOD/REF side-effect problem).
+func (r *Report) ModifiedGlobals(function string) []string {
+	f := r.fn(function)
+	if f == nil {
+		return nil
+	}
+	return globals(r.summary().Transitive[f].Mod)
+}
+
+// ReferencedGlobals is the REF analogue of ModifiedGlobals.
+func (r *Report) ReferencedGlobals(function string) []string {
+	f := r.fn(function)
+	if f == nil {
+		return nil
+	}
+	return globals(r.summary().Transitive[f].Ref)
+}
+
+// Misuse describes one dereference of a possibly corrupted pointer (only
+// populated under Options.FlagMisuse).
+type Misuse struct {
+	Pos  string // source position
+	Stmt string // the normalized statement
+}
+
+// Misuses returns the flagged dereferences in program order.
+func (r *Report) Misuses() []Misuse {
+	out := make([]Misuse, 0, len(r.result.Misuses))
+	for _, m := range r.result.Misuses {
+		out = append(out, Misuse{Pos: m.Pos.String(), Stmt: m.Stmt})
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Tier-1 verification gate (see ROADMAP.md). Run from the repository root:
+#
+#	sh scripts/tier1.sh
+#
+# Fails on: build errors, vet diagnostics, unformatted files, test failures,
+# or data races in the solver/batch driver.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build"
+go build ./...
+
+echo "== go vet"
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (parallel driver must be race-clean)"
+go test -race ./internal/core/... ./internal/corpus/...
+
+echo "tier-1 OK"
