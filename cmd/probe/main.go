@@ -1,13 +1,24 @@
 // Command probe times each (corpus program, strategy) pair one at a time;
 // development aid for localizing solver blowups.
+//
+// Usage:
+//
+//	probe [flags] [program [offsets]]
+//
+// With a program name, probe runs the CIS mismatch spy over it (or, with
+// the extra "offsets" argument, a progress-reporting offsets run). With no
+// arguments it times every (program, strategy) pair. -timeout and
+// -max-steps bound each solver run; a tripped bound is reported inline.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/cc/types"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/frontend"
@@ -47,48 +58,65 @@ func (m *mismatchSpy) Resolve(dst, src core.Cell, τ *types.Type) []core.Edge {
 	return out
 }
 
-func main() {
-	only := ""
-	if len(os.Args) > 1 {
-		only = os.Args[1]
-	}
-	if only != "" {
-		src := corpus.MustSource(only)
+func main() { os.Exit(cli.Run("probe", run)) }
+
+func run() error {
+	var gov cli.Govern
+	gov.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	ctx, cancel := gov.Context()
+	defer cancel()
+	opts := core.Options{Limits: gov.Limits()}
+
+	if only := flag.Arg(0); only != "" {
+		src, err := corpus.Source(only)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
 		res, err := frontend.Load(src, frontend.Options{})
 		if err != nil {
-			fmt.Println(err)
-			os.Exit(1)
+			return err
 		}
-		if len(os.Args) > 2 && os.Args[2] == "offsets" {
-			// Time-limited offsets run with periodic fact counts.
+		if flag.Arg(1) == "offsets" {
+			// Progress-reporting offsets run: the solve runs in a goroutine
+			// so divergence is visible, while -timeout/-max-steps (via ctx
+			// and opts) bound it for real.
 			strat := core.NewOffsets(res.Layout)
 			done := make(chan *core.Result, 1)
-			go func() { done <- core.Analyze(res.IR, strat) }()
+			go func() { done <- core.AnalyzeContext(ctx, res.IR, strat, opts) }()
 			for i := 0; i < 20; i++ {
 				select {
 				case r := <-done:
 					fmt.Printf("%s offsets: %d facts %v\n", only, r.TotalFacts(), r.Duration)
-					return
+					if r.Incomplete != nil {
+						return cli.IncompleteError(os.Stderr, r.Incomplete)
+					}
+					return nil
 				case <-time.After(500 * time.Millisecond):
 					fmt.Println("still running...")
 				}
 			}
-			fmt.Println("GIVING UP (divergence)")
-			os.Exit(1)
+			return fmt.Errorf("giving up (divergence); rerun with -timeout or -max-steps")
 		}
 		spy := &mismatchSpy{Strategy: core.NewCIS(), seen: map[string]bool{}}
-		core.Analyze(res.IR, spy)
+		r := core.AnalyzeContext(ctx, res.IR, spy, opts)
 		rec := spy.Recorder()
 		fmt.Printf("%s: lookup mism %d/%d, resolve mism %d/%d\n", only,
 			rec.LookupMismatches, rec.LookupStructs,
 			rec.ResolveMismatches, rec.ResolveStructs)
-		return
+		if r.Incomplete != nil {
+			return cli.IncompleteError(os.Stderr, r.Incomplete)
+		}
+		return nil
 	}
+
 	for _, e := range corpus.Programs {
-		if only != "" && e.Name != only {
+		src, err := corpus.Source(e.Name)
+		if err != nil {
+			fmt.Printf("%-12s SOURCE ERROR: %v\n", e.Name, err)
 			continue
 		}
-		src := corpus.MustSource(e.Name)
 		res, err := frontend.Load(src, frontend.Options{})
 		if err != nil {
 			fmt.Printf("%-12s LOAD ERROR: %v\n", e.Name, err)
@@ -99,8 +127,13 @@ func main() {
 			os.Stdout.Sync()
 			start := time.Now()
 			strat := metrics.NewStrategy(sn, res.Layout)
-			r := core.Analyze(res.IR, strat)
-			fmt.Printf(" %8d facts %10v\n", r.TotalFacts(), time.Since(start))
+			r := core.AnalyzeContext(ctx, res.IR, strat, opts)
+			fmt.Printf(" %8d facts %10v", r.TotalFacts(), time.Since(start))
+			if r.Incomplete != nil {
+				fmt.Printf("  [incomplete: %s]", r.Incomplete.Reason)
+			}
+			fmt.Println()
 		}
 	}
+	return nil
 }

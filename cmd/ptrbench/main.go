@@ -16,14 +16,18 @@
 //	              1 forces the sequential path)
 //	-program p    restrict to one corpus program
 //	-sweep        also run the synthetic generator sweep
+//	-timeout d    abort the whole corpus run after duration d (exit 4)
+//	-max-steps n  bound each solver run's worklist steps (exit 3 on trip)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/cc/layout"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/export"
@@ -34,7 +38,9 @@ import (
 	"repro/internal/steens"
 )
 
-func main() {
+func main() { os.Exit(cli.Run("ptrbench", run)) }
+
+func run() error {
 	table := flag.String("table", "all", "fig3, fig4, fig5, fig6, summary, or all")
 	abi := flag.String("abi", "lp64", "ABI for the offsets instance")
 	repeat := flag.Int("repeat", 3, "timing repetitions")
@@ -42,26 +48,21 @@ func main() {
 	program := flag.String("program", "", "restrict to one corpus program")
 	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON instead of tables")
+	var gov cli.Govern
+	gov.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	var theABI *layout.ABI
-	switch *abi {
-	case "lp64":
-		theABI = layout.LP64
-	case "ilp32":
-		theABI = layout.ILP32
-	case "packed1":
-		theABI = layout.Packed1
-	default:
-		fmt.Fprintf(os.Stderr, "ptrbench: unknown ABI %q\n", *abi)
-		os.Exit(2)
+	theABI, err := cli.ParseABI(*abi)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
+	ctx, cancel := gov.Context()
+	defer cancel()
 
 	names := corpus.SortedByGroup()
 	if *program != "" {
 		if _, ok := corpus.Lookup(*program); !ok {
-			fmt.Fprintf(os.Stderr, "ptrbench: unknown program %q\n", *program)
-			os.Exit(2)
+			return cli.Usagef("unknown program %q", *program)
 		}
 		names = []string{*program}
 	}
@@ -70,25 +71,19 @@ func main() {
 	for _, name := range names {
 		src, err := corpus.Source(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ptrbench: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		specs = append(specs, metrics.Spec{Name: name, Sources: src})
 	}
-	progs, err := metrics.MeasureCorpus(specs, frontend.Options{ABI: theABI},
-		metrics.Options{Repeat: *repeat, Parallelism: *parallel})
+	progs, err := metrics.MeasureCorpusContext(ctx, specs, frontend.Options{ABI: theABI},
+		metrics.Options{Repeat: *repeat, Parallelism: *parallel, Limits: gov.Limits()})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ptrbench: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 
 	w := os.Stdout
 	if *jsonOut {
-		if err := export.WriteEvaluation(w, *abi, progs); err != nil {
-			fmt.Fprintln(os.Stderr, "ptrbench:", err)
-			os.Exit(1)
-		}
-		return
+		return export.WriteEvaluation(w, *abi, progs)
 	}
 	switch *table {
 	case "fig3":
@@ -102,7 +97,7 @@ func main() {
 	case "summary":
 		report.Summary(w, progs)
 	case "related":
-		runRelated(names, theABI)
+		runRelated(ctx, names, theABI, gov.Limits())
 	case "all":
 		report.Fig3(w, progs)
 		report.Fig4(w, progs)
@@ -110,24 +105,25 @@ func main() {
 		report.Fig6(w, progs)
 		report.Summary(w, progs)
 	default:
-		fmt.Fprintf(os.Stderr, "ptrbench: unknown table %q\n", *table)
-		os.Exit(2)
+		return cli.Usagef("unknown table %q", *table)
 	}
 
 	if *sweep {
-		runSweep(theABI, *repeat)
+		return runSweep(ctx, theABI, *repeat, gov.Limits())
 	}
+	return nil
 }
 
 // runRelated compares the framework's instances against the related-work
 // Steensgaard-style unification baseline (§6 of the paper): average deref
 // set sizes and analysis time.
-func runRelated(names []string, abi *layout.ABI) {
+func runRelated(ctx context.Context, names []string, abi *layout.ABI, limits core.Limits) {
 	fmt.Println("Related work: subset-based framework instances vs. Steensgaard unification")
 	fmt.Println("(average deref set size; unification merges classes, trading precision for speed)")
 	fmt.Println()
 	fmt.Printf("%-12s %9s %9s %9s | %12s %12s\n",
 		"program", "Collapse", "CIS", "Steens", "CIS time", "Steens time")
+	opts := core.Options{Limits: limits}
 	for _, name := range names {
 		src, err := corpus.Source(name)
 		if err != nil {
@@ -139,8 +135,8 @@ func runRelated(names []string, abi *layout.ABI) {
 			fmt.Fprintln(os.Stderr, err)
 			return
 		}
-		cis := core.Analyze(res.IR, core.NewCIS())
-		col := core.Analyze(res.IR, core.NewCollapseAlways())
+		cis := core.AnalyzeContext(ctx, res.IR, core.NewCIS(), opts)
+		col := core.AnalyzeContext(ctx, res.IR, core.NewCollapseAlways(), opts)
 		st := steens.Analyze(res.IR)
 		expand := func(o *ir.Object) int {
 			c := core.Cell{Obj: o}
@@ -150,13 +146,16 @@ func runRelated(names []string, abi *layout.ABI) {
 			col.AvgDerefSetSize(), cis.AvgDerefSetSize(),
 			st.AvgDerefSetSize(expand),
 			cis.Duration, st.Duration)
+		if cis.Incomplete != nil || col.Incomplete != nil {
+			fmt.Fprintf(os.Stderr, "  %s: incomplete run, sizes are partial\n", name)
+		}
 	}
 	fmt.Println()
 }
 
 // runSweep measures the synthetic generator across cast densities and
 // sizes, showing how the gap between the instances grows with casting.
-func runSweep(abi *layout.ABI, repeat int) {
+func runSweep(ctx context.Context, abi *layout.ABI, repeat int, limits core.Limits) error {
 	fmt.Println("Synthetic sweep: average deref set size vs. cast density")
 	fmt.Printf("%-24s %9s %9s %9s %9s\n", "workload", "Collapse", "CoC", "CIS", "Offsets")
 	for _, density := range []int{0, 10, 25, 50, 75} {
@@ -165,11 +164,10 @@ func runSweep(abi *layout.ABI, repeat int) {
 		p.NDerefs = 120
 		p.CastDensity = density
 		src := corpus.Generate(p)
-		m, err := metrics.Measure(fmt.Sprintf("gen(cast=%d%%)", density), src,
-			frontend.Options{ABI: abi}, metrics.Options{Repeat: repeat})
+		m, err := metrics.MeasureContext(ctx, fmt.Sprintf("gen(cast=%d%%)", density), src,
+			frontend.Options{ABI: abi}, metrics.Options{Repeat: repeat, Limits: limits})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			return
+			return fmt.Errorf("sweep: %w", err)
 		}
 		fmt.Printf("%-24s %9.2f %9.2f %9.2f %9.2f\n", m.Name,
 			m.Runs["collapse-always"].AvgDerefSize,
@@ -177,4 +175,5 @@ func runSweep(abi *layout.ABI, repeat int) {
 			m.Runs["common-initial-seq"].AvgDerefSize,
 			m.Runs["offsets"].AvgDerefSize)
 	}
+	return nil
 }

@@ -20,6 +20,12 @@
 //	-flag-misuse   flag dereferences of possibly corrupted pointers
 //	-stats         print solver statistics
 //	-corpus name   analyze a built-in corpus program instead of files
+//	-timeout d     abort the analysis after duration d (exit 4)
+//	-max-steps n   stop the solver after n worklist steps (exit 3)
+//
+// When a -timeout or -max-* bound stops the solver, ptrcheck still prints
+// the partial (sound-but-incomplete) result, then a diagnostic, and exits
+// non-zero per the cli exit-code taxonomy.
 package main
 
 import (
@@ -35,7 +41,9 @@ import (
 	"repro/internal/metrics"
 )
 
-func main() {
+func main() { os.Exit(cli.Run("ptrcheck", run)) }
+
+func run() error {
 	algo := flag.String("algo", "common-initial-seq", "analysis instance")
 	abi := flag.String("abi", "lp64", "ABI for the offsets instance (lp64, ilp32, packed1)")
 	varName := flag.String("var", "", "print only this variable's points-to set")
@@ -49,23 +57,22 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON")
 	flagMisuse := flag.Bool("flag-misuse", false, "flag dereferences of arithmetic-derived (possibly corrupted) pointers")
 	auditCasts := flag.Bool("audit", false, "classify every cast by the paper's safety taxonomy and exit")
+	var gov cli.Govern
+	gov.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	theABI, err := cli.ParseABI(*abi)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptrcheck:", err)
-		os.Exit(2)
+		return cli.Usagef("%v", err)
 	}
 	sources, err := cli.ResolveInput(*corpusName, flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptrcheck:", err)
-		os.Exit(2)
+		return cli.Usagef("%v", err)
 	}
 
 	res, err := frontend.Load(sources, frontend.Options{ABI: theABI, ModelMainArgs: true})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptrcheck:", err)
-		os.Exit(1)
+		return err
 	}
 	for _, w := range res.IR.Warnings {
 		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
@@ -73,7 +80,7 @@ func main() {
 
 	if *dumpIR {
 		fmt.Print(res.IR.Dump())
-		return
+		return nil
 	}
 	if *auditCasts {
 		findings := castaudit.Audit(res.Sema)
@@ -86,15 +93,17 @@ func main() {
 			fmt.Printf(" %s=%d", class, n)
 		}
 		fmt.Println()
-		return
+		return nil
 	}
 
 	strat := metrics.NewStrategy(*algo, res.Layout)
 	if strat == nil {
-		fmt.Fprintf(os.Stderr, "ptrcheck: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		return cli.Usagef("unknown algorithm %q", *algo)
 	}
-	result := core.AnalyzeWith(res.IR, strat, core.Options{UseUnknown: *flagMisuse})
+	ctx, cancel := gov.Context()
+	defer cancel()
+	result := core.AnalyzeContext(ctx, res.IR, strat,
+		core.Options{UseUnknown: *flagMisuse, Limits: gov.Limits()})
 
 	if *flagMisuse {
 		cli.PrintMisuses(os.Stdout, result)
@@ -104,8 +113,7 @@ func main() {
 	switch {
 	case *jsonOut:
 		if err := export.WriteResult(os.Stdout, result, res.IR, true); err != nil {
-			fmt.Fprintln(os.Stderr, "ptrcheck:", err)
-			os.Exit(1)
+			return err
 		}
 	case *dot:
 		cli.WriteDot(os.Stdout, result)
@@ -115,8 +123,7 @@ func main() {
 		cli.PrintCallGraph(os.Stdout, result, res.IR)
 	case *varName != "":
 		if !cli.PrintVar(os.Stdout, result, res.IR, *varName) {
-			fmt.Fprintf(os.Stderr, "ptrcheck: no variable named %q\n", *varName)
-			os.Exit(1)
+			return fmt.Errorf("no variable named %q", *varName)
 		}
 	case *sites:
 		cli.PrintSites(os.Stdout, result, res.IR)
@@ -135,4 +142,9 @@ func main() {
 			rec.ResolveCalls, rec.ResolveStructs, rec.ResolveMismatches)
 		fmt.Printf("avg deref set size: %.2f\n", result.AvgDerefSetSize())
 	}
+
+	if result.Incomplete != nil {
+		return cli.IncompleteError(os.Stderr, result.Incomplete)
+	}
+	return nil
 }

@@ -7,7 +7,10 @@
 //	ptrdiff [-a algo1] [-b algo2] [-abi name] (file.c... | -corpus name)
 //
 // The report lists, per dereference site, the two set sizes when they
-// differ, and summarizes the per-variable set differences.
+// differ, and summarizes the per-variable set differences. A -timeout or
+// -max-steps bound that stops either analysis aborts the comparison (a
+// diff of partial results would be misleading) with a diagnostic and a
+// non-zero exit.
 package main
 
 import (
@@ -16,51 +19,44 @@ import (
 	"os"
 	"sort"
 
-	"repro/internal/cc/layout"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/frontend"
 	"repro/internal/metrics"
 )
 
-func main() {
+func main() { os.Exit(cli.Run("ptrdiff", run)) }
+
+func run() error {
 	algoA := flag.String("a", "common-initial-seq", "first instance")
 	algoB := flag.String("b", "offsets", "second instance")
 	abi := flag.String("abi", "lp64", "ABI for the offsets instance")
 	corpusName := flag.String("corpus", "", "analyze a built-in corpus program")
+	var gov cli.Govern
+	gov.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	var theABI *layout.ABI
-	switch *abi {
-	case "lp64":
-		theABI = layout.LP64
-	case "ilp32":
-		theABI = layout.ILP32
-	case "packed1":
-		theABI = layout.Packed1
-	default:
-		fmt.Fprintf(os.Stderr, "ptrdiff: unknown ABI %q\n", *abi)
-		os.Exit(2)
+	theABI, err := cli.ParseABI(*abi)
+	if err != nil {
+		return cli.Usagef("%v", err)
 	}
 
 	var sources []frontend.Source
 	if *corpusName != "" {
 		src, err := corpus.Source(*corpusName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ptrdiff:", err)
-			os.Exit(2)
+			return cli.Usagef("%v", err)
 		}
 		sources = src
 	} else {
 		if flag.NArg() == 0 {
-			fmt.Fprintln(os.Stderr, "ptrdiff: no input (use -corpus or pass files)")
-			os.Exit(2)
+			return cli.Usagef("no input (use -corpus or pass files)")
 		}
 		for _, path := range flag.Args() {
 			text, err := os.ReadFile(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "ptrdiff:", err)
-				os.Exit(1)
+				return err
 			}
 			sources = append(sources, frontend.Source{Name: path, Text: string(text)})
 		}
@@ -68,18 +64,27 @@ func main() {
 
 	res, err := frontend.Load(sources, frontend.Options{ABI: theABI})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptrdiff:", err)
-		os.Exit(1)
+		return err
 	}
 
 	sa := metrics.NewStrategy(*algoA, res.Layout)
 	sb := metrics.NewStrategy(*algoB, res.Layout)
 	if sa == nil || sb == nil {
-		fmt.Fprintln(os.Stderr, "ptrdiff: unknown algorithm")
-		os.Exit(2)
+		return cli.Usagef("unknown algorithm")
 	}
-	ra := core.Analyze(res.IR, sa)
-	rb := core.Analyze(res.IR, sb)
+	ctx, cancel := gov.Context()
+	defer cancel()
+	opts := core.Options{Limits: gov.Limits()}
+	ra := core.AnalyzeContext(ctx, res.IR, sa, opts)
+	rb := core.AnalyzeContext(ctx, res.IR, sb, opts)
+	// A diff of partial results would report phantom differences, so an
+	// incomplete run on either side aborts the comparison.
+	if ra.Incomplete != nil {
+		return cli.IncompleteError(os.Stderr, ra.Incomplete)
+	}
+	if rb.Incomplete != nil {
+		return cli.IncompleteError(os.Stderr, rb.Incomplete)
+	}
 
 	fmt.Printf("comparing %s (A) vs %s (B)\n\n", *algoA, *algoB)
 
@@ -147,7 +152,7 @@ func main() {
 	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
 	if len(rows) == 0 {
 		fmt.Println("no per-variable target differences")
-		return
+		return nil
 	}
 	fmt.Println("per-variable target objects found by only one instance:")
 	for _, r := range rows {
@@ -159,4 +164,5 @@ func main() {
 			fmt.Printf("    only B: %v\n", r.onlyB)
 		}
 	}
+	return nil
 }

@@ -8,6 +8,7 @@
 //	ptrregress             # check against the baseline; exit 1 on drift
 //	ptrregress -update     # re-record the baseline after intentional changes
 //	ptrregress -parallel n # bound the corpus worker pool (0 = GOMAXPROCS)
+//	ptrregress -timeout d  # abort the corpus run after duration d (exit 4)
 package main
 
 import (
@@ -15,35 +16,41 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/regress"
 )
 
-func main() {
+func main() { os.Exit(cli.Run("ptrregress", run)) }
+
+func run() error {
 	update := flag.Bool("update", false, "re-record the baseline")
 	root := flag.String("root", ".", "repository root (for -update)")
 	parallel := flag.Int("parallel", 0, "corpus worker count (0 = GOMAXPROCS, 1 = sequential)")
+	var gov cli.Govern
+	gov.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	ctx, cancel := gov.Context()
+	defer cancel()
+
 	if *update {
-		ev, err := regress.MeasureParallel(*parallel)
+		ev, err := regress.MeasureParallelContext(ctx, *parallel)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ptrregress:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := regress.Update(*root, ev); err != nil {
-			fmt.Fprintln(os.Stderr, "ptrregress:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("baseline updated: %d programs\n", len(ev.Programs))
-		return
+		return nil
 	}
 
-	ok, err := regress.Run(os.Stdout)
+	ok, err := regress.RunContext(ctx, os.Stdout, *parallel)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ptrregress:", err)
-		os.Exit(1)
+		return err
 	}
 	if !ok {
-		os.Exit(1)
+		return fmt.Errorf("baseline drift (see report above)")
 	}
+	return nil
 }

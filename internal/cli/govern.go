@@ -1,0 +1,129 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+)
+
+// Exit codes shared by the command-line tools, one per fault class, so
+// scripts can branch on why an analysis stopped:
+//
+//	0  success
+//	1  input rejected (parse or sema error) or other failure
+//	2  usage error (bad flags or arguments)
+//	3  a resource limit stopped the analysis (-max-steps etc.)
+//	4  the analysis was canceled (-timeout)
+//	5  internal fault (a recovered panic — a bug, please report)
+const (
+	ExitOK       = 0
+	ExitInput    = 1
+	ExitUsage    = 2
+	ExitLimit    = 3
+	ExitCanceled = 4
+	ExitInternal = 5
+)
+
+// usageError marks bad flags/arguments (exit code 2).
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+// Usagef builds a usage error: Run maps it to exit code 2.
+func Usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// ExitCode classifies an error into the tools' exit-code contract.
+func ExitCode(err error) int {
+	var ue *usageError
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.As(err, &ue):
+		return ExitUsage
+	case errors.Is(err, fault.ErrLimit):
+		return ExitLimit
+	case errors.Is(err, fault.ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return ExitCanceled
+	case errors.Is(err, fault.ErrInternal):
+		return ExitInternal
+	default:
+		return ExitInput
+	}
+}
+
+// Run executes a tool body under the panic-recovery boundary and turns its
+// error into a diagnostic plus the taxonomy exit code. Intended use:
+//
+//	func main() { os.Exit(cli.Run("ptrcheck", run)) }
+//
+// A panic anywhere in fn becomes a structured internal-fault diagnostic on
+// stderr (kind, stage, stack) and exit code 5 instead of a crash.
+func Run(tool string, fn func() error) int {
+	err := func() (err error) {
+		defer fault.Recover(tool, &err)
+		return fn()
+	}()
+	if err == nil {
+		return ExitOK
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	var fe *fault.Error
+	if errors.As(err, &fe) && fe.Kind == fault.KindInternal && len(fe.Stack) > 0 {
+		fmt.Fprintf(os.Stderr, "%s: internal fault — this is a bug in the analyzer\n%s", tool, fe.Stack)
+	}
+	return ExitCode(err)
+}
+
+// Govern bundles the resource-governance flags every analysis tool takes.
+type Govern struct {
+	Timeout  time.Duration
+	MaxSteps int
+	MaxFacts int
+	MaxCells int
+}
+
+// RegisterFlags installs -timeout and -max-steps / -max-facts / -max-cells
+// on the flag set (use flag.CommandLine for a command's default set).
+func (g *Govern) RegisterFlags(fs *flag.FlagSet) {
+	fs.DurationVar(&g.Timeout, "timeout", 0, "abort the analysis after this duration (0 = none)")
+	fs.IntVar(&g.MaxSteps, "max-steps", 0, "stop the solver after this many worklist steps (0 = unlimited)")
+	fs.IntVar(&g.MaxFacts, "max-facts", 0, "stop the solver after this many points-to facts (0 = unlimited)")
+	fs.IntVar(&g.MaxCells, "max-cells", 0, "stop the solver after this many cells hold facts (0 = unlimited)")
+}
+
+// Context derives the tool's run context from -timeout. The returned cancel
+// must be called (defer it) to release the timer.
+func (g *Govern) Context() (context.Context, context.CancelFunc) {
+	if g.Timeout > 0 {
+		return context.WithTimeout(context.Background(), g.Timeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
+// Limits converts the flags into solver limits.
+func (g *Govern) Limits() core.Limits {
+	return core.Limits{MaxSteps: g.MaxSteps, MaxFacts: g.MaxFacts, MaxCells: g.MaxCells}
+}
+
+// Incomplete renders the governance diagnostic for a partial result and
+// returns the classified error the tool should exit with. Use after
+// printing whatever partial output is still meaningful:
+//
+//	if res.Incomplete != nil {
+//		return cli.IncompleteError(os.Stderr, res.Incomplete)
+//	}
+func IncompleteError(w *os.File, stop *core.Stop) error {
+	fmt.Fprintf(w, "analysis incomplete (%s): %d steps, %d facts, %d cells; results are partial but sound for the facts shown\n",
+		stop.Reason, stop.Steps, stop.Facts, stop.Cells)
+	return stop.AsError()
+}

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+func TestExitCodeTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, ExitOK},
+		{"usage", Usagef("bad flag"), ExitUsage},
+		{"wrapped usage", fmt.Errorf("outer: %w", Usagef("bad")), ExitUsage},
+		{"parse", fault.New(fault.KindParse, "parse", "f.c:1", errors.New("x")), ExitInput},
+		{"sema", fault.New(fault.KindSema, "sema", "", errors.New("x")), ExitInput},
+		{"limit", fault.Newf(fault.KindLimit, "solve", "", "max-steps"), ExitLimit},
+		{"canceled", fault.New(fault.KindCanceled, "solve", "", context.Canceled), ExitCanceled},
+		{"bare ctx canceled", context.Canceled, ExitCanceled},
+		{"bare deadline", context.DeadlineExceeded, ExitCanceled},
+		{"internal", fault.FromPanic("solve", "boom"), ExitInternal},
+		{"plain", errors.New("misc"), ExitInput},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	code := Run("testtool", func() error { panic("kaboom") })
+	if code != ExitInternal {
+		t.Fatalf("panicking body: exit %d, want %d", code, ExitInternal)
+	}
+	if code := Run("testtool", func() error { return nil }); code != ExitOK {
+		t.Fatalf("clean body: exit %d, want %d", code, ExitOK)
+	}
+}
+
+func TestGovernFlagsAndContext(t *testing.T) {
+	var g Govern
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	g.RegisterFlags(fs)
+	if err := fs.Parse([]string{"-timeout", "50ms", "-max-steps", "7", "-max-facts", "8", "-max-cells", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	lim := g.Limits()
+	if lim.MaxSteps != 7 || lim.MaxFacts != 8 || lim.MaxCells != 9 {
+		t.Fatalf("limits = %+v", lim)
+	}
+	ctx, cancel := g.Context()
+	defer cancel()
+	if dl, ok := ctx.Deadline(); !ok || time.Until(dl) > 60*time.Millisecond {
+		t.Fatalf("deadline = %v, %v; want ~50ms out", dl, ok)
+	}
+
+	var g0 Govern
+	ctx0, cancel0 := g0.Context()
+	defer cancel0()
+	if _, ok := ctx0.Deadline(); ok {
+		t.Fatal("zero timeout should not set a deadline")
+	}
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/ir"
 )
 
@@ -24,10 +26,30 @@ type BatchJob struct {
 // GOMAXPROCS. The solver itself is sequential per job; the speedup comes
 // from fanning independent (program, strategy) pairs — the shape of the
 // paper's evaluation, which runs four instances over twenty programs.
+//
+// A job that panics leaves a nil slot in the returned slice; use
+// AnalyzeBatchContext to also receive the per-job faults (and cancellation).
 func AnalyzeBatch(jobs []BatchJob, parallelism int) []*Result {
+	results, _ := AnalyzeBatchContext(context.Background(), jobs, parallelism)
+	return results
+}
+
+// AnalyzeBatchContext is AnalyzeBatch under a context, with per-job fault
+// isolation. results[i] and errs[i] describe job i:
+//
+//   - a job that completes (including limit-tripped jobs, whose Result
+//     carries Incomplete) fills results[i] and leaves errs[i] nil;
+//   - a job that panics leaves results[i] nil and records the recovered
+//     KindInternal fault in errs[i] — the worker survives and the pool
+//     keeps draining the remaining jobs;
+//   - canceling ctx stops in-flight solvers (partial results with
+//     Incomplete set) and makes not-yet-started jobs return immediately
+//     the same way; cancellation is reported on the Result, not in errs.
+func AnalyzeBatchContext(ctx context.Context, jobs []BatchJob, parallelism int) ([]*Result, []error) {
 	results := make([]*Result, len(jobs))
+	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
-		return results
+		return results, errs
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -35,11 +57,16 @@ func AnalyzeBatch(jobs []BatchJob, parallelism int) []*Result {
 	if parallelism > len(jobs) {
 		parallelism = len(jobs)
 	}
+	one := func(i int) {
+		defer fault.Recover("batch", &errs[i])
+		j := jobs[i]
+		results[i] = AnalyzeContext(ctx, j.Prog, j.Strat, j.Opts)
+	}
 	if parallelism == 1 {
-		for i, j := range jobs {
-			results[i] = AnalyzeWith(j.Prog, j.Strat, j.Opts)
+		for i := range jobs {
+			one(i)
 		}
-		return results
+		return results, errs
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -52,11 +79,10 @@ func AnalyzeBatch(jobs []BatchJob, parallelism int) []*Result {
 				if i >= len(jobs) {
 					return
 				}
-				j := jobs[i]
-				results[i] = AnalyzeWith(j.Prog, j.Strat, j.Opts)
+				one(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return results
+	return results, errs
 }

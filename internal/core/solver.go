@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -18,6 +19,16 @@ type Result struct {
 
 	pts      map[Cell]CellSet
 	Duration time.Duration
+
+	// Steps counts worklist drains performed by the run.
+	Steps int
+
+	// Incomplete is non-nil when the solver stopped before fixpoint — a
+	// resource limit tripped or the context was canceled. The facts
+	// recorded up to the stop are all individually justified by the
+	// inference rules (sound over what was seen); only further
+	// derivations are missing, so the result is a subset of the fixpoint.
+	Incomplete *Stop
 
 	// Misuses lists flagged dereferences of possibly corrupted pointers
 	// (populated only under Options.UseUnknown).
@@ -97,6 +108,10 @@ type Options struct {
 	// smearing over every sub-field. Unsound; provided as an ablation.
 	NoPtrArithSmear bool
 
+	// Limits bounds solver resources; the zero value is unlimited. See
+	// the Limits type for partial-result semantics when a bound trips.
+	Limits Limits
+
 	// UseUnknown implements the alternative §4.2.1 sketches before
 	// adopting Assumption 1: pointer-arithmetic results additionally
 	// carry a special Unknown value representing a possibly corrupted
@@ -123,7 +138,22 @@ func Analyze(prog *ir.Program, strat Strategy) *Result {
 
 // AnalyzeWith is Analyze with explicit solver options.
 func AnalyzeWith(prog *ir.Program, strat Strategy, opts Options) *Result {
+	return AnalyzeContext(context.Background(), prog, strat, opts)
+}
+
+// cancelCheckEvery is how many worklist drains pass between context polls.
+// Drains are microsecond-scale, so this bounds cancellation latency well
+// below a millisecond while keeping the poll off the per-fact hot path.
+const cancelCheckEvery = 64
+
+// AnalyzeContext is AnalyzeWith under a context: cancellation (or the
+// deadline) stops the fixpoint between worklist drains and the partial
+// result comes back with Result.Incomplete set. A nil Incomplete means the
+// run reached fixpoint.
+func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts Options) *Result {
 	s := &solver{
+		ctx:      ctx,
+		limits:   opts.Limits,
 		prog:     prog,
 		strat:    strat,
 		opts:     opts,
@@ -140,11 +170,13 @@ func AnalyzeWith(prog *ir.Program, strat Strategy, opts Options) *Result {
 	start := time.Now()
 	s.run()
 	return &Result{
-		Strategy: strat,
-		Program:  prog,
-		pts:      s.pts,
-		Duration: time.Since(start),
-		Misuses:  s.misuses,
+		Strategy:   strat,
+		Program:    prog,
+		pts:        s.pts,
+		Duration:   time.Since(start),
+		Steps:      s.steps,
+		Incomplete: s.stop,
+		Misuses:    s.misuses,
 	}
 }
 
@@ -175,6 +207,17 @@ type solver struct {
 	strat Strategy
 	opts  Options
 
+	// Resource governance: the fixpoint polls ctx every cancelCheckEvery
+	// drains and compares counters against limits as facts are added.
+	// When either trips, stop is set and addFact freezes — no new facts
+	// or worklist entries — so the run winds down with the partial (but
+	// individually sound) fact set it had.
+	ctx    context.Context
+	limits Limits
+	steps  int   // worklist drains performed
+	nfacts int   // points-to edges recorded
+	stop   *Stop // non-nil once the run is aborted
+
 	unknown *ir.Object // non-nil under Options.UseUnknown
 	misuses []Misuse
 	flagged map[*ir.Stmt]bool
@@ -204,15 +247,61 @@ func (s *solver) norm(obj *ir.Object, path ir.Path) Cell {
 }
 
 func (s *solver) run() {
-	// Seed: process every statement once.
-	for _, st := range s.prog.Stmts {
+	// Seed: process every statement once, polling for cancellation on the
+	// same cadence as the fixpoint loop (a pathological unit can make even
+	// seeding expensive — AddrOf replays and Copy resolves run here).
+	for i, st := range s.prog.Stmts {
+		if s.stop != nil {
+			return
+		}
+		if i%cancelCheckEvery == 0 {
+			s.checkCtx()
+		}
 		s.initStmt(st)
 	}
 	// Fixpoint over cell deltas.
 	for len(s.dirty) > 0 {
+		if s.stop != nil {
+			return
+		}
+		if s.limits.MaxSteps > 0 && s.steps >= s.limits.MaxSteps {
+			s.abort(StopMaxSteps, s.limits.MaxSteps, nil)
+			return
+		}
+		if s.steps%cancelCheckEvery == 0 {
+			if s.checkCtx(); s.stop != nil {
+				return
+			}
+		}
+		s.steps++
 		c := s.dirty[len(s.dirty)-1]
 		s.dirty = s.dirty[:len(s.dirty)-1]
 		s.drain(c)
+	}
+}
+
+// checkCtx polls the run's context and aborts on cancellation.
+func (s *solver) checkCtx() {
+	if s.ctx == nil || s.stop != nil {
+		return
+	}
+	if err := s.ctx.Err(); err != nil {
+		s.abort(stopFor(err), 0, err)
+	}
+}
+
+// abort freezes the solver with the given stop reason; the first abort wins.
+func (s *solver) abort(reason StopReason, limit int, err error) {
+	if s.stop != nil {
+		return
+	}
+	s.stop = &Stop{
+		Reason: reason,
+		Steps:  s.steps,
+		Facts:  s.nfacts,
+		Cells:  len(s.pts),
+		Limit:  limit,
+		Err:    err,
 	}
 }
 
@@ -275,13 +364,29 @@ func (s *solver) addFactWhy(c, tgt Cell, why string) {
 }
 
 // addFact records pointsTo(c, tgt) and schedules propagation of the delta.
+// Once the run is aborted the solver is frozen: no new facts, no new
+// worklist entries — the fact set stays exactly what had been derived.
 func (s *solver) addFact(c, tgt Cell) {
+	if s.stop != nil {
+		return
+	}
 	set, ok := s.pts[c]
 	if !ok {
+		if s.limits.MaxCells > 0 && len(s.pts) >= s.limits.MaxCells {
+			s.abort(StopMaxCells, s.limits.MaxCells, nil)
+			return
+		}
 		set = make(CellSet)
 		s.pts[c] = set
 	}
 	if !set.Add(tgt) {
+		return
+	}
+	s.nfacts++
+	if s.limits.MaxFacts > 0 && s.nfacts >= s.limits.MaxFacts {
+		s.abort(StopMaxFacts, s.limits.MaxFacts, nil)
+		// The fact that tripped the limit stays recorded (it is sound);
+		// only propagation of it is skipped.
 		return
 	}
 	if len(set) == 1 {

@@ -85,7 +85,9 @@ func Source(name string) ([]frontend.Source, error) {
 	return []frontend.Source{{Name: name + ".c", Text: string(data)}}, nil
 }
 
-// MustSource panics on unknown names (test helper).
+// MustSource is Source for tests and examples only: it panics on unknown
+// names. Production callers (the cmd tools, the facade) must use Source
+// and report the error.
 func MustSource(name string) []frontend.Source {
 	s, err := Source(name)
 	if err != nil {

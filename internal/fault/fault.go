@@ -1,0 +1,161 @@
+// Package fault defines the structured error taxonomy of the analysis
+// pipeline. Every error that escapes a facade entry point is (or wraps) a
+// *fault.Error carrying a Kind — the machine-readable class — plus the
+// pipeline stage it arose in and, when known, a source position.
+//
+// The kinds support errors.Is against the exported sentinels:
+//
+//	errors.Is(err, fault.ErrParse)    // preprocessor, scanner or parser
+//	errors.Is(err, fault.ErrSema)     // semantic analysis / type checking
+//	errors.Is(err, fault.ErrLimit)    // a resource limit stopped the solver
+//	errors.Is(err, fault.ErrCanceled) // context cancellation or timeout
+//	errors.Is(err, fault.ErrInternal) // a recovered panic (a bug, not input)
+//
+// and errors.As(err, *(**fault.Error)) recovers the full structure. A
+// KindCanceled fault wraps the context's error, so errors.Is(err,
+// context.Canceled) and errors.Is(err, context.DeadlineExceeded) also work
+// through it.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Kind classifies an analysis error.
+type Kind int
+
+// The error classes, from "the input is wrong" to "the analyzer is wrong".
+const (
+	// KindInternal is a recovered panic or violated invariant: a bug in
+	// the analyzer, never the input's fault.
+	KindInternal Kind = iota
+	// KindParse covers preprocessing, scanning and parsing failures.
+	KindParse
+	// KindSema covers semantic-analysis and type-checking failures.
+	KindSema
+	// KindLimit marks an analysis stopped by a resource limit
+	// (max steps, max facts, max cells).
+	KindLimit
+	// KindCanceled marks an analysis stopped by context cancellation or
+	// deadline expiry.
+	KindCanceled
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindParse:
+		return "parse"
+	case KindSema:
+		return "sema"
+	case KindLimit:
+		return "limit"
+	case KindCanceled:
+		return "canceled"
+	case KindInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// sentinel is a comparable anchor for errors.Is: a *Error matches the
+// sentinel of its kind via (*Error).Is.
+type sentinel struct{ kind Kind }
+
+func (s *sentinel) Error() string { return s.kind.String() + " error" }
+
+// Sentinels for errors.Is. They carry no detail themselves; match one, then
+// errors.As for the *Error when the stage, position or stack is needed.
+var (
+	ErrParse    error = &sentinel{KindParse}
+	ErrSema     error = &sentinel{KindSema}
+	ErrLimit    error = &sentinel{KindLimit}
+	ErrCanceled error = &sentinel{KindCanceled}
+	ErrInternal error = &sentinel{KindInternal}
+)
+
+// Error is a classified pipeline error.
+type Error struct {
+	Kind  Kind
+	Stage string // pipeline stage: "preprocess", "parse", "sema", "ir", "solve", "batch", ...
+	Pos   string // source position or file name when known, "" otherwise
+	Msg   string // human-readable detail when there is no wrapped cause
+	Err   error  // wrapped cause, nil when Msg stands alone
+	Stack []byte // goroutine stack, captured for KindInternal faults
+}
+
+func (e *Error) Error() string {
+	s := e.Kind.String()
+	if e.Stage != "" {
+		s += " [" + e.Stage + "]"
+	}
+	if e.Pos != "" {
+		s += " " + e.Pos
+	}
+	switch {
+	case e.Err != nil:
+		return s + ": " + e.Err.Error()
+	case e.Msg != "":
+		return s + ": " + e.Msg
+	}
+	return s
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches the sentinel of the error's kind.
+func (e *Error) Is(target error) bool {
+	s, ok := target.(*sentinel)
+	return ok && s.kind == e.Kind
+}
+
+// New builds a classified error wrapping cause (which may be nil if msg
+// carries the detail).
+func New(kind Kind, stage, pos string, cause error) *Error {
+	return &Error{Kind: kind, Stage: stage, Pos: pos, Err: cause}
+}
+
+// Newf builds a classified error from a format string.
+func Newf(kind Kind, stage, pos, format string, args ...any) *Error {
+	return &Error{Kind: kind, Stage: stage, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// FromPanic converts a recovered panic value into a KindInternal fault with
+// the recovery-point stack attached. Passing an existing error (e.g. a
+// *Error re-panicked across a boundary) preserves it as the cause.
+func FromPanic(stage string, v any) *Error {
+	e := &Error{Kind: KindInternal, Stage: stage, Stack: debug.Stack()}
+	if err, ok := v.(error); ok {
+		e.Err = err
+	} else {
+		e.Msg = fmt.Sprint(v)
+	}
+	return e
+}
+
+// Recover is the deferred panic boundary of a facade entry point:
+//
+//	func Analyze(...) (r *Report, err error) {
+//		defer fault.Recover("solve", &err)
+//		...
+//	}
+//
+// A panic in the function body is converted into a KindInternal fault stored
+// in *errp; classified faults already flowing through *errp are untouched.
+func Recover(stage string, errp *error) {
+	if v := recover(); v != nil {
+		*errp = FromPanic(stage, v)
+	}
+}
+
+// KindOf classifies an arbitrary error: the kind of the outermost *Error in
+// its chain, or KindInternal with ok=false when the error is unclassified.
+func KindOf(err error) (Kind, bool) {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Kind, true
+	}
+	return KindInternal, false
+}

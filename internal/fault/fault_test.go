@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want error
+	}{
+		{KindParse, ErrParse},
+		{KindSema, ErrSema},
+		{KindLimit, ErrLimit},
+		{KindCanceled, ErrCanceled},
+		{KindInternal, ErrInternal},
+	}
+	for _, c := range cases {
+		err := New(c.kind, "stage", "f.c:1:1", errors.New("boom"))
+		if !errors.Is(err, c.want) {
+			t.Errorf("kind %v does not match its sentinel", c.kind)
+		}
+		for _, other := range cases {
+			if other.want != c.want && errors.Is(err, other.want) {
+				t.Errorf("kind %v wrongly matches %v", c.kind, other.want)
+			}
+		}
+	}
+}
+
+func TestErrorsAsRecoversStructure(t *testing.T) {
+	inner := New(KindSema, "sema", "a.c:3:7", errors.New("incompatible types"))
+	wrapped := fmt.Errorf("loading unit: %w", inner)
+	var e *Error
+	if !errors.As(wrapped, &e) {
+		t.Fatal("errors.As failed through a wrap")
+	}
+	if e.Stage != "sema" || e.Pos != "a.c:3:7" || e.Kind != KindSema {
+		t.Errorf("structure lost: %+v", e)
+	}
+	if !errors.Is(wrapped, ErrSema) {
+		t.Error("errors.Is failed through a wrap")
+	}
+}
+
+func TestCanceledWrapsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := New(KindCanceled, "solve", "", ctx.Err())
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("not ErrCanceled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("does not unwrap to context.Canceled")
+	}
+}
+
+func TestFromPanicCapturesStack(t *testing.T) {
+	var err error
+	func() {
+		defer Recover("solve", &err)
+		panic("index out of range [3] with length 2")
+	}()
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("no fault.Error: %v", err)
+	}
+	if e.Kind != KindInternal || len(e.Stack) == 0 {
+		t.Errorf("kind=%v stack=%d bytes", e.Kind, len(e.Stack))
+	}
+	if !strings.Contains(e.Error(), "index out of range") {
+		t.Errorf("message lost: %q", e.Error())
+	}
+}
+
+func TestFromPanicPreservesErrorCause(t *testing.T) {
+	cause := errors.New("original")
+	e := FromPanic("parse", cause)
+	if !errors.Is(e, cause) {
+		t.Error("error panic value not preserved as cause")
+	}
+}
+
+func TestRecoverLeavesCleanReturns(t *testing.T) {
+	var err error
+	func() {
+		defer Recover("solve", &err)
+	}()
+	if err != nil {
+		t.Errorf("Recover touched a clean return: %v", err)
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	if k, ok := KindOf(Newf(KindLimit, "solve", "", "max-steps")); !ok || k != KindLimit {
+		t.Errorf("KindOf = %v, %v", k, ok)
+	}
+	if _, ok := KindOf(errors.New("plain")); ok {
+		t.Error("plain error classified")
+	}
+}
+
+func TestErrorString(t *testing.T) {
+	e := New(KindParse, "parse", "bad.c:2:5", errors.New("unexpected token"))
+	got := e.Error()
+	for _, want := range []string{"parse", "bad.c:2:5", "unexpected token"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/cc/ast"
 	"repro/internal/cc/layout"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/cc/pp"
 	"repro/internal/cc/sema"
 	"repro/internal/cc/types"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/libsum"
 )
@@ -54,7 +56,14 @@ type Result struct {
 }
 
 // Load runs the full pipeline over the given sources.
-func Load(sources []Source, opts Options) (*Result, error) {
+//
+// Failures come back as *fault.Error: preprocessing, scanning and parsing
+// problems match fault.ErrParse, type-checking problems match
+// fault.ErrSema, and any panic inside the pipeline is converted into a
+// fault.ErrInternal with the stage and stack attached rather than crashing
+// the caller.
+func Load(sources []Source, opts Options) (res *Result, err error) {
+	defer fault.Recover("frontend", &err)
 	univ := types.NewUniverse()
 	lay := layout.New(opts.ABI)
 
@@ -81,18 +90,18 @@ func Load(sources []Source, opts Options) (*Result, error) {
 		prep := pp.New(pp.Config{Defines: opts.Defines, Include: include})
 		toks, err := prep.Process(src.Name, []byte(src.Text))
 		if err != nil {
-			return nil, fmt.Errorf("preprocess %s: %w", src.Name, err)
+			return nil, classify(fault.KindParse, "preprocess", src.Name, err)
 		}
 		f, err := parser.Parse(src.Name, toks, parser.Config{Universe: univ, Layout: lay})
 		if err != nil {
-			return nil, fmt.Errorf("parse %s: %w", src.Name, err)
+			return nil, classify(fault.KindParse, "parse", src.Name, err)
 		}
 		files = append(files, f)
 	}
 
 	prog, err := sema.Analyze(files, univ, lay)
 	if err != nil {
-		return nil, fmt.Errorf("semantic analysis: %w", err)
+		return nil, classify(fault.KindSema, "sema", "", err)
 	}
 
 	cfg := ir.Config{ModelMainArgs: opts.ModelMainArgs}
@@ -113,20 +122,63 @@ func Load(sources []Source, opts Options) (*Result, error) {
 	}, nil
 }
 
+// classify wraps a pipeline error into the taxonomy, attaching the best
+// source position available: the "file:line:col" prefix the preprocessor,
+// parser and type checker put on their messages, or the unit name.
+func classify(kind fault.Kind, stage, unit string, err error) *fault.Error {
+	pos := errorPos(err)
+	if pos == "" {
+		pos = unit
+	}
+	return fault.New(kind, stage, pos, err)
+}
+
+// errorPos extracts a leading "file:line:col" (or "file:line") position from
+// an error's text, returning "" when the message has no such prefix.
+func errorPos(err error) string {
+	if err == nil {
+		return ""
+	}
+	msg := err.Error()
+	head, _, ok := strings.Cut(msg, ": ")
+	if !ok {
+		return ""
+	}
+	// A position prefix looks like name:12 or name:12:3 — the segments
+	// after the name must be decimal.
+	parts := strings.Split(head, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return ""
+	}
+	for _, p := range parts[1:] {
+		if p == "" {
+			return ""
+		}
+		for _, r := range p {
+			if r < '0' || r > '9' {
+				return ""
+			}
+		}
+	}
+	return head
+}
+
 // LoadFiles reads and loads C files from disk.
 func LoadFiles(paths []string, opts Options) (*Result, error) {
 	var sources []Source
 	for _, p := range paths {
 		content, err := os.ReadFile(p)
 		if err != nil {
-			return nil, err
+			return nil, fault.New(fault.KindParse, "read", p, err)
 		}
 		sources = append(sources, Source{Name: p, Text: string(content)})
 	}
 	return Load(sources, opts)
 }
 
-// MustLoad is a test helper that panics on error.
+// MustLoad panics on error. It is a helper for tests and examples with
+// known-good embedded sources ONLY — production paths must call Load and
+// handle the classified error.
 func MustLoad(sources []Source, opts Options) *Result {
 	r, err := Load(sources, opts)
 	if err != nil {

@@ -1,6 +1,7 @@
 package frontend
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/cc/layout"
+	"repro/internal/fault"
 )
 
 func TestLoadSimple(t *testing.T) {
@@ -139,6 +141,62 @@ func TestModelMainArgs(t *testing.T) {
 	}
 	if !found {
 		t.Error("argv model objects missing")
+	}
+}
+
+// Load errors must carry the fault taxonomy: parse-stage failures match
+// fault.ErrParse, type errors match fault.ErrSema, and both expose stage
+// and position via errors.As.
+func TestLoadErrorsAreClassified(t *testing.T) {
+	cases := []struct {
+		src  string
+		want error
+	}{
+		{"int x", fault.ErrParse},                                // parser failure
+		{"#if 1\nint x;", fault.ErrParse},                        // preprocessor failure
+		{"int f(void) { return &&; }", fault.ErrParse},           // scanner/parser failure
+		{"void f(void) { undeclared(); x = 1; }", fault.ErrSema}, // sema failure
+	}
+	for _, c := range cases {
+		_, err := Load([]Source{{Name: "bad.c", Text: c.src}}, Options{})
+		if err == nil {
+			t.Errorf("%q: no error", c.src)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("%q: error %v does not match %v", c.src, err, c.want)
+		}
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			t.Errorf("%q: not a fault.Error: %v", c.src, err)
+			continue
+		}
+		if fe.Stage == "" {
+			t.Errorf("%q: fault has no stage", c.src)
+		}
+	}
+}
+
+func TestLoadFilesMissingIsClassified(t *testing.T) {
+	_, err := LoadFiles([]string{"/nonexistent/missing.c"}, Options{})
+	if !errors.Is(err, fault.ErrParse) {
+		t.Errorf("missing file error %v does not match ErrParse", err)
+	}
+}
+
+func TestErrorPosExtraction(t *testing.T) {
+	cases := []struct {
+		msg, want string
+	}{
+		{"a.c:3:7: unexpected token", "a.c:3:7"},
+		{"a.c:12: something", "a.c:12"},
+		{"no position here", ""},
+		{"weird:prefix: text", ""},
+	}
+	for _, c := range cases {
+		if got := errorPos(errors.New(c.msg)); got != c.want {
+			t.Errorf("errorPos(%q) = %q, want %q", c.msg, got, c.want)
+		}
 	}
 }
 

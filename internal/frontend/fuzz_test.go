@@ -1,0 +1,105 @@
+package frontend
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fuzzSeeds collects the corpus every frontend fuzz run starts from:
+// the malformed inputs that once mattered, a couple of valid programs
+// exercising structs/casts/preprocessing, the real corpus programs, and
+// every regression input in testdata/crashers.
+func fuzzSeeds(tb testing.TB) []string {
+	seeds := []string{
+		// Promoted from TestMalformedInputsError.
+		"int x",
+		"struct {",
+		"#if 1\nint x;",
+		"void f(void) { return 1; }}",
+		"int f(void) { goto; }",
+		"int a[-]; ",
+		"\"unterminated",
+		"#define F(x x) x",
+		"#include <nosuchheader.h>",
+		"int f(int, int,, int);",
+		// Valid programs covering the interesting constructs.
+		"int x; int *p; int main(void) { p = &x; return *p; }",
+		`#include <stdlib.h>
+struct S { int *a; struct S *next; } g;
+int x;
+int *f(struct S *p) {
+	p->a = &x;
+	p->next = (struct S *)malloc(sizeof(struct S));
+	return p->next->a;
+}
+int main(void) { return *f(&g) != 0; }`,
+		"struct A { int x; int *p; }; struct B { int y; int *q; };\n" +
+			"int v; int main(void) { struct A a; a.p = &v;\n" +
+			"struct B *b = (struct B *)&a; return *b->q; }",
+	}
+	// Real corpus programs (read off disk: corpus imports frontend, so this
+	// package cannot import corpus without a cycle).
+	paths, err := filepath.Glob("../corpus/testdata/*.c")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, string(data))
+	}
+	seeds = append(seeds, crasherSeeds(tb)...)
+	return seeds
+}
+
+// crasherSeeds loads testdata/crashers: inputs that crashed the frontend
+// once. Each is replayed by TestCrashersNoPanic and seeded into FuzzLoad
+// so a fix can never regress silently.
+func crasherSeeds(tb testing.TB) []string {
+	paths, err := filepath.Glob(filepath.Join("testdata", "crashers", "*"))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var seeds []string
+	for _, p := range paths {
+		if filepath.Base(p) == "README.md" {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, string(data))
+	}
+	return seeds
+}
+
+// FuzzLoad drives the whole frontend — preprocess, parse, sema, normalize —
+// over arbitrary bytes. The property is total robustness: Load may reject
+// the input with a classified error, but must never panic (the fuzz engine
+// reports any panic as a crasher).
+func FuzzLoad(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Load([]Source{{Name: "fuzz.c", Text: src}}, Options{})
+		if err == nil && res == nil {
+			t.Fatal("Load returned nil result and nil error")
+		}
+	})
+}
+
+// TestCrashersNoPanic replays every recorded crasher input (regression
+// guard for fixed fuzz findings); runs in plain `go test` with no -fuzz.
+func TestCrashersNoPanic(t *testing.T) {
+	for i, src := range crasherSeeds(t) {
+		res, err := Load([]Source{{Name: "crasher.c", Text: src}}, Options{})
+		if err == nil && res == nil {
+			t.Errorf("crasher %d: nil result and nil error", i)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -151,10 +152,21 @@ type Options struct {
 	// NoMemo disables the strategies' lookup/resolve memoization
 	// (ablation; results are identical, only speed changes).
 	NoMemo bool
+	// Limits bounds each analysis run. The figures cannot be built from
+	// partial fact sets, so a tripped limit (or a canceled context) makes
+	// the measurement fail with the classified error instead of emitting
+	// skewed numbers.
+	Limits core.Limits
 }
 
 // Measure loads a program and runs every instance over it.
 func Measure(name string, sources []frontend.Source, fopts frontend.Options, opts Options) (*Program, error) {
+	return MeasureContext(context.Background(), name, sources, fopts, opts)
+}
+
+// MeasureContext is Measure under a context: cancellation (or a tripped
+// Options.Limits bound) aborts the measurement with a classified error.
+func MeasureContext(ctx context.Context, name string, sources []frontend.Source, fopts frontend.Options, opts Options) (*Program, error) {
 	res, err := frontend.Load(sources, fopts)
 	if err != nil {
 		return nil, err
@@ -181,7 +193,10 @@ func Measure(name string, sources []frontend.Source, fopts frontend.Options, opt
 			if opts.NoMemo {
 				core.SetMemoization(strat, false)
 			}
-			r := core.Analyze(res.IR, strat)
+			r := core.AnalyzeContext(ctx, res.IR, strat, core.Options{Limits: opts.Limits})
+			if r.Incomplete != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, sn, r.Incomplete.AsError())
+			}
 			run := toRun(sn, r, strat)
 			if best == nil || run.Duration < best.Duration {
 				best = run
@@ -227,6 +242,16 @@ type Spec struct {
 // assembled in strategy order, so output is deterministic and byte-identical
 // to the sequential path.
 func MeasureCorpus(specs []Spec, fopts frontend.Options, opts Options) ([]*Program, error) {
+	return MeasureCorpusContext(context.Background(), specs, fopts, opts)
+}
+
+// MeasureCorpusContext is MeasureCorpus under a context, with per-job fault
+// isolation from core.AnalyzeBatchContext: a panicking job surfaces as a
+// classified error naming the (program, instance) pair, cancellation and
+// tripped Options.Limits bounds abort the measurement with their taxonomy
+// errors, and in every case the remaining jobs wind down instead of the
+// whole process crashing.
+func MeasureCorpusContext(ctx context.Context, specs []Spec, fopts frontend.Options, opts Options) ([]*Program, error) {
 	repeat := opts.Repeat
 	if repeat < 1 {
 		repeat = 1
@@ -246,6 +271,9 @@ func MeasureCorpus(specs []Spec, fopts frontend.Options, opts Options) ([]*Progr
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", specs[i].Name, err)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Phase 2: one batch job per (program, instance) pair, repeated as
@@ -275,12 +303,22 @@ func MeasureCorpus(specs []Spec, fopts frontend.Options, opts Options) ([]*Progr
 			if opts.NoMemo {
 				core.SetMemoization(strat, false)
 			}
-			jobs[i] = core.BatchJob{Prog: loaded[pr.prog].IR, Strat: strat}
+			jobs[i] = core.BatchJob{Prog: loaded[pr.prog].IR, Strat: strat,
+				Opts: core.Options{Limits: opts.Limits}}
 		}
-		results := core.AnalyzeBatch(jobs, opts.Parallelism)
+		results, errs := core.AnalyzeBatchContext(ctx, jobs, opts.Parallelism)
 		// Keep only the fastest repetition per pair (repetitions differ
 		// only in timing); dropped rounds free their fact sets here.
 		for i, res := range results {
+			pairName := func() string {
+				return specs[pairs[i].prog].Name + "/" + names[pairs[i].strat]
+			}
+			if errs[i] != nil {
+				return nil, fmt.Errorf("%s: %w", pairName(), errs[i])
+			}
+			if res.Incomplete != nil {
+				return nil, fmt.Errorf("%s: %w", pairName(), res.Incomplete.AsError())
+			}
 			run := toRun(names[pairs[i].strat], res, jobs[i].Strat)
 			if best[i] == nil || run.Duration < best[i].Duration {
 				best[i] = run

@@ -10,6 +10,7 @@
 package regress
 
 import (
+	"context"
 	_ "embed"
 	"encoding/json"
 	"fmt"
@@ -41,6 +42,13 @@ func Measure() (*export.Evaluation, error) {
 // MeasureParallel is Measure with an explicit worker count (0 = GOMAXPROCS,
 // 1 = sequential).
 func MeasureParallel(parallelism int) (*export.Evaluation, error) {
+	return MeasureParallelContext(context.Background(), parallelism)
+}
+
+// MeasureParallelContext is MeasureParallel under a context: canceling it
+// (e.g. a ptrregress -timeout) aborts the corpus run with a classified
+// error instead of leaving a partial evaluation.
+func MeasureParallelContext(ctx context.Context, parallelism int) (*export.Evaluation, error) {
 	var specs []metrics.Spec
 	for _, name := range corpus.SortedByGroup() {
 		src, err := corpus.Source(name)
@@ -49,7 +57,7 @@ func MeasureParallel(parallelism int) (*export.Evaluation, error) {
 		}
 		specs = append(specs, metrics.Spec{Name: name, Sources: src})
 	}
-	progs, err := metrics.MeasureCorpus(specs, frontend.Options{},
+	progs, err := metrics.MeasureCorpusContext(ctx, specs, frontend.Options{},
 		metrics.Options{Parallelism: parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("measure corpus: %w", err)
@@ -174,6 +182,12 @@ func Update(root string, ev *export.Evaluation) error {
 // Run executes the full check, writing a report to w; it returns false when
 // drift was found (or no baseline exists).
 func Run(w io.Writer) (bool, error) {
+	return RunContext(context.Background(), w, 0)
+}
+
+// RunContext is Run under a context and with an explicit corpus worker
+// count (0 = GOMAXPROCS).
+func RunContext(ctx context.Context, w io.Writer, parallelism int) (bool, error) {
 	base, ok, err := Baseline()
 	if err != nil {
 		return false, err
@@ -182,7 +196,7 @@ func Run(w io.Writer) (bool, error) {
 		fmt.Fprintln(w, "no baseline recorded; run ptrregress -update")
 		return false, nil
 	}
-	cur, err := Measure()
+	cur, err := MeasureParallelContext(ctx, parallelism)
 	if err != nil {
 		return false, err
 	}

@@ -1,0 +1,54 @@
+package pointsto
+
+import (
+	"errors"
+
+	"repro/internal/fault"
+)
+
+// Error is the structured error every facade entry point returns on
+// failure: a machine-readable kind plus the pipeline stage, the source
+// position when known, and — for internal faults — the recovered stack.
+// Recover it with errors.As:
+//
+//	var e *pointsto.Error
+//	if errors.As(err, &e) {
+//		log.Printf("stage=%s pos=%s kind=%s", e.Stage, e.Pos, e.Kind)
+//	}
+type Error = fault.Error
+
+// Kind classifies an Error; see the Err* sentinels for matching.
+type Kind = fault.Kind
+
+// The error kinds.
+const (
+	KindInternal = fault.KindInternal
+	KindParse    = fault.KindParse
+	KindSema     = fault.KindSema
+	KindLimit    = fault.KindLimit
+	KindCanceled = fault.KindCanceled
+)
+
+// Sentinels for errors.Is. A cancellation error additionally unwraps to
+// context.Canceled or context.DeadlineExceeded, whichever stopped the run.
+var (
+	// ErrParse matches preprocessing, scanning and parsing failures.
+	ErrParse = fault.ErrParse
+	// ErrSema matches semantic-analysis (type-checking) failures.
+	ErrSema = fault.ErrSema
+	// ErrLimit matches analyses stopped by a Config.Limits bound.
+	ErrLimit = fault.ErrLimit
+	// ErrCanceled matches analyses stopped by context cancellation or a
+	// Config.Timeout expiry.
+	ErrCanceled = fault.ErrCanceled
+	// ErrInternal matches recovered panics: bugs in the analyzer, never
+	// the input's fault. The *Error carries the goroutine stack.
+	ErrInternal = fault.ErrInternal
+)
+
+// IsCanceled reports whether the error (anywhere in its chain) is an
+// analysis cancellation — a Config.Timeout expiry or a canceled context.
+func IsCanceled(err error) bool { return errors.Is(err, ErrCanceled) }
+
+// IsLimit reports whether the error is a tripped resource limit.
+func IsLimit(err error) bool { return errors.Is(err, ErrLimit) }

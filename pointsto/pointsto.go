@@ -1,12 +1,15 @@
 package pointsto
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/cc/layout"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/frontend"
 	"repro/internal/ir"
 	"repro/internal/modref"
@@ -78,6 +81,24 @@ type Options struct {
 	NoMemoization bool
 }
 
+// Limits bounds the solver's resource use; zero values mean unlimited.
+// When a bound trips, the analysis stops and the Report comes back flagged
+// incomplete (Report.Incomplete) instead of running without bound: the
+// facts already derived are each individually sound — a subset of the
+// fixpoint — only further derivations are missing.
+type Limits struct {
+	// MaxSteps bounds worklist iterations of the solver.
+	MaxSteps int
+	// MaxFacts bounds the total number of points-to edges.
+	MaxFacts int
+	// MaxCells bounds the number of distinct cells holding facts.
+	MaxCells int
+}
+
+func (l Limits) core() core.Limits {
+	return core.Limits{MaxSteps: l.MaxSteps, MaxFacts: l.MaxFacts, MaxCells: l.MaxCells}
+}
+
 // Config configures one Analyze call.
 type Config struct {
 	// Strategy picks the analysis instance; the zero value is CIS.
@@ -90,23 +111,75 @@ type Config struct {
 	// Parallelism bounds the worker pool of AnalyzeAll (0 = GOMAXPROCS).
 	// A single Analyze call is sequential.
 	Parallelism int
+	// Timeout bounds the wall-clock time of the whole call (front end and
+	// solve). Zero means no timeout. On expiry the call returns the
+	// partial report together with an error matching ErrCanceled.
+	Timeout time.Duration
+	// Limits bounds the solver's resources; see the Limits type.
+	Limits Limits
+}
+
+// context derives the call's context from ctx and Config.Timeout.
+func (cfg Config) context(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Timeout > 0 {
+		return context.WithTimeout(ctx, cfg.Timeout)
+	}
+	return ctx, func() {}
 }
 
 // Analyze runs the full pipeline — preprocess, parse, type-check, normalize
 // to the paper's five assignment forms, then solve to fixpoint with the
 // configured instance — and returns a queryable Report.
+//
+// Every failure is a classified *Error (see ErrParse, ErrSema, ErrLimit,
+// ErrCanceled, ErrInternal); panics anywhere in the pipeline are converted
+// into ErrInternal faults rather than crashing the caller. A tripped
+// Config.Limits bound is NOT an error: the report comes back with
+// Report.Incomplete describing the partial result.
 func Analyze(sources []Source, cfg Config) (*Report, error) {
+	return AnalyzeContext(context.Background(), sources, cfg)
+}
+
+// AnalyzeContext is Analyze under a context: canceling ctx (or exceeding
+// Config.Timeout) stops the solver promptly. On cancellation the partial
+// report is returned alongside an error matching ErrCanceled, so callers
+// can choose between discarding the work and using the sound-but-partial
+// facts.
+func AnalyzeContext(ctx context.Context, sources []Source, cfg Config) (report *Report, err error) {
+	defer fault.Recover("analyze", &err)
+	ctx, cancel := cfg.context(ctx)
+	defer cancel()
 	res, err := load(sources, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return solve(res, cfg), nil
+	report = solve(ctx, res, cfg)
+	if stop := report.result.Incomplete; stop != nil && stop.Canceled() {
+		return report, stop.AsError()
+	}
+	return report, nil
 }
 
 // AnalyzeAll analyzes the same sources under several instances, fanning the
 // solver runs across Config.Parallelism workers (the front end runs once).
 // Reports are returned in strategies order.
 func AnalyzeAll(sources []Source, cfg Config, strategies ...Strategy) ([]*Report, error) {
+	return AnalyzeAllContext(context.Background(), sources, cfg, strategies...)
+}
+
+// AnalyzeAllContext is AnalyzeAll under a context. Jobs are isolated: a
+// panicking instance leaves a nil slot in the returned slice and its
+// ErrInternal fault joined into the returned error while the other
+// instances complete; a canceled run returns every report partial (flagged
+// incomplete) plus an error matching ErrCanceled. Limit-tripped instances
+// are not errors — their reports are flagged via Report.Incomplete.
+func AnalyzeAllContext(ctx context.Context, sources []Source, cfg Config, strategies ...Strategy) (reports []*Report, err error) {
+	defer fault.Recover("analyze", &err)
+	ctx, cancel := cfg.context(ctx)
+	defer cancel()
 	res, err := load(sources, cfg)
 	if err != nil {
 		return nil, err
@@ -124,12 +197,23 @@ func AnalyzeAll(sources []Source, cfg Config, strategies ...Strategy) ([]*Report
 			core.SetMemoization(jobs[i].Strat, false)
 		}
 	}
-	results := core.AnalyzeBatch(jobs, cfg.Parallelism)
-	reports := make([]*Report, len(results))
+	results, jobErrs := core.AnalyzeBatchContext(ctx, jobs, cfg.Parallelism)
+	reports = make([]*Report, len(results))
+	canceled := false
 	for i, r := range results {
+		if jobErrs[i] != nil {
+			err = errors.Join(err, jobErrs[i])
+			continue
+		}
 		reports[i] = &Report{strategy: strategies[i], res: res, result: r}
+		if stop := r.Incomplete; stop != nil && stop.Canceled() {
+			canceled = true
+		}
 	}
-	return reports, nil
+	if canceled {
+		err = errors.Join(err, fault.New(fault.KindCanceled, "solve", "", ctx.Err()))
+	}
+	return reports, err
 }
 
 func load(sources []Source, cfg Config) (*frontend.Result, error) {
@@ -149,12 +233,12 @@ func load(sources []Source, cfg Config) (*frontend.Result, error) {
 	})
 }
 
-func solve(res *frontend.Result, cfg Config) *Report {
+func solve(ctx context.Context, res *frontend.Result, cfg Config) *Report {
 	strat := newStrategy(cfg.Strategy, res.Layout)
 	if cfg.Options.NoMemoization {
 		core.SetMemoization(strat, false)
 	}
-	result := core.AnalyzeWith(res.IR, strat, coreOptions(cfg))
+	result := core.AnalyzeContext(ctx, res.IR, strat, coreOptions(cfg))
 	return &Report{strategy: cfg.Strategy, res: res, result: result}
 }
 
@@ -162,6 +246,7 @@ func coreOptions(cfg Config) core.Options {
 	return core.Options{
 		NoPtrArithSmear: cfg.Options.NoPtrArithSmear,
 		UseUnknown:      cfg.Options.FlagMisuse,
+		Limits:          cfg.Limits.core(),
 	}
 }
 
@@ -203,6 +288,52 @@ type Report struct {
 
 // Strategy returns the instance that produced the report.
 func (r *Report) Strategy() Strategy { return r.strategy }
+
+// Incomplete describes an analysis run that stopped before fixpoint — a
+// Config.Limits bound tripped or the run was canceled. The report's facts
+// stay sound for what was derived: every recorded points-to edge is
+// justified by the inference rules, so the result is a subset of the full
+// fixpoint. Absent facts, however, mean "not derived yet", not "cannot
+// point to" — negative queries (MayAlias == false, an empty PointsTo) are
+// NOT conclusive on an incomplete report.
+type Incomplete struct {
+	// Reason is machine-readable: "max-steps", "max-facts", "max-cells",
+	// "canceled" or "deadline".
+	Reason string
+	// Steps, Facts and Cells are the solver counters at the stop.
+	Steps, Facts, Cells int
+	// Limit is the bound that tripped; 0 for cancellation.
+	Limit int
+}
+
+func (inc *Incomplete) String() string {
+	return fmt.Sprintf("incomplete (%s): %d steps, %d facts, %d cells",
+		inc.Reason, inc.Steps, inc.Facts, inc.Cells)
+}
+
+// Incomplete returns nil for a run that reached fixpoint, and the stop
+// description when a resource limit or cancellation ended the run early.
+func (r *Report) Incomplete() *Incomplete {
+	stop := r.result.Incomplete
+	if stop == nil {
+		return nil
+	}
+	return &Incomplete{
+		Reason: string(stop.Reason),
+		Steps:  stop.Steps,
+		Facts:  stop.Facts,
+		Cells:  stop.Cells,
+		Limit:  stop.Limit,
+	}
+}
+
+// Err returns nil for a complete report and the classified error for an
+// incomplete one: ErrLimit for a tripped bound, ErrCanceled for a canceled
+// run. It lets callers funnel both outcomes into error handling when
+// partial results are unwanted.
+func (r *Report) Err() error {
+	return r.result.Incomplete.AsError()
+}
 
 // Duration returns the solver's wall-clock time.
 func (r *Report) Duration() time.Duration { return r.result.Duration }

@@ -1,0 +1,188 @@
+package pointsto_test
+
+// Degenerate-input and resource-governance tests for the public facade:
+// hostile or pathological inputs must produce a classified error or an
+// Incomplete report — never a panic — under all four strategies.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pointsto"
+)
+
+// checkNoPanic asserts the facade contract on any input: either a valid
+// report or a classified *pointsto.Error (the facade's recover boundary
+// turns panics into ErrInternal, which the test then rejects).
+func checkNoPanic(t *testing.T, name string, sources []pointsto.Source, cfg pointsto.Config) {
+	t.Helper()
+	rep, err := pointsto.Analyze(sources, cfg)
+	if err != nil {
+		var pe *pointsto.Error
+		if !errors.As(err, &pe) {
+			t.Errorf("%s [%s]: untyped error %v", name, cfg.Strategy, err)
+		} else if pe.Kind == pointsto.KindInternal {
+			t.Errorf("%s [%s]: internal fault (recovered panic): %v", name, cfg.Strategy, err)
+		}
+		return
+	}
+	if rep == nil {
+		t.Errorf("%s [%s]: nil report and nil error", name, cfg.Strategy)
+	}
+}
+
+func eachStrategy(t *testing.T, name string, sources []pointsto.Source, cfg pointsto.Config) {
+	t.Helper()
+	for _, s := range pointsto.Strategies() {
+		cfg.Strategy = s
+		checkNoPanic(t, name, sources, cfg)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	eachStrategy(t, "empty source list", nil, pointsto.Config{})
+	eachStrategy(t, "empty file",
+		[]pointsto.Source{{Name: "empty.c", Text: ""}}, pointsto.Config{})
+	eachStrategy(t, "whitespace only",
+		[]pointsto.Source{{Name: "ws.c", Text: " \n\t\n"}}, pointsto.Config{})
+	eachStrategy(t, "no main",
+		[]pointsto.Source{{Name: "lib.c", Text: "int x; int *f(void){return &x;}"}},
+		pointsto.Config{})
+}
+
+func TestThousandsOfFields(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("struct Big {\n")
+	const nfields = 3000
+	for i := 0; i < nfields; i++ {
+		fmt.Fprintf(&sb, "\tint *f%d;\n", i)
+	}
+	sb.WriteString("};\nint x;\nint main(void) {\n\tstruct Big b;\n")
+	// Touch a spread of fields so the strategies' field machinery runs.
+	for i := 0; i < nfields; i += 100 {
+		fmt.Fprintf(&sb, "\tb.f%d = &x;\n", i)
+	}
+	sb.WriteString("\tint **pp = &b.f0;\n\treturn **pp != 0;\n}\n")
+	src := []pointsto.Source{{Name: "big.c", Text: sb.String()}}
+	eachStrategy(t, "thousands-field struct", src, pointsto.Config{})
+}
+
+func TestDeeplyNestedCasts(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("struct A { int *p; }; struct B { int *q; };\nint x;\nint main(void) {\n\tstruct A a;\n\ta.p = &x;\n\tvoid *v = ")
+	const depth = 400
+	for i := 0; i < depth; i++ {
+		if i%2 == 0 {
+			sb.WriteString("(struct A *)")
+		} else {
+			sb.WriteString("(struct B *)")
+		}
+	}
+	sb.WriteString("&a;\n\treturn v != 0;\n}\n")
+	src := []pointsto.Source{{Name: "casts.c", Text: sb.String()}}
+	eachStrategy(t, "deeply nested casts", src, pointsto.Config{})
+}
+
+// adversarialSrc builds a program with roughly n statements: a long copy
+// chain feeding every pointer from one address-of, so the solver has real
+// propagation work proportional to n.
+func adversarialSrc(n int) []pointsto.Source {
+	var sb strings.Builder
+	sb.WriteString("int x;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "int *p%d;\n", i)
+	}
+	sb.WriteString("int main(void) {\n\tp0 = &x;\n")
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&sb, "\tp%d = p%d;\n", i, i-1)
+	}
+	sb.WriteString("\treturn *p0 != 0;\n}\n")
+	return []pointsto.Source{{Name: "adversarial.c", Text: sb.String()}}
+}
+
+// TestEachLimitTrips checks every limit kind individually through the
+// facade, under all four strategies: the report must come back flagged
+// Incomplete with the machine-readable reason, with a nil error (a limit
+// trip is a governed outcome, not a failure).
+func TestEachLimitTrips(t *testing.T) {
+	src := adversarialSrc(300)
+	cases := []struct {
+		limits pointsto.Limits
+		reason string
+	}{
+		{pointsto.Limits{MaxSteps: 5}, "max-steps"},
+		{pointsto.Limits{MaxFacts: 5}, "max-facts"},
+		{pointsto.Limits{MaxCells: 5}, "max-cells"},
+	}
+	for _, c := range cases {
+		for _, s := range pointsto.Strategies() {
+			rep, err := pointsto.Analyze(src, pointsto.Config{Strategy: s, Limits: c.limits})
+			if err != nil {
+				t.Fatalf("%s [%s]: unexpected error %v", c.reason, s, err)
+			}
+			inc := rep.Incomplete()
+			if inc == nil {
+				t.Fatalf("%s [%s]: limit did not trip", c.reason, s)
+			}
+			if inc.Reason != c.reason {
+				t.Errorf("%s [%s]: reason = %q", c.reason, s, inc.Reason)
+			}
+			if !pointsto.IsLimit(rep.Err()) {
+				t.Errorf("%s [%s]: Report.Err does not match ErrLimit: %v", c.reason, s, rep.Err())
+			}
+		}
+	}
+}
+
+// TestAcceptanceMaxSteps is the issue's acceptance bar: a 10k-statement
+// adversarial program under Limits{MaxSteps: 1000} returns an Incomplete
+// report with a limit reason in under a second.
+func TestAcceptanceMaxSteps(t *testing.T) {
+	src := adversarialSrc(10000)
+	start := time.Now()
+	rep, err := pointsto.Analyze(src, pointsto.Config{
+		Limits: pointsto.Limits{MaxSteps: 1000},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	inc := rep.Incomplete()
+	if inc == nil {
+		t.Fatal("expected an incomplete report")
+	}
+	if inc.Reason != "max-steps" {
+		t.Errorf("reason = %q, want max-steps", inc.Reason)
+	}
+	if !pointsto.IsLimit(rep.Err()) {
+		t.Errorf("Report.Err = %v, want ErrLimit match", rep.Err())
+	}
+	if elapsed > time.Second {
+		t.Errorf("took %v, want < 1s", elapsed)
+	}
+}
+
+// TestAcceptanceTimeout: the same program under a 1ms Config.Timeout
+// returns a cancellation, not a panic and not an unbounded run.
+func TestAcceptanceTimeout(t *testing.T) {
+	src := adversarialSrc(10000)
+	rep, err := pointsto.Analyze(src, pointsto.Config{Timeout: time.Millisecond})
+	if err == nil {
+		// 1ms can, on a fast machine, occasionally be enough to finish the
+		// front end and solve; only a complete report makes that claim OK.
+		if rep == nil || rep.Incomplete() != nil {
+			t.Fatal("nil error but not a complete report")
+		}
+		t.Skip("run finished inside 1ms; nothing to assert")
+	}
+	if !pointsto.IsCanceled(err) {
+		t.Fatalf("err = %v, want ErrCanceled match", err)
+	}
+	var pe *pointsto.Error
+	if !errors.As(err, &pe) || pe.Kind != pointsto.KindCanceled {
+		t.Fatalf("err = %v, want *Error with KindCanceled", err)
+	}
+}

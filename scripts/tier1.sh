@@ -29,4 +29,15 @@ go test ./...
 echo "== go test -race (parallel driver must be race-clean)"
 go test -race ./internal/core/... ./internal/corpus/...
 
+echo "== fuzz smoke (frontend + solver must never panic)"
+go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/frontend
+go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/core
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck"
+	govulncheck ./...
+else
+	echo "== govulncheck (not installed; skipped)"
+fi
+
 echo "tier-1 OK"
