@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/castaudit"
 	"repro/internal/corpus"
+	"repro/internal/corpus/corpustest"
 	"repro/internal/frontend"
 )
 
@@ -135,7 +136,7 @@ func TestAuditCorpusGroups(t *testing.T) {
 	for _, e := range corpus.Programs {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			src := corpus.MustSource(e.Name)
+			src := corpustest.MustSource(e.Name)
 			r, err := frontend.Load(src, frontend.Options{})
 			if err != nil {
 				t.Fatal(err)

@@ -85,17 +85,6 @@ func Source(name string) ([]frontend.Source, error) {
 	return []frontend.Source{{Name: name + ".c", Text: string(data)}}, nil
 }
 
-// MustSource is Source for tests and examples only: it panics on unknown
-// names. Production callers (the cmd tools, the facade) must use Source
-// and report the error.
-func MustSource(name string) []frontend.Source {
-	s, err := Source(name)
-	if err != nil {
-		panic(err)
-	}
-	return s
-}
-
 // All returns every (name, sources) pair in order.
 func All() (map[string][]frontend.Source, []string, error) {
 	out := make(map[string][]frontend.Source, len(Programs))

@@ -8,6 +8,17 @@ import (
 	"repro/internal/metrics"
 )
 
+// mustSource is the package-local panicking loader for these tests; the
+// test-only exported variant for other packages lives in corpustest (the
+// corpus package itself must not export a panicking API).
+func mustSource(name string) []frontend.Source {
+	s, err := Source(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
 func TestAllProgramsLoad(t *testing.T) {
 	for _, e := range Programs {
 		e := e
@@ -37,7 +48,7 @@ func TestAllProgramsAnalyze(t *testing.T) {
 	for _, e := range Programs {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			src := MustSource(e.Name)
+			src := mustSource(e.Name)
 			p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{})
 			if err != nil {
 				t.Fatalf("measure: %v", err)
@@ -65,7 +76,7 @@ func TestGroupMembership(t *testing.T) {
 	for _, e := range Programs {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			src := MustSource(e.Name)
+			src := mustSource(e.Name)
 			p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{
 				Strategies: []string{"common-initial-seq", "offsets"},
 			})
@@ -84,7 +95,7 @@ func TestFieldSensitivityWinsOnCastGroup(t *testing.T) {
 	// struct-heavy programs they are strictly larger.
 	strictly := 0
 	for _, e := range Programs {
-		src := MustSource(e.Name)
+		src := mustSource(e.Name)
 		p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)
@@ -108,7 +119,7 @@ func TestPortabilityCheap(t *testing.T) {
 	// within a few percent of the layout-specific Offsets instance.
 	within5pct := 0
 	for _, e := range Programs {
-		src := MustSource(e.Name)
+		src := mustSource(e.Name)
 		p, err := metrics.Measure(e.Name, src, frontend.Options{}, metrics.Options{
 			Strategies: []string{"common-initial-seq", "offsets"},
 		})

@@ -1,0 +1,20 @@
+// Package corpustest provides test-only helpers over the benchmark corpus.
+// It exists so that test packages get a panicking loader without the corpus
+// package itself exporting one: production callers (the cmd tools, the
+// facade, the server) must use corpus.Source and report the error.
+package corpustest
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+)
+
+// MustSource returns the C source of a corpus program, panicking on unknown
+// names. For tests and examples only.
+func MustSource(name string) []frontend.Source {
+	s, err := corpus.Source(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

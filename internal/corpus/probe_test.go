@@ -18,7 +18,7 @@ func TestProbeEach(t *testing.T) {
 		t.Skip("probe is for manual use")
 	}
 	for _, e := range Programs {
-		src := MustSource(e.Name)
+		src := mustSource(e.Name)
 		res, err := frontend.Load(src, frontend.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name, err)

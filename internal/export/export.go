@@ -80,6 +80,7 @@ type RunJSON struct {
 	AvgDerefSize float64 `json:"avg_deref_size"`
 	TotalFacts   int     `json:"total_facts"`
 	DurationNS   int64   `json:"duration_ns"`
+	Steps        int     `json:"steps,omitempty"`
 
 	LookupCalls       int `json:"lookup_calls"`
 	LookupStructs     int `json:"lookup_structs"`
@@ -87,6 +88,13 @@ type RunJSON struct {
 	ResolveCalls      int `json:"resolve_calls"`
 	ResolveStructs    int `json:"resolve_structs"`
 	ResolveMismatches int `json:"resolve_mismatches"`
+
+	// Memoization-cache effectiveness (logical lookup/resolve calls served
+	// from the per-strategy caches); omitted when memoization is off.
+	LookupCacheHits    int `json:"lookup_cache_hits,omitempty"`
+	LookupCacheMisses  int `json:"lookup_cache_misses,omitempty"`
+	ResolveCacheHits   int `json:"resolve_cache_hits,omitempty"`
+	ResolveCacheMisses int `json:"resolve_cache_misses,omitempty"`
 }
 
 // ProgramJSON is the JSON form of one benchmark program's measurements.
@@ -109,16 +117,21 @@ func Program(p *metrics.Program) ProgramJSON {
 	}
 	for name, r := range p.Runs {
 		out.Runs[name] = RunJSON{
-			Strategy:          r.Strategy,
-			AvgDerefSize:      r.AvgDerefSize,
-			TotalFacts:        r.TotalFacts,
-			DurationNS:        r.Duration.Nanoseconds(),
-			LookupCalls:       r.Recorder.LookupCalls,
-			LookupStructs:     r.Recorder.LookupStructs,
-			LookupMismatches:  r.Recorder.LookupMismatches,
-			ResolveCalls:      r.Recorder.ResolveCalls,
-			ResolveStructs:    r.Recorder.ResolveStructs,
-			ResolveMismatches: r.Recorder.ResolveMismatches,
+			Strategy:           r.Strategy,
+			AvgDerefSize:       r.AvgDerefSize,
+			TotalFacts:         r.TotalFacts,
+			DurationNS:         r.Duration.Nanoseconds(),
+			Steps:              r.Steps,
+			LookupCalls:        r.Recorder.LookupCalls,
+			LookupStructs:      r.Recorder.LookupStructs,
+			LookupMismatches:   r.Recorder.LookupMismatches,
+			ResolveCalls:       r.Recorder.ResolveCalls,
+			ResolveStructs:     r.Recorder.ResolveStructs,
+			ResolveMismatches:  r.Recorder.ResolveMismatches,
+			LookupCacheHits:    r.Recorder.LookupCacheHits,
+			LookupCacheMisses:  r.Recorder.LookupCacheMisses,
+			ResolveCacheHits:   r.Recorder.ResolveCacheHits,
+			ResolveCacheMisses: r.Recorder.ResolveCacheMisses,
 		}
 	}
 	return out

@@ -50,6 +50,7 @@ type Run struct {
 	AvgDerefSize float64
 	TotalFacts   int
 	Duration     time.Duration
+	Steps        int
 	Recorder     core.Recorder
 }
 
@@ -216,6 +217,7 @@ func toRun(sn string, r *core.Result, strat core.Strategy) *Run {
 		AvgDerefSize: r.AvgDerefSetSize(),
 		TotalFacts:   r.TotalFacts(),
 		Duration:     r.Duration,
+		Steps:        r.Steps,
 		Recorder:     *strat.Recorder(),
 	}
 }

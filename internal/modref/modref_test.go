@@ -4,7 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/corpus"
+	"repro/internal/corpus/corpustest"
 	"repro/internal/frontend"
 	"repro/internal/ir"
 	"repro/internal/modref"
@@ -138,7 +138,7 @@ func TestPrecisionTracksInstance(t *testing.T) {
 	// downstream MOD sets. Collapse Always must never yield smaller
 	// average MOD sets than CIS.
 	for _, name := range []string{"compiler", "li", "pmake", "less"} {
-		src := corpus.MustSource(name)
+		src := corpustest.MustSource(name)
 		r, err := frontend.Load(src, frontend.Options{})
 		if err != nil {
 			t.Fatal(err)

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/corpus"
+	"repro/internal/corpus/corpustest"
 	"repro/internal/frontend"
 	"repro/internal/metrics"
 	"repro/internal/report"
@@ -15,7 +15,7 @@ func measureTwo(t *testing.T) []*metrics.Program {
 	t.Helper()
 	var progs []*metrics.Program
 	for _, name := range []string{"ul", "li"} {
-		src := corpus.MustSource(name)
+		src := corpustest.MustSource(name)
 		p, err := metrics.Measure(name, src, frontend.Options{}, metrics.Options{})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"repro/internal/export"
+)
+
+// SourceJSON is one translation unit of an analysis request.
+type SourceJSON struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// LimitsJSON carries per-request resource bounds. Every field is clamped to
+// the server's configured ceiling; zero means "use the ceiling" (or
+// unlimited when the server has none).
+type LimitsJSON struct {
+	MaxSteps  int   `json:"max_steps,omitempty"`
+	MaxFacts  int   `json:"max_facts,omitempty"`
+	MaxCells  int   `json:"max_cells,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze. Exactly one of Sources or
+// Corpus must be set; Corpus names a built-in benchmark program.
+type AnalyzeRequest struct {
+	Sources  []SourceJSON `json:"sources,omitempty"`
+	Corpus   string       `json:"corpus,omitempty"`
+	Strategy string       `json:"strategy,omitempty"` // instance name; default common-initial-seq
+	ABI      string       `json:"abi,omitempty"`      // lp64 (default), ilp32, packed1
+	Limits   LimitsJSON   `json:"limits,omitempty"`
+}
+
+// ReportJSON is the summary returned by /v1/analyze and /v1/compare: the
+// cache key to query against plus the headline metrics. Incomplete is true
+// when a resource limit stopped the solve before fixpoint — the facts are
+// sound but not exhaustive (the stop detail is in Stop).
+type ReportJSON struct {
+	Key          string                 `json:"key"`
+	Strategy     string                 `json:"strategy"`
+	ABI          string                 `json:"abi"`
+	TotalFacts   int                    `json:"total_facts"`
+	DerefSites   int                    `json:"deref_sites"`
+	AvgDerefSize float64                `json:"avg_deref_size"`
+	Steps        int                    `json:"steps"`
+	DurationNS   int64                  `json:"duration_ns"`
+	Incomplete   bool                   `json:"incomplete"`
+	Stop         *export.IncompleteJSON `json:"stop,omitempty"`
+}
+
+// PointsToResponse is the body of GET /v1/pointsto.
+type PointsToResponse struct {
+	Key     string   `json:"key"`
+	Var     string   `json:"var"`
+	Found   bool     `json:"found"` // false: the program has no such variable
+	Targets []string `json:"targets"`
+	// Incomplete mirrors the report: on a partial result an empty Targets
+	// means "not derived", not "points nowhere".
+	Incomplete bool `json:"incomplete"`
+}
+
+// AliasResponse is the body of GET /v1/alias.
+type AliasResponse struct {
+	Key        string `json:"key"`
+	A          string `json:"a"`
+	B          string `json:"b"`
+	MayAlias   bool   `json:"may_alias"`
+	Incomplete bool   `json:"incomplete"` // a false MayAlias is inconclusive when true
+}
+
+// CompareRequest is the body of POST /v1/compare: one program analyzed
+// under all four instances.
+type CompareRequest struct {
+	Sources []SourceJSON `json:"sources,omitempty"`
+	Corpus  string       `json:"corpus,omitempty"`
+	ABI     string       `json:"abi,omitempty"`
+	Limits  LimitsJSON   `json:"limits,omitempty"`
+}
+
+// CompareDiff is one variable whose points-to set differs across instances.
+type CompareDiff struct {
+	Var  string              `json:"var"`
+	Sets map[string][]string `json:"sets"` // instance name → sorted targets
+}
+
+// CompareResponse is the body of POST /v1/compare. Results follow the
+// paper's presentation order (§4.3: collapse-always, collapse-on-cast,
+// common-initial-seq, offsets).
+type CompareResponse struct {
+	Results []ReportJSON  `json:"results"`
+	Diffs   []CompareDiff `json:"diffs"`
+	// Truncated is true when more than maxCompareDiffs variables differed
+	// and the tail was dropped.
+	Truncated bool `json:"truncated"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"` // fault taxonomy: parse, sema, limit, canceled, internal, usage
+	// Key is set when the request was well-formed enough to address the
+	// cache (so a client can retry the query later).
+	Key string `json:"key,omitempty"`
+}

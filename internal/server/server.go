@@ -1,0 +1,502 @@
+// Package server exposes the pointer analysis as a query service: an
+// HTTP/JSON API over the pointsto facade, backed by the content-addressed
+// result cache of internal/store.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   solve (or fetch) one program under one instance;
+//	                   returns the report summary plus the cache key
+//	GET  /v1/pointsto  ?key=&var=   points-to set of a variable
+//	GET  /v1/alias     ?key=&a=&b=  may-alias query between two variables
+//	POST /v1/compare   one program under all four §4.3 instances, diffed
+//	GET  /healthz      liveness probe
+//	GET  /varz         expvar-flavored counters: cache stats, solver work,
+//	                   per-endpoint latency histograms
+//
+// The fault taxonomy of internal/fault is the wire contract: parse/sema
+// faults map to 422 (the input is wrong), a tripped resource limit is NOT
+// an error (200 with "incomplete": true — the facts returned are sound but
+// not exhaustive), cancellation maps to 499, and internal faults (recovered
+// panics) to 500.
+//
+// Per-request limits and timeouts are clamped to the server's configured
+// ceilings, so one client cannot buy more solver than the operator allows.
+// Shutdown drains: in-flight solves run to completion under the drain
+// timeout, then the base context is canceled and stragglers finish as 499s.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/export"
+	"repro/internal/fault"
+	"repro/internal/store"
+	"repro/pointsto"
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when an analysis is canceled mid-solve — the client
+// went away or its per-request timeout expired.
+const StatusClientClosedRequest = 499
+
+// maxCompareDiffs bounds the diff section of /v1/compare responses.
+const maxCompareDiffs = 100
+
+// Config configures a Server.
+type Config struct {
+	// Store is the result cache (required).
+	Store *store.Store
+	// MaxSourceBytes bounds the request body size; 0 selects 4 MiB.
+	MaxSourceBytes int64
+	// CeilLimits are the per-request solver-limit ceilings; zero fields
+	// leave that dimension unlimited.
+	CeilLimits pointsto.Limits
+	// MaxTimeout is the per-request timeout ceiling (also the default when
+	// a request names none); 0 means no server-imposed timeout.
+	MaxTimeout time.Duration
+}
+
+// Server is the analysis query service.
+type Server struct {
+	cfg       Config
+	mux       *http.ServeMux
+	start     time.Time
+	endpoints map[string]*endpointStats
+
+	solves, solveSteps, solveIncomplete atomic.Int64
+	solveRejected, solveCanceled        atomic.Int64
+	solveNS                             atomic.Int64
+}
+
+// New builds a Server over the given cache.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("server: Config.Store is required")
+	}
+	if cfg.MaxSourceBytes <= 0 {
+		cfg.MaxSourceBytes = 4 << 20
+	}
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointStats),
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("GET /v1/pointsto", s.instrument("pointsto", s.handlePointsTo))
+	s.mux.HandleFunc("GET /v1/alias", s.instrument("alias", s.handleAlias))
+	s.mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	return s
+}
+
+// Handler returns the HTTP handler (also useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve runs the HTTP server on l until ctx is canceled (the daemon's
+// SIGTERM path), then shuts down gracefully: the listener closes, in-flight
+// requests — including running solves — drain for up to drain, and anything
+// still running afterwards is canceled through the request contexts and
+// finishes as a 499. Returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	base, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	hs := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return base },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err // listener failed before shutdown was requested
+	case <-ctx.Done():
+	}
+	dctx := context.Background()
+	if drain > 0 {
+		var dcancel context.CancelFunc
+		dctx, dcancel = context.WithTimeout(dctx, drain)
+		defer dcancel()
+	}
+	err := hs.Shutdown(dctx) // waits for in-flight requests
+	cancel()                 // hard-cancel stragglers that outlived the drain window
+	<-errc                   // hs.Serve has returned ErrServerClosed
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fault.New(fault.KindCanceled, "shutdown", "", err)
+	}
+	return err
+}
+
+// --- request plumbing ---
+
+// clamp bounds a requested value by a ceiling: with a ceiling configured,
+// "no limit requested" and "more than the ceiling" both become the ceiling.
+func clamp(req, ceil int) int {
+	if ceil > 0 && (req <= 0 || req > ceil) {
+		return ceil
+	}
+	return max(req, 0)
+}
+
+func clampDuration(req, ceil time.Duration) time.Duration {
+	if ceil > 0 && (req <= 0 || req > ceil) {
+		return ceil
+	}
+	return max(req, 0)
+}
+
+// requestConfig converts request parameters into a facade Config with the
+// server's ceilings applied.
+func (s *Server) requestConfig(strategy pointsto.Strategy, abi string, lim LimitsJSON) pointsto.Config {
+	return pointsto.Config{
+		Strategy: strategy,
+		ABI:      abi,
+		Limits: pointsto.Limits{
+			MaxSteps: clamp(lim.MaxSteps, s.cfg.CeilLimits.MaxSteps),
+			MaxFacts: clamp(lim.MaxFacts, s.cfg.CeilLimits.MaxFacts),
+			MaxCells: clamp(lim.MaxCells, s.cfg.CeilLimits.MaxCells),
+		},
+		// Timeout deliberately left zero: the deadline rides on the request
+		// context so the store's singleflight can keep a solve alive while
+		// other, longer-lived requests still wait on it.
+	}
+}
+
+// requestContext derives the solve deadline for one request.
+func (s *Server) requestContext(r *http.Request, lim LimitsJSON) (context.Context, context.CancelFunc) {
+	timeout := clampDuration(time.Duration(lim.TimeoutMS)*time.Millisecond, s.cfg.MaxTimeout)
+	if timeout > 0 {
+		return context.WithTimeout(r.Context(), timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// resolveSources turns a request's sources-or-corpus into facade sources.
+func resolveSources(sources []SourceJSON, corpusName string) ([]pointsto.Source, error) {
+	switch {
+	case corpusName != "" && len(sources) > 0:
+		return nil, fmt.Errorf("set either sources or corpus, not both")
+	case corpusName != "":
+		fsrc, err := corpus.Source(corpusName)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]pointsto.Source, len(fsrc))
+		for i, f := range fsrc {
+			out[i] = pointsto.Source{Name: f.Name, Text: f.Text}
+		}
+		return out, nil
+	case len(sources) > 0:
+		out := make([]pointsto.Source, len(sources))
+		for i, src := range sources {
+			if src.Name == "" {
+				src.Name = fmt.Sprintf("input%d.c", i)
+			}
+			out[i] = pointsto.Source{Name: src.Name, Text: src.Text}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("no sources (set \"sources\" or \"corpus\")")
+}
+
+// parseStrategy maps an instance name ("" = common-initial-seq) to the enum.
+func parseStrategy(name string) (pointsto.Strategy, error) {
+	if name == "" {
+		return pointsto.CIS, nil
+	}
+	for _, st := range pointsto.Strategies() {
+		if st.String() == name {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown strategy %q (want one of %v)", name, pointsto.Strategies())
+}
+
+// decodeBody decodes a JSON request body under the configured size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxSourceBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// --- responses ---
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body) // nothing useful to do with a write error here
+}
+
+// writeError maps a classified error onto the wire contract. key, when
+// known, lets the client retry the query later.
+func writeError(w http.ResponseWriter, err error, key string) {
+	kind := "usage"
+	status := http.StatusBadRequest
+	switch k, classified := fault.KindOf(err); {
+	case classified && (k == fault.KindParse || k == fault.KindSema):
+		kind, status = k.String(), http.StatusUnprocessableEntity
+	case classified && k == fault.KindCanceled,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		kind, status = fault.KindCanceled.String(), StatusClientClosedRequest
+	case classified && k == fault.KindLimit:
+		// Shouldn't normally escape as an error (limit trips are reported
+		// as incomplete 200s), but keep the mapping total.
+		kind, status = k.String(), http.StatusOK
+	case classified && k == fault.KindInternal:
+		kind, status = k.String(), http.StatusInternalServerError
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, Key: key})
+}
+
+func reportJSON(key string, snap *export.Snapshot) ReportJSON {
+	out := ReportJSON{
+		Key:          key,
+		Strategy:     snap.Strategy,
+		ABI:          snap.ABI,
+		TotalFacts:   snap.TotalFacts,
+		DerefSites:   snap.DerefSites,
+		AvgDerefSize: snap.AvgDerefSize,
+		Steps:        snap.Steps,
+		DurationNS:   snap.DurationNS,
+		Incomplete:   snap.Incomplete != nil,
+		Stop:         snap.Incomplete,
+	}
+	return out
+}
+
+// --- handlers ---
+
+// solveSnapshot runs one governed analysis through the cache, recording the
+// solver counters for /varz.
+func (s *Server) solveSnapshot(ctx context.Context, key string, sources []pointsto.Source, cfg pointsto.Config) (*export.Snapshot, error) {
+	snap, _, err := s.cfg.Store.GetOrSolve(ctx, key, func(sctx context.Context) (*export.Snapshot, error) {
+		start := time.Now()
+		s.solves.Add(1)
+		rep, aerr := pointsto.AnalyzeContext(sctx, sources, cfg)
+		s.solveNS.Add(time.Since(start).Nanoseconds())
+		if aerr != nil {
+			switch k, _ := fault.KindOf(aerr); k {
+			case fault.KindCanceled:
+				s.solveCanceled.Add(1)
+			case fault.KindParse, fault.KindSema:
+				s.solveRejected.Add(1)
+			}
+			return nil, aerr
+		}
+		s.solveSteps.Add(int64(rep.Steps()))
+		if rep.Incomplete() != nil {
+			s.solveIncomplete.Add(1)
+		}
+		return export.NewSnapshot(rep, cfg.ABI), nil
+	})
+	return snap, err
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err, "")
+		return
+	}
+	sources, err := resolveSources(req.Sources, req.Corpus)
+	if err != nil {
+		writeError(w, err, "")
+		return
+	}
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, err, "")
+		return
+	}
+	cfg := s.requestConfig(strategy, req.ABI, req.Limits)
+	key := store.Key(sources, cfg)
+	ctx, cancel := s.requestContext(r, req.Limits)
+	defer cancel()
+	snap, err := s.solveSnapshot(ctx, key, sources, cfg)
+	if err != nil {
+		writeError(w, err, key)
+		return
+	}
+	writeJSON(w, http.StatusOK, reportJSON(key, snap))
+}
+
+// lookup resolves a query key against the cache, writing the 404 itself
+// when the key is absent or malformed.
+func (s *Server) lookup(w http.ResponseWriter, key string) (*export.Snapshot, bool) {
+	if !store.ValidKey(key) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed key (want 64 hex digits)", Kind: "usage"})
+		return nil, false
+	}
+	snap, ok := s.cfg.Store.Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: "unknown key (not cached; POST /v1/analyze first)", Kind: "usage", Key: key})
+		return nil, false
+	}
+	return snap, true
+}
+
+func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) {
+	key, name := r.FormValue("key"), r.FormValue("var")
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing var parameter", Kind: "usage"})
+		return
+	}
+	snap, ok := s.lookup(w, key)
+	if !ok {
+		return
+	}
+	targets := snap.PointsTo(name)
+	if targets == nil {
+		targets = []string{}
+	}
+	writeJSON(w, http.StatusOK, PointsToResponse{
+		Key:        key,
+		Var:        name,
+		Found:      snap.HasVar(name),
+		Targets:    targets,
+		Incomplete: snap.Incomplete != nil,
+	})
+}
+
+func (s *Server) handleAlias(w http.ResponseWriter, r *http.Request) {
+	key, a, b := r.FormValue("key"), r.FormValue("a"), r.FormValue("b")
+	if a == "" || b == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing a or b parameter", Kind: "usage"})
+		return
+	}
+	snap, ok := s.lookup(w, key)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, AliasResponse{
+		Key:        key,
+		A:          a,
+		B:          b,
+		MayAlias:   snap.MayAlias(a, b),
+		Incomplete: snap.Incomplete != nil,
+	})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req CompareRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err, "")
+		return
+	}
+	sources, err := resolveSources(req.Sources, req.Corpus)
+	if err != nil {
+		writeError(w, err, "")
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.Limits)
+	defer cancel()
+
+	resp := CompareResponse{}
+	snaps := make(map[string]*export.Snapshot, len(pointsto.Strategies()))
+	for _, strategy := range pointsto.Strategies() {
+		cfg := s.requestConfig(strategy, req.ABI, req.Limits)
+		key := store.Key(sources, cfg)
+		snap, err := s.solveSnapshot(ctx, key, sources, cfg)
+		if err != nil {
+			writeError(w, err, key)
+			return
+		}
+		snaps[strategy.String()] = snap
+		resp.Results = append(resp.Results, reportJSON(key, snap))
+	}
+
+	// Diff: every variable whose points-to set differs across instances.
+	// Vars are keyed identically in every snapshot (same front end run),
+	// so iterate one snapshot's names.
+	names := snaps[pointsto.CIS.String()].SortedVarNames()
+	for _, name := range names {
+		sets := make(map[string][]string, len(snaps))
+		differs := false
+		var first []string
+		for i, strategy := range pointsto.Strategies() {
+			targets := snaps[strategy.String()].Vars[name]
+			sets[strategy.String()] = targets
+			if i == 0 {
+				first = targets
+			} else if !equalStrings(first, targets) {
+				differs = true
+			}
+		}
+		if !differs {
+			continue
+		}
+		if len(resp.Diffs) >= maxCompareDiffs {
+			resp.Truncated = true
+			break
+		}
+		resp.Diffs = append(resp.Diffs, CompareDiff{Var: name, Sets: sets})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	varz := Varz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:         s.cfg.Store.Stats(),
+		Solver: SolverVarz{
+			Solves:     s.solves.Load(),
+			Steps:      s.solveSteps.Load(),
+			Incomplete: s.solveIncomplete.Load(),
+			Rejected:   s.solveRejected.Load(),
+			Canceled:   s.solveCanceled.Load(),
+			InFlightNS: s.solveNS.Load(),
+		},
+		Endpoints: make(map[string]EndpointJSON, len(s.endpoints)),
+	}
+	names := make([]string, 0, len(s.endpoints))
+	for name := range s.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := s.endpoints[name]
+		varz.Endpoints[name] = EndpointJSON{
+			Requests:  ep.requests.Load(),
+			Errors4xx: ep.errors4xx.Load(),
+			Errors5xx: ep.errors5xx.Load(),
+			Canceled:  ep.canceled.Load(),
+			Latency:   ep.latency.snapshot(),
+		}
+	}
+	writeJSON(w, http.StatusOK, varz)
+}

@@ -1,0 +1,492 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/store"
+	"repro/pointsto"
+)
+
+const tinyProgram = `
+int g;
+int *p = &g;
+int *q = &g;
+int main(void) { return *p + *q; }
+`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := store.New(0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+func getJSON(t *testing.T, url string, dst any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != nil {
+		if err := json.Unmarshal(raw, dst); err != nil {
+			t.Fatalf("decode %s: %v\n%s", url, err, raw)
+		}
+	}
+	return resp
+}
+
+func varz(t *testing.T, base string) Varz {
+	t.Helper()
+	var v Varz
+	getJSON(t, base+"/varz", &v)
+	return v
+}
+
+// TestLoadSingleflight hammers one program from 64 goroutines and asserts
+// exactly one solver run (singleflight) and byte-identical responses.
+func TestLoadSingleflight(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}}
+
+	const n = 64
+	bodies := make([][]byte, n)
+	statuses := make([]int, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+			statuses[i] = resp.StatusCode
+			bodies[i] = raw
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, statuses[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d got a different response:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	v := varz(t, ts.URL)
+	if v.Solver.Solves != 1 {
+		t.Errorf("solver ran %d times under %d concurrent requests, want exactly 1", v.Solver.Solves, n)
+	}
+	if v.Cache.Solves != 1 {
+		t.Errorf("cache counted %d solves, want 1", v.Cache.Solves)
+	}
+	if v.Endpoints["analyze"].Requests != n {
+		t.Errorf("analyze endpoint counted %d requests, want %d", v.Endpoints["analyze"].Requests, n)
+	}
+}
+
+// slowSources is a synthetic workload big enough that its solve reliably
+// outlives a 1 ms request deadline.
+func slowSources() []SourceJSON {
+	p := corpus.DefaultGenParams()
+	p.NStructs = 8
+	p.NFields = 6
+	p.NObjects = 5
+	p.NDerefs = 3000
+	p.CastDensity = 60
+	var out []SourceJSON
+	for _, s := range corpus.Generate(p) {
+		out = append(out, SourceJSON{Name: s.Name, Text: s.Text})
+	}
+	return out
+}
+
+// TestCancelMidSolveReturns499 asserts that a request whose deadline
+// expires mid-solve gets a 499 and that the abandoned partial result does
+// not poison the cache.
+func TestCancelMidSolveReturns499(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{
+		Sources: slowSources(),
+		Limits:  LimitsJSON{TimeoutMS: 1},
+	}
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want 499: %s", resp.StatusCode, raw)
+	}
+	var errResp ErrorResponse
+	if err := json.Unmarshal(raw, &errResp); err != nil {
+		t.Fatalf("decode error body: %v\n%s", err, raw)
+	}
+	if errResp.Kind != "canceled" || errResp.Key == "" {
+		t.Fatalf("error body = %+v, want kind=canceled with a key", errResp)
+	}
+
+	// The canceled solve must not be cached: querying its key is a 404 and
+	// the cache holds no entries.
+	resp = getJSON(t, ts.URL+"/v1/pointsto?key="+errResp.Key+"&var=x", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("canceled result was cached: pointsto status %d, want 404", resp.StatusCode)
+	}
+	// The 499 is written at the request deadline while the abandoned solve
+	// goroutine is still winding down, so poll for its canceled counter.
+	deadline := time.Now().Add(10 * time.Second)
+	v := varz(t, ts.URL)
+	for v.Solver.Canceled == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		v = varz(t, ts.URL)
+	}
+	if v.Solver.Canceled == 0 {
+		t.Errorf("solver canceled counter = 0, want > 0")
+	}
+	if v.Cache.Entries != 0 {
+		t.Errorf("cache entries = %d after canceled solve, want 0", v.Cache.Entries)
+	}
+	if v.Endpoints["analyze"].Canceled != 1 {
+		t.Errorf("analyze 499 counter = %d, want 1", v.Endpoints["analyze"].Canceled)
+	}
+}
+
+// TestEndToEnd is the acceptance flow: start the daemon on a real listener,
+// POST a corpus program, query pointsto and alias, verify the second
+// identical POST is a cache hit via /varz, then shut down (the SIGTERM
+// path) and assert a clean drain.
+func TestEndToEnd(t *testing.T) {
+	st, err := store.New(0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Store: st})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background()) // cancel == SIGTERM (cmd wires signal.NotifyContext)
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, l, 5*time.Second) }()
+	base := "http://" + l.Addr().String()
+
+	// Liveness.
+	if resp := getJSON(t, base+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Analyze a corpus program.
+	resp, raw := postJSON(t, base+"/v1/analyze", AnalyzeRequest{Corpus: "anagram"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", resp.StatusCode, raw)
+	}
+	var rep ReportJSON
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !store.ValidKey(rep.Key) || rep.TotalFacts == 0 || rep.Incomplete {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+
+	// Query points-to and alias against the returned key.
+	var pt PointsToResponse
+	if resp := getJSON(t, base+"/v1/pointsto?key="+rep.Key+"&var=main", &pt); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pointsto status %d", resp.StatusCode)
+	}
+	if !pt.Found {
+		t.Errorf("main should be a known name: %+v", pt)
+	}
+	var al AliasResponse
+	if resp := getJSON(t, base+"/v1/alias?key="+rep.Key+"&a=main&b=main", &al); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias status %d", resp.StatusCode)
+	}
+
+	// A second identical POST must be a cache hit: same body, no new solve.
+	before := varz(t, base)
+	resp2, raw2 := postJSON(t, base+"/v1/analyze", AnalyzeRequest{Corpus: "anagram"})
+	if resp2.StatusCode != http.StatusOK || !bytes.Equal(raw, raw2) {
+		t.Fatalf("second POST: status %d, identical=%v", resp2.StatusCode, bytes.Equal(raw, raw2))
+	}
+	after := varz(t, base)
+	if after.Solver.Solves != before.Solver.Solves {
+		t.Errorf("second POST re-solved (solves %d -> %d)", before.Solver.Solves, after.Solver.Solves)
+	}
+	if after.Cache.Hits <= before.Cache.Hits {
+		t.Errorf("second POST was not a cache hit (hits %d -> %d)", before.Cache.Hits, after.Cache.Hits)
+	}
+	if after.Cache.DiskWrites == 0 {
+		t.Errorf("spill directory configured but nothing was spilled")
+	}
+
+	// SIGTERM: drain cleanly.
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want clean drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after shutdown")
+	}
+}
+
+// TestShutdownDrainsInflightSolve asserts the drain window lets a running
+// solve finish: a request in flight when shutdown begins still completes
+// with a 200.
+func TestShutdownDrainsInflightSolve(t *testing.T) {
+	st, err := store.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Store: st})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, l, 30*time.Second) }()
+	base := "http://" + l.Addr().String()
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	results := make(chan result, 1)
+	go func() {
+		resp, raw := postJSON(t, base+"/v1/analyze", AnalyzeRequest{Sources: slowSources()})
+		results <- result{resp.StatusCode, raw}
+	}()
+
+	// Begin shutdown as soon as the solve is in flight (or, if it finished
+	// very fast, after it completed — then the request trivially drained).
+	deadline := time.Now().Add(10 * time.Second)
+	for st.Stats().Inflight == 0 && st.Stats().Solves == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("solve never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	r := <-results
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d during drain, want 200: %s", r.status, r.body)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v, want nil after draining the in-flight solve", err)
+	}
+}
+
+func TestFaultTaxonomyMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Parse fault → 422.
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{
+		Sources: []SourceJSON{{Name: "bad.c", Text: "int main( {"}}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("parse error: status %d, want 422: %s", resp.StatusCode, raw)
+	}
+	var e ErrorResponse
+	json.Unmarshal(raw, &e)
+	if e.Kind != "parse" && e.Kind != "sema" {
+		t.Errorf("parse error kind = %q", e.Kind)
+	}
+
+	// Usage errors → 400.
+	for _, body := range []AnalyzeRequest{
+		{},                                     // no sources
+		{Corpus: "no-such-program"},            // unknown corpus entry
+		{Corpus: "anagram", Strategy: "bogus"}, // unknown instance
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/analyze", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400: %s", body, resp.StatusCode, raw)
+		}
+	}
+
+	// Unknown/malformed keys.
+	if resp := getJSON(t, ts.URL+"/v1/pointsto?key="+strings.Repeat("a", 64)+"&var=x", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: status %d, want 404", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/pointsto?key=zzz&var=x", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed key: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestLimitCeilingClamp: a server-wide step ceiling turns an unlimited
+// request into a 200 with incomplete:true — the limit taxonomy is not an
+// HTTP error — and an over-ceiling request is clamped to the same key.
+func TestLimitCeilingClamp(t *testing.T) {
+	_, ts := newTestServer(t, Config{CeilLimits: pointsto.Limits{MaxSteps: 3}})
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, raw)
+	}
+	var rep ReportJSON
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incomplete || rep.Stop == nil || rep.Stop.Reason != "max-steps" {
+		t.Fatalf("want incomplete max-steps report, got %+v", rep)
+	}
+
+	// Asking for more than the ceiling clamps back to it: same key, cache hit.
+	req.Limits = LimitsJSON{MaxSteps: 1 << 30}
+	_, raw2 := postJSON(t, ts.URL+"/v1/analyze", req)
+	var rep2 ReportJSON
+	if err := json.Unmarshal(raw2, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Key != rep.Key {
+		t.Errorf("over-ceiling request got key %s, want clamped key %s", rep2.Key, rep.Key)
+	}
+	if v := varz(t, ts.URL); v.Solver.Solves != 1 {
+		t.Errorf("clamped request re-solved: %d solves", v.Solver.Solves)
+	}
+}
+
+// TestCompare runs one casting program under all four instances and checks
+// the paper-order results plus the per-variable diff section.
+func TestCompare(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	prog := `
+struct a { int *x; int *y; };
+struct b { int *x; };
+int i1, i2;
+int main(void) {
+	struct a s;
+	s.x = &i1;
+	s.y = &i2;
+	struct b *pb = (struct b *)&s;
+	int *through = pb->x;
+	return *through;
+}
+`
+	resp, raw := postJSON(t, ts.URL+"/v1/compare", CompareRequest{
+		Sources: []SourceJSON{{Name: "cast.c", Text: prog}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var cr CompareResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(cr.Results))
+	}
+	wantOrder := []string{"collapse-always", "collapse-on-cast", "common-initial-seq", "offsets"}
+	for i, want := range wantOrder {
+		if cr.Results[i].Strategy != want {
+			t.Errorf("results[%d] = %s, want %s (paper order)", i, cr.Results[i].Strategy, want)
+		}
+		if !store.ValidKey(cr.Results[i].Key) {
+			t.Errorf("results[%d] has invalid key %q", i, cr.Results[i].Key)
+		}
+	}
+	// Collapse-always smears s's fields while CIS keeps them apart, so at
+	// least one variable must differ across instances.
+	if len(cr.Diffs) == 0 {
+		t.Error("expected at least one differing variable between instances")
+	}
+	for _, d := range cr.Diffs {
+		if len(d.Sets) != 4 {
+			t.Errorf("diff %q has %d instance sets, want 4", d.Var, len(d.Sets))
+		}
+	}
+}
+
+// TestWarmRestartServesFromSpill: a new server over a fresh store with the
+// same spill directory answers queries without re-solving.
+func TestWarmRestartServesFromSpill(t *testing.T) {
+	dir := t.TempDir()
+	st1, _ := store.New(0, dir)
+	_, ts1 := newTestServer(t, Config{Store: st1})
+	_, raw := postJSON(t, ts1.URL+"/v1/analyze", AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}})
+	var rep ReportJSON
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, _ := store.New(0, dir)
+	_, ts2 := newTestServer(t, Config{Store: st2})
+	var pt PointsToResponse
+	if resp := getJSON(t, ts2.URL+"/v1/pointsto?key="+rep.Key+"&var=p", &pt); resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted daemon: pointsto status %d, want 200 from spill", resp.StatusCode)
+	}
+	if len(pt.Targets) != 1 || pt.Targets[0] != "g" {
+		t.Errorf("p points to %v, want [g]", pt.Targets)
+	}
+	if v := varz(t, ts2.URL); v.Solver.Solves != 0 || v.Cache.DiskHits != 1 {
+		t.Errorf("restart should warm from disk without solving: %+v", v)
+	}
+	var al AliasResponse
+	getJSON(t, ts2.URL+"/v1/alias?key="+rep.Key+"&a=p&b=q", &al)
+	if !al.MayAlias {
+		t.Error("p and q both point at g; spilled snapshot must still answer alias")
+	}
+}
+
+func TestVarzShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}})
+	v := varz(t, ts.URL)
+	if v.Solver.Steps <= 0 {
+		t.Errorf("solver steps = %d, want > 0", v.Solver.Steps)
+	}
+	ep, ok := v.Endpoints["analyze"]
+	if !ok || ep.Latency.Count != 1 {
+		t.Errorf("analyze latency histogram: %+v", ep)
+	}
+	total := int64(0)
+	for _, c := range ep.Latency.Buckets {
+		total += c
+	}
+	if total != ep.Latency.Count {
+		t.Errorf("histogram buckets sum to %d, count %d", total, ep.Latency.Count)
+	}
+	if v.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v, want >= 0", v.UptimeSeconds)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/corpus/corpustest"
 	"repro/internal/frontend"
 	"repro/internal/ir"
 	"repro/internal/steens"
@@ -162,7 +163,7 @@ func TestSoundVsFramework(t *testing.T) {
 	for _, e := range corpus.Programs {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			src := corpus.MustSource(e.Name)
+			src := corpustest.MustSource(e.Name)
 			r, err := frontend.Load(src, frontend.Options{})
 			if err != nil {
 				t.Fatal(err)
@@ -186,7 +187,7 @@ func TestPrecisionNeverBeatsSubset(t *testing.T) {
 	// Average set sizes: unification ≥ subset collapse on every program.
 	expand := func(o *ir.Object) int { return 1 }
 	for _, e := range corpus.Programs {
-		src := corpus.MustSource(e.Name)
+		src := corpustest.MustSource(e.Name)
 		r, err := frontend.Load(src, frontend.Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -210,7 +211,7 @@ func TestPrecisionNeverBeatsSubset(t *testing.T) {
 
 func TestAnalysisRunsFastOnCorpus(t *testing.T) {
 	for _, e := range corpus.Programs {
-		src := corpus.MustSource(e.Name)
+		src := corpustest.MustSource(e.Name)
 		r, err := frontend.Load(src, frontend.Options{})
 		if err != nil {
 			t.Fatal(err)

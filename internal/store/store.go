@@ -1,0 +1,325 @@
+// Package store is the serving layer's content-addressed result cache. The
+// key is the SHA-256 of (canonicalized source set, strategy, ABI, options,
+// limits) — see Key — and the value is a solved, queryable export.Snapshot.
+//
+// The cache is an in-memory LRU under a byte-size budget with three extra
+// behaviors a query daemon needs:
+//
+//   - Singleflight: N concurrent requests for the same key trigger exactly
+//     one solve; the others wait on it and share the result.
+//   - Cancellation without poisoning: the in-flight solve runs under its
+//     own context that is canceled only when every waiting request has gone
+//     away, and a canceled solve's partial result is never inserted — the
+//     next request re-solves from scratch.
+//   - Disk spill: with a spill directory configured, every solved snapshot
+//     is also written as <dir>/<key>.json in the export wire format, and a
+//     restarted daemon warms from disk lazily on first access instead of
+//     re-solving.
+//
+// All methods are safe for concurrent use.
+package store
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/export"
+	"repro/internal/fault"
+)
+
+// Stats is a point-in-time snapshot of the cache counters (served by the
+// daemon's /varz endpoint).
+type Stats struct {
+	Hits          int64 `json:"hits"`           // served from memory
+	Misses        int64 `json:"misses"`         // not in memory (disk or solve)
+	Evictions     int64 `json:"evictions"`      // entries dropped by the byte budget
+	Solves        int64 `json:"solves"`         // solve functions actually run
+	InflightWaits int64 `json:"inflight_waits"` // requests that piggybacked on an in-flight solve
+	Inflight      int64 `json:"inflight"`       // solves currently running (gauge)
+	DiskHits      int64 `json:"disk_hits"`      // warmed from the spill directory
+	DiskWrites    int64 `json:"disk_writes"`    // snapshots spilled to disk
+	DiskErrors    int64 `json:"disk_errors"`    // spill I/O failures (non-fatal)
+	Entries       int   `json:"entries"`        // resident entries (gauge)
+	Bytes         int64 `json:"bytes"`          // resident size (gauge)
+	BudgetBytes   int64 `json:"budget_bytes"`   // configured budget (0 = unlimited)
+}
+
+type entry struct {
+	key  string
+	snap *export.Snapshot
+	size int64
+}
+
+// flight is one in-progress solve that concurrent requests share.
+type flight struct {
+	done    chan struct{} // closed when snap/err are set
+	snap    *export.Snapshot
+	err     error
+	waiters int                // guarded by Store.mu
+	cancel  context.CancelFunc // cancels the solve when waiters drops to 0
+}
+
+// Store is the content-addressed result cache.
+type Store struct {
+	budget   int64
+	spillDir string
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // key → element; element value is *entry
+	lru     *list.List               // front = most recently used
+	bytes   int64
+	flights map[string]*flight
+
+	hits, misses, evictions, solves  atomic.Int64
+	inflightWaits, inflight          atomic.Int64
+	diskHits, diskWrites, diskErrors atomic.Int64
+}
+
+// New builds a store with the given byte budget (0 or negative = unlimited)
+// and optional disk-spill directory ("" disables spilling). The directory
+// is created if missing.
+func New(budgetBytes int64, spillDir string) (*Store, error) {
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{
+		budget:   budgetBytes,
+		spillDir: spillDir,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		flights:  make(map[string]*flight),
+	}, nil
+}
+
+// Stats returns the current counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	entries, bytes := st.lru.Len(), st.bytes
+	st.mu.Unlock()
+	return Stats{
+		Hits:          st.hits.Load(),
+		Misses:        st.misses.Load(),
+		Evictions:     st.evictions.Load(),
+		Solves:        st.solves.Load(),
+		InflightWaits: st.inflightWaits.Load(),
+		Inflight:      st.inflight.Load(),
+		DiskHits:      st.diskHits.Load(),
+		DiskWrites:    st.diskWrites.Load(),
+		DiskErrors:    st.diskErrors.Load(),
+		Entries:       entries,
+		Bytes:         bytes,
+		BudgetBytes:   st.budget,
+	}
+}
+
+// Get returns the cached snapshot for key, consulting memory first and then
+// the spill directory (a disk hit is promoted into memory). ok is false
+// when the key has never been solved (or has been evicted everywhere).
+func (st *Store) Get(key string) (*export.Snapshot, bool) {
+	st.mu.Lock()
+	if el, ok := st.entries[key]; ok {
+		st.lru.MoveToFront(el)
+		st.mu.Unlock()
+		st.hits.Add(1)
+		return el.Value.(*entry).snap, true
+	}
+	st.mu.Unlock()
+	st.misses.Add(1)
+	if snap := st.diskLoad(key); snap != nil {
+		st.diskHits.Add(1)
+		st.mu.Lock()
+		st.insertLocked(key, snap)
+		st.mu.Unlock()
+		return snap, true
+	}
+	return nil, false
+}
+
+// GetOrSolve returns the snapshot for key, solving it at most once across
+// all concurrent callers. cached is true when the value came from memory or
+// disk without running solve in this call's singleflight group.
+//
+// The solve function runs on its own goroutine under a context that stays
+// alive while at least one caller is still waiting; when every caller's ctx
+// is done the solve is canceled. A canceled or failed solve is never
+// inserted into the cache, so an abandoned request cannot poison later
+// ones. Limit-tripped (incomplete-but-sound) snapshots ARE cached: the
+// limits are part of the key, so the partial value is the correct value
+// for that key.
+func (st *Store) GetOrSolve(ctx context.Context, key string, solve func(context.Context) (*export.Snapshot, error)) (snap *export.Snapshot, cached bool, err error) {
+	for {
+		st.mu.Lock()
+		if el, ok := st.entries[key]; ok {
+			st.lru.MoveToFront(el)
+			st.mu.Unlock()
+			st.hits.Add(1)
+			return el.Value.(*entry).snap, true, nil
+		}
+		if fl, ok := st.flights[key]; ok {
+			fl.waiters++
+			st.mu.Unlock()
+			st.inflightWaits.Add(1)
+			snap, err = st.wait(ctx, fl)
+			if err != nil && ctx.Err() == nil && errors.Is(err, fault.ErrCanceled) {
+				// The flight we joined was canceled by its other waiters,
+				// but this caller is still live: start over (a fresh
+				// flight will run the solve again).
+				continue
+			}
+			return snap, false, err
+		}
+		st.misses.Add(1)
+		solveCtx, cancel := context.WithCancel(context.Background())
+		fl := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		st.flights[key] = fl
+		st.mu.Unlock()
+
+		st.inflight.Add(1)
+		go st.run(key, fl, solveCtx, solve)
+		snap, err = st.wait(ctx, fl)
+		return snap, false, err
+	}
+}
+
+// wait blocks until the flight finishes or ctx is done. A caller that gives
+// up deregisters itself; the last one to leave cancels the solve.
+func (st *Store) wait(ctx context.Context, fl *flight) (*export.Snapshot, error) {
+	select {
+	case <-fl.done:
+		return fl.snap, fl.err
+	case <-ctx.Done():
+		st.mu.Lock()
+		fl.waiters--
+		if fl.waiters == 0 {
+			fl.cancel()
+		}
+		st.mu.Unlock()
+		return nil, fault.New(fault.KindCanceled, "cache", "", ctx.Err())
+	}
+}
+
+// run executes one solve (checking the spill directory first) and publishes
+// the outcome to the flight's waiters.
+func (st *Store) run(key string, fl *flight, ctx context.Context, solve func(context.Context) (*export.Snapshot, error)) {
+	defer st.inflight.Add(-1)
+	defer fl.cancel() // release the context's resources
+
+	var snap *export.Snapshot
+	var err error
+	fromDisk := false
+	if snap = st.diskLoad(key); snap != nil {
+		st.diskHits.Add(1)
+		fromDisk = true
+	} else {
+		st.solves.Add(1)
+		func() {
+			defer fault.Recover("solve", &err)
+			snap, err = solve(ctx)
+		}()
+		if err == nil && snap == nil {
+			err = fault.Newf(fault.KindInternal, "cache", "", "solve returned neither snapshot nor error")
+		}
+	}
+
+	st.mu.Lock()
+	delete(st.flights, key)
+	fl.snap, fl.err = snap, err
+	if err == nil {
+		st.insertLocked(key, snap)
+	}
+	st.mu.Unlock()
+	close(fl.done)
+
+	if err == nil && !fromDisk {
+		st.diskStore(key, snap)
+	}
+}
+
+// insertLocked adds (or refreshes) an entry and enforces the byte budget by
+// evicting from the LRU tail. The caller holds st.mu.
+func (st *Store) insertLocked(key string, snap *export.Snapshot) {
+	if el, ok := st.entries[key]; ok {
+		e := el.Value.(*entry)
+		st.bytes += int64(snap.SizeBytes()) - e.size
+		e.snap, e.size = snap, int64(snap.SizeBytes())
+		st.lru.MoveToFront(el)
+	} else {
+		e := &entry{key: key, snap: snap, size: int64(snap.SizeBytes())}
+		st.entries[key] = st.lru.PushFront(e)
+		st.bytes += e.size
+	}
+	for st.budget > 0 && st.bytes > st.budget && st.lru.Len() > 0 {
+		tail := st.lru.Back()
+		e := tail.Value.(*entry)
+		st.lru.Remove(tail)
+		delete(st.entries, e.key)
+		st.bytes -= e.size
+		st.evictions.Add(1)
+	}
+}
+
+// spillPath maps a key to its spill file; empty when spilling is off or the
+// key is malformed (malformed keys must never touch the filesystem).
+func (st *Store) spillPath(key string) string {
+	if st.spillDir == "" || !ValidKey(key) {
+		return ""
+	}
+	return filepath.Join(st.spillDir, key+".json")
+}
+
+// diskLoad reads a spilled snapshot; nil when absent, unreadable or of a
+// different wire version (the daemon then just re-solves).
+func (st *Store) diskLoad(key string) *export.Snapshot {
+	path := st.spillPath(key)
+	if path == "" {
+		return nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	snap, err := export.ReadSnapshot(f)
+	if err != nil {
+		return nil
+	}
+	return snap
+}
+
+// diskStore spills a snapshot via write-to-temp + rename, so a crash mid-
+// write can never leave a torn file that a restarted daemon would trust.
+// Spill failures are counted, not fatal: the cache keeps serving from
+// memory.
+func (st *Store) diskStore(key string, snap *export.Snapshot) {
+	path := st.spillPath(key)
+	if path == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(st.spillDir, key+".tmp*")
+	if err != nil {
+		st.diskErrors.Add(1)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := export.WriteSnapshot(tmp, snap); err != nil {
+		tmp.Close()
+		st.diskErrors.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		st.diskErrors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		st.diskErrors.Add(1)
+		return
+	}
+	st.diskWrites.Add(1)
+}

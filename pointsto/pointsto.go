@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cc/layout"
@@ -282,8 +283,10 @@ type Report struct {
 	res      *frontend.Result
 	result   *core.Result
 
-	byName map[string][]*ir.Object
-	sum    *modref.Summary
+	nameOnce sync.Once
+	byName   map[string][]*ir.Object
+	sumOnce  sync.Once
+	sum      *modref.Summary
 }
 
 // Strategy returns the instance that produced the report.
@@ -349,10 +352,9 @@ func (r *Report) NumDerefSites() int { return len(r.res.IR.Sites) }
 // per-field for comparability.
 func (r *Report) DerefSetSize() float64 { return r.result.AvgDerefSetSize() }
 
-// objects resolves a source-level variable or function name to its abstract
-// objects (several when distinct scopes reuse the name).
-func (r *Report) objects(name string) []*ir.Object {
-	if r.byName == nil {
+// index builds the name → objects map once (safe under concurrent queries).
+func (r *Report) index() map[string][]*ir.Object {
+	r.nameOnce.Do(func() {
 		r.byName = make(map[string][]*ir.Object)
 		for _, o := range r.res.IR.Objects {
 			if o.Sym != nil && o.Sym.Name != "" {
@@ -361,9 +363,30 @@ func (r *Report) objects(name string) []*ir.Object {
 				r.byName[o.Name] = append(r.byName[o.Name], o)
 			}
 		}
-	}
-	return r.byName[name]
+	})
+	return r.byName
 }
+
+// objects resolves a source-level variable or function name to its abstract
+// objects (several when distinct scopes reuse the name).
+func (r *Report) objects(name string) []*ir.Object {
+	return r.index()[name]
+}
+
+// Names returns every queryable source-level name (variables and functions)
+// in sorted order. Each entry is valid input to PointsTo and MayAlias.
+func (r *Report) Names() []string {
+	idx := r.index()
+	out := make([]string, 0, len(idx))
+	for name := range idx {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Steps returns the number of worklist steps the solver performed.
+func (r *Report) Steps() int { return r.result.Steps }
 
 // pointsToSet unions the points-to sets of every object with the name.
 func (r *Report) pointsToSet(name string) core.CellSet {
@@ -434,11 +457,12 @@ func (r *Report) Sets() []Set {
 	return out
 }
 
-// summary computes the MOD/REF side-effect summary once per report.
+// summary computes the MOD/REF side-effect summary once per report (safe
+// under concurrent queries).
 func (r *Report) summary() *modref.Summary {
-	if r.sum == nil {
+	r.sumOnce.Do(func() {
 		r.sum = modref.Compute(r.res.IR, r.result)
-	}
+	})
 	return r.sum
 }
 

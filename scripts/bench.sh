@@ -1,0 +1,38 @@
+#!/bin/sh
+# Benchmark snapshot: run the full ptrbench evaluation over the corpus and
+# write BENCH_<date>.json in the repository root — wall time, per-run solver
+# steps and memoization counters ride along inside the ptrbench JSON.
+#
+# Usage (from anywhere; REPEAT controls timing repetitions):
+#
+#	sh scripts/bench.sh
+#	REPEAT=5 sh scripts/bench.sh
+#
+# The output file is self-describing: {"date", "wall_seconds", "repeat",
+# "evaluation": <ptrbench -json document>}.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+repeat="${REPEAT:-1}"
+date="$(date -u +%Y-%m-%d)"
+out="BENCH_${date}.json"
+tmp="${out}.tmp"
+
+start="$(date +%s)"
+go run ./cmd/ptrbench -json -repeat "$repeat" >"$tmp"
+end="$(date +%s)"
+wall=$((end - start))
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$date"
+	printf '  "wall_seconds": %d,\n' "$wall"
+	printf '  "repeat": %d,\n' "$repeat"
+	printf '  "evaluation": '
+	cat "$tmp"
+	printf '}\n'
+} >"$out"
+rm -f "$tmp"
+
+echo "wrote $out (${wall}s)" >&2
