@@ -320,6 +320,38 @@ func BenchmarkSweepProgramSize(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverRepresentation compares the dense CellID/Bits solver
+// (core.Analyze) against the retained map-based implementation
+// (core.AnalyzeReference) on identical inputs: same programs, same
+// strategies, byte-identical results (enforced by the differential test in
+// internal/core). The strategy is constructed once and warmed before timing,
+// so its memoized lookup/resolve tables are hot and the measured allocs/op
+// isolate the solver fixpoint itself — the dense/reference ratio is the cost
+// of the map representation. Run with -benchmem.
+func BenchmarkSolverRepresentation(b *testing.B) {
+	for _, name := range []string{"anagram", "bc", "less", "simulator"} {
+		res := loadProgram(b, name)
+		for _, s := range []string{"offsets", "common-initial-seq", "collapse-always"} {
+			b.Run(name+"/"+s+"/dense", func(b *testing.B) {
+				strat := metrics.NewStrategy(s, res.Layout)
+				core.Analyze(res.IR, strat)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.Analyze(res.IR, strat)
+				}
+			})
+			b.Run(name+"/"+s+"/reference", func(b *testing.B) {
+				strat := metrics.NewStrategy(s, res.Layout)
+				core.AnalyzeReference(res.IR, strat, core.Options{})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.AnalyzeReference(res.IR, strat, core.Options{})
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkRelated times the Steensgaard unification baseline against the
 // CIS instance (the related-work speed/precision trade).
 func BenchmarkRelated(b *testing.B) {

@@ -18,6 +18,8 @@
 //	-sweep        also run the synthetic generator sweep
 //	-timeout d    abort the whole corpus run after duration d (exit 4)
 //	-max-steps n  bound each solver run's worklist steps (exit 3 on trip)
+//	-cpuprofile f write a CPU profile of the evaluation to file f
+//	-memprofile f write an allocation heap profile to file f on exit
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/cc/layout"
 	"repro/internal/cli"
@@ -48,6 +52,8 @@ func run() error {
 	program := flag.String("program", "", "restrict to one corpus program")
 	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON instead of tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	var gov cli.Govern
 	gov.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -55,6 +61,31 @@ func run() error {
 	theABI, err := cli.ParseABI(*abi)
 	if err != nil {
 		return cli.Usagef("%v", err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ptrbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ptrbench: memprofile: %v\n", err)
+			}
+		}()
 	}
 	ctx, cancel := gov.Context()
 	defer cancel()

@@ -18,6 +18,9 @@
 //	-drain d           graceful-shutdown drain window for in-flight solves
 //	                   (default 10s); after it, stragglers are canceled
 //	-max-source-bytes  request-body size cap (default 4 MiB)
+//	-pprof-addr a      serve net/http/pprof on a separate listener
+//	                   ("" disables, the default). Keep it loopback-only:
+//	                   the profiling endpoints are unauthenticated.
 //	-timeout d         per-request solve-time ceiling (0 = none); requests
 //	                   asking for more (or for nothing) are clamped to it
 //	-max-steps n       per-request worklist-step ceiling (0 = none)
@@ -39,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +63,7 @@ func run() error {
 	spillDir := flag.String("spill-dir", "", "disk-spill directory for cached results (empty = no spill)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight solves")
 	maxSource := flag.Int64("max-source-bytes", 4<<20, "request body size cap in bytes")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	var gov cli.Govern
 	gov.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -82,6 +88,31 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: the profiling endpoints
+		// never ride on the API address, so exposing the daemon does not
+		// expose pprof. Failure to bind is fatal (a silently missing
+		// profiler defeats the point of asking for one).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pl, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pl.Close()
+		fmt.Fprintf(os.Stderr, "ptrserved: pprof on %s\n", pl.Addr())
+		go func() {
+			psrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := psrv.Serve(pl); err != nil && err != http.ErrServerClosed && ctx.Err() == nil {
+				fmt.Fprintf(os.Stderr, "ptrserved: pprof server: %v\n", err)
+			}
+		}()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,78 @@
+package cli_test
+
+// Regression test for the Offsets offset-0 rendering ambiguity: an Offsets
+// cell at byte offset 0 used to render identically to a whole-object cell
+// ("s" rather than "s@0"), so Offsets dumps and dot graphs were unreadable —
+// a fact at the first field was indistinguishable from a collapsed-object
+// fact. Offsets cells now carry the ByOff marker and always render "@off".
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/frontend"
+)
+
+const offsetSrc = `
+struct S { int *a; int *b; } s;
+int x;
+int main(void) {
+	s.a = &x;
+	return 0;
+}`
+
+func analyzeOffsets(t *testing.T) *core.Result {
+	t.Helper()
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: offsetSrc}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Analyze(r.IR, core.NewOffsets(r.Layout))
+}
+
+func TestOffsetZeroCellDump(t *testing.T) {
+	res := analyzeOffsets(t)
+	var sb strings.Builder
+	cli.PrintAll(&sb, res)
+	out := sb.String()
+	if !strings.Contains(out, "s@0") {
+		t.Errorf("PrintAll does not render the offset-0 cell as s@0:\n%s", out)
+	}
+	// The whole-object spelling must not appear as a cell of its own: every
+	// occurrence of "s" in the dump is the @0 cell.
+	for _, line := range strings.Split(out, "\n") {
+		if cell := strings.TrimSpace(strings.SplitN(line, "->", 2)[0]); cell == "s" {
+			t.Errorf("ambiguous whole-object rendering for an Offsets cell: %q", line)
+		}
+	}
+}
+
+func TestOffsetZeroCellDot(t *testing.T) {
+	res := analyzeOffsets(t)
+	var sb strings.Builder
+	cli.WriteDot(&sb, res)
+	out := sb.String()
+	if !strings.Contains(out, `"s@0"`) {
+		t.Errorf("WriteDot does not render the offset-0 cell as \"s@0\":\n%s", out)
+	}
+	if strings.Contains(out, `"s"`) {
+		t.Errorf("WriteDot renders an ambiguous whole-object node for an Offsets cell:\n%s", out)
+	}
+}
+
+// TestCollapseWholeObjectUnchanged pins the other side of the fix: the
+// collapsing strategies' selector-free cells still render bare.
+func TestCollapseWholeObjectUnchanged(t *testing.T) {
+	r, err := frontend.Load([]frontend.Source{{Name: "t.c", Text: offsetSrc}}, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Analyze(r.IR, core.NewCollapseAlways())
+	var sb strings.Builder
+	cli.PrintAll(&sb, res)
+	if out := sb.String(); !strings.Contains(out, "s ") || strings.Contains(out, "s@") {
+		t.Errorf("CollapseAlways whole-object cell rendering changed:\n%s", out)
+	}
+}

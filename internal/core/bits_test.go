@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestBitsAgainstMap drives Bits with a fixed-seed random operation stream,
+// mirroring every step into a plain map and checking full agreement.
+func TestBitsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var b Bits
+	ref := make(map[CellID]bool)
+	// A spread of ids across many blocks plus dense runs within one block.
+	idOf := func() CellID {
+		if rng.Intn(2) == 0 {
+			return CellID(rng.Intn(128)) // dense low range
+		}
+		return CellID(rng.Intn(1 << 20)) // sparse high range
+	}
+	for step := 0; step < 20000; step++ {
+		id := idOf()
+		switch rng.Intn(4) {
+		case 0, 1: // Add twice as often as the rest
+			want := !ref[id]
+			if got := b.Add(id); got != want {
+				t.Fatalf("step %d: Add(%d) = %v, want %v", step, id, got, want)
+			}
+			ref[id] = true
+		case 2:
+			if got := b.Has(id); got != ref[id] {
+				t.Fatalf("step %d: Has(%d) = %v, want %v", step, id, got, ref[id])
+			}
+		case 3:
+			want := ref[id]
+			if got := b.Remove(id); got != want {
+				t.Fatalf("step %d: Remove(%d) = %v, want %v", step, id, got, want)
+			}
+			delete(ref, id)
+		}
+		if b.Len() != len(ref) {
+			t.Fatalf("step %d: Len = %d, want %d", step, b.Len(), len(ref))
+		}
+	}
+	checkBitsEqual(t, &b, ref)
+}
+
+// checkBitsEqual asserts that Iterate and AppendTo both enumerate exactly
+// ref's ids in ascending order.
+func checkBitsEqual(t *testing.T, b *Bits, ref map[CellID]bool) {
+	t.Helper()
+	want := make([]CellID, 0, len(ref))
+	for id := range ref {
+		want = append(want, id)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []CellID
+	b.Iterate(func(id CellID) { got = append(got, id) })
+	if len(got) != len(want) {
+		t.Fatalf("Iterate yielded %d ids, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Iterate[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	got2 := b.AppendTo(nil)
+	for i := range got2 {
+		if got2[i] != want[i] {
+			t.Fatalf("AppendTo[%d] = %d, want %d", i, got2[i], want[i])
+		}
+	}
+}
+
+func TestBitsUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		var a, b Bits
+		refA := make(map[CellID]bool)
+		refB := make(map[CellID]bool)
+		for i := 0; i < rng.Intn(200); i++ {
+			id := CellID(rng.Intn(1 << 14))
+			a.Add(id)
+			refA[id] = true
+		}
+		for i := 0; i < rng.Intn(200); i++ {
+			id := CellID(rng.Intn(1 << 14))
+			b.Add(id)
+			refB[id] = true
+		}
+		wantNew := 0
+		for id := range refB {
+			if !refA[id] {
+				wantNew++
+			}
+		}
+		switch trial % 3 {
+		case 0:
+			if got := a.UnionInPlace(&b); got != wantNew {
+				t.Fatalf("trial %d: UnionInPlace added %d, want %d", trial, got, wantNew)
+			}
+		case 1:
+			diff := a.UnionDiff(&b, nil)
+			if len(diff) != wantNew {
+				t.Fatalf("trial %d: UnionDiff returned %d ids, want %d", trial, len(diff), wantNew)
+			}
+			for i, id := range diff {
+				if refA[id] || !refB[id] {
+					t.Fatalf("trial %d: UnionDiff id %d not newly-set", trial, id)
+				}
+				if i > 0 && diff[i-1] >= id {
+					t.Fatalf("trial %d: UnionDiff not ascending", trial)
+				}
+			}
+		case 2: // self-union is a no-op
+			n := a.Len()
+			if got := a.UnionInPlace(&a); got != 0 || a.Len() != n {
+				t.Fatalf("trial %d: self-union changed the set", trial)
+			}
+			if diff := a.UnionDiff(&a, nil); len(diff) != 0 {
+				t.Fatalf("trial %d: self-UnionDiff returned ids", trial)
+			}
+			continue
+		}
+		for id := range refB {
+			refA[id] = true
+		}
+		checkBitsEqual(t, &a, refA)
+		// b must be untouched.
+		checkBitsEqual(t, &b, refB)
+	}
+}
+
+func TestBitsClear(t *testing.T) {
+	var b Bits
+	for i := 0; i < 100; i++ {
+		b.Add(CellID(i * 97))
+	}
+	b.Clear()
+	if b.Len() != 0 || b.Has(0) || b.Has(97) {
+		t.Fatal("Clear did not empty the set")
+	}
+	if !b.Add(5) || b.Len() != 1 {
+		t.Fatal("set unusable after Clear")
+	}
+}
+
+func TestCellTable(t *testing.T) {
+	tab := NewCellTable()
+	o1 := &ir.Object{ID: 1, Name: "a"}
+	o2 := &ir.Object{ID: 2, Name: "b"}
+	cells := []Cell{
+		{Obj: o1},
+		{Obj: o1, Off: 8, ByOff: true},
+		{Obj: o2, Path: "f.g"},
+		{Obj: o1, Off: 0, ByOff: true}, // distinct from the bare o1 cell
+	}
+	for i, c := range cells {
+		if id := tab.ID(c); id != CellID(i) {
+			t.Fatalf("ID(%v) = %d, want %d (first-seen order)", c, id, i)
+		}
+	}
+	for i, c := range cells {
+		if id := tab.ID(c); id != CellID(i) {
+			t.Fatalf("re-intern ID(%v) = %d, want %d", c, id, i)
+		}
+		if got := tab.Cell(CellID(i)); got != c {
+			t.Fatalf("Cell(%d) = %v, want %v", i, got, c)
+		}
+		if id, ok := tab.Find(c); !ok || id != CellID(i) {
+			t.Fatalf("Find(%v) = %d,%v", c, id, ok)
+		}
+	}
+	if _, ok := tab.Find(Cell{Obj: o2}); ok {
+		t.Fatal("Find returned an id for a never-interned cell")
+	}
+	if tab.Len() != len(cells) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(cells))
+	}
+}

@@ -15,12 +15,19 @@ import (
 
 // Cell is a normalized abstract memory location: an object plus a selector.
 // The selector space depends on the strategy: the Offsets instance uses byte
-// offsets (Off), the field-based instances use normalized field paths
-// (Path), and the Collapse Always instance uses neither.
+// offsets (Off, with ByOff set), the field-based instances use normalized
+// field paths (Path), and the Collapse Always instance uses neither.
 type Cell struct {
 	Obj  *ir.Object
 	Off  int64
 	Path string // dotted normalized field path
+
+	// ByOff marks a cell whose selector is a byte offset. The Offsets
+	// strategy sets it on every cell it produces, so its offset-0 cell
+	// renders as "obj@0" and cannot be confused with (or compare equal
+	// to) the selector-free whole-object cell the collapsing strategies
+	// use for the same object.
+	ByOff bool
 }
 
 func (c Cell) String() string {
@@ -29,7 +36,7 @@ func (c Cell) String() string {
 		return "<nil>"
 	case c.Path != "":
 		return c.Obj.Name + "." + c.Path
-	case c.Off != 0:
+	case c.ByOff || c.Off != 0:
 		return fmt.Sprintf("%s@%d", c.Obj.Name, c.Off)
 	default:
 		return c.Obj.Name
@@ -85,7 +92,10 @@ func (s CellSet) Sorted() []Cell {
 		if a.Off != b.Off {
 			return a.Off < b.Off
 		}
-		return a.Path < b.Path
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		return !a.ByOff && b.ByOff
 	})
 	return out
 }

@@ -37,6 +37,9 @@ func (s *CollapseAlways) Normalize(obj *ir.Object, _ ir.Path) Cell {
 // SetMemoization implements Memoizer.
 func (s *CollapseAlways) SetMemoization(on bool) { s.memo.SetMemoization(on) }
 
+// exactEdges implements exactEdger: edges carry exactly their source cell.
+func (s *CollapseAlways) exactEdges() bool { return true }
+
 // Lookup implements Strategy (memoized; see memo.go).
 func (s *CollapseAlways) Lookup(τ *types.Type, _ ir.Path, target Cell) []Cell {
 	// The instance performs no type test (Figure 3's mismatch columns do

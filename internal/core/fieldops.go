@@ -29,6 +29,10 @@ func newFieldOps() fieldOps {
 // SetMemoization implements Memoizer for the field-based strategies.
 func (f *fieldOps) SetMemoization(on bool) { f.memo.SetMemoization(on) }
 
+// exactEdges implements exactEdger: both field strategies propagate through
+// exactEdgePropagate, so their Size==0 edges are indexable by source cell.
+func (f *fieldOps) exactEdges() bool { return true }
+
 func (f *fieldOps) leaves(t *types.Type) []ir.Path {
 	if cached, ok := f.leafCache[t]; ok {
 		return cached

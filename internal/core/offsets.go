@@ -185,7 +185,7 @@ func (s *Offsets) Normalize(obj *ir.Object, path ir.Path) Cell {
 	if !ok {
 		off = 0
 	}
-	return Cell{Obj: obj, Off: off}
+	return Cell{Obj: obj, Off: off, ByOff: true}
 }
 
 // SetMemoization implements Memoizer.
@@ -203,7 +203,7 @@ func (s *Offsets) Lookup(τ *types.Type, path ir.Path, target Cell) []Cell {
 	}
 	var cells []Cell
 	if off, ok := s.canon(target.Obj, target.Off+s.offsetOf(τ, path)); ok {
-		cells = []Cell{{Obj: target.Obj, Off: off}}
+		cells = []Cell{{Obj: target.Obj, Off: off, ByOff: true}}
 	} // else: out-of-bounds access, no referent (Assumption 1)
 	s.memo.putLookup(key, lookupVal{cells: cells})
 	s.rec.LookupCacheMisses++
@@ -225,8 +225,8 @@ func (s *Offsets) Resolve(dst, src Cell, τ *types.Type) []Edge {
 		}
 	}
 	edges := []Edge{{
-		Dst:  Cell{Obj: dst.Obj, Off: dst.Off},
-		Src:  Cell{Obj: src.Obj, Off: src.Off},
+		Dst:  Cell{Obj: dst.Obj, Off: dst.Off, ByOff: true},
+		Src:  Cell{Obj: src.Obj, Off: src.Off, ByOff: true},
 		Size: size,
 	}}
 	s.memo.putResolve(key, resolveVal{edges: edges})
@@ -248,7 +248,7 @@ func (s *Offsets) CellsOf(obj *ir.Object) []Cell {
 			continue
 		}
 		seen[off] = true
-		cells = append(cells, Cell{Obj: obj, Off: off})
+		cells = append(cells, Cell{Obj: obj, Off: off, ByOff: true})
 	}
 	return cells
 }
@@ -327,5 +327,5 @@ func (s *Offsets) PropagateEdge(e Edge, src Cell) (Cell, bool) {
 	if !ok {
 		return Cell{}, false
 	}
-	return Cell{Obj: e.Dst.Obj, Off: off}, true
+	return Cell{Obj: e.Dst.Obj, Off: off, ByOff: true}, true
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cc/token"
@@ -13,11 +14,25 @@ import (
 )
 
 // Result is the outcome of one analysis run.
+//
+// The solver produces results in the dense CellID/Bits representation; the
+// map[Cell]CellSet view that PointsTo, PointsToCell and Cells expose is
+// materialized lazily, once, on first use (metrics-only consumers — Total-
+// Facts, SiteSetSize, AvgDerefSetSize — read the dense form directly and
+// never pay for it). Materialization is guarded by a sync.Once, so a Result
+// remains safe for concurrent use.
 type Result struct {
 	Strategy Strategy
 	Program  *ir.Program
 
-	pts      map[Cell]CellSet
+	// Dense form (nil table for results built by AnalyzeReference, which
+	// constructs the map view directly).
+	table *CellTable
+	dense []Bits
+
+	matOnce sync.Once
+	pts     map[Cell]CellSet
+
 	Duration time.Duration
 
 	// Steps counts worklist drains performed by the run.
@@ -35,19 +50,41 @@ type Result struct {
 	Misuses []Misuse
 }
 
+// points returns the map view, materializing it from the dense form on
+// first use.
+func (r *Result) points() map[Cell]CellSet {
+	r.matOnce.Do(func() {
+		if r.pts != nil {
+			return // built directly by the reference solver
+		}
+		m := make(map[Cell]CellSet)
+		for id := range r.dense {
+			set := &r.dense[id]
+			if set.Len() == 0 {
+				continue
+			}
+			cs := make(CellSet, set.Len())
+			set.Iterate(func(t CellID) { cs[r.table.Cell(t)] = struct{}{} })
+			m[r.table.Cell(CellID(id))] = cs
+		}
+		r.pts = m
+	})
+	return r.pts
+}
+
 // PointsTo returns the points-to set of the normalized cell for obj.path.
 func (r *Result) PointsTo(obj *ir.Object, path ir.Path) CellSet {
 	c := r.Strategy.Normalize(obj, path)
-	return r.pts[c]
+	return r.points()[c]
 }
 
 // PointsToCell returns the points-to set of a cell.
-func (r *Result) PointsToCell(c Cell) CellSet { return r.pts[c] }
+func (r *Result) PointsToCell(c Cell) CellSet { return r.points()[c] }
 
 // Cells iterates over all cells with non-empty points-to sets, in map order.
 // Use SortedCells when the iteration order must be deterministic.
 func (r *Result) Cells(fn func(c Cell, set CellSet)) {
-	for c, s := range r.pts {
+	for c, s := range r.points() {
 		if len(s) > 0 {
 			fn(c, s)
 		}
@@ -58,8 +95,9 @@ func (r *Result) Cells(fn func(c Cell, set CellSet)) {
 // stable display order of CellSet.Sorted, so dumps, graphs and golden tests
 // do not depend on Go's randomized map iteration.
 func (r *Result) SortedCells() []Cell {
-	cells := make(CellSet, len(r.pts))
-	for c, s := range r.pts {
+	pts := r.points()
+	cells := make(CellSet, len(pts))
+	for c, s := range pts {
 		if len(s) > 0 {
 			cells[c] = struct{}{}
 		}
@@ -68,7 +106,15 @@ func (r *Result) SortedCells() []Cell {
 }
 
 // TotalFacts is the total number of points-to edges (Figure 6's metric).
+// It reads the dense form and does not materialize the map view.
 func (r *Result) TotalFacts() int {
+	if r.table != nil {
+		n := 0
+		for i := range r.dense {
+			n += r.dense[i].Len()
+		}
+		return n
+	}
 	n := 0
 	for _, s := range r.pts {
 		n += len(s)
@@ -78,8 +124,19 @@ func (r *Result) TotalFacts() int {
 
 // SiteSetSize returns the (expanded) points-to set size of a dereference
 // site: the number of fields the dereferenced pointer may reference, with
-// collapsed facts expanded per-field as in Figure 4.
+// collapsed facts expanded per-field as in Figure 4. Like TotalFacts it
+// reads the dense form directly.
 func (r *Result) SiteSetSize(site *ir.DerefSite) int {
+	if r.table != nil {
+		c := r.Strategy.Normalize(site.Ptr, nil)
+		id, ok := r.table.Find(c)
+		if !ok || int(id) >= len(r.dense) {
+			return 0
+		}
+		n := 0
+		r.dense[id].Iterate(func(t CellID) { n += r.Strategy.ExpandedSize(r.table.Cell(t)) })
+		return n
+	}
 	set := r.PointsTo(site.Ptr, nil)
 	n := 0
 	for c := range set {
@@ -151,18 +208,25 @@ const cancelCheckEvery = 64
 // result comes back with Result.Incomplete set. A nil Incomplete means the
 // run reached fixpoint.
 func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts Options) *Result {
+	nobj := len(prog.Objects)
 	s := &solver{
-		ctx:      ctx,
-		limits:   opts.Limits,
-		prog:     prog,
-		strat:    strat,
-		opts:     opts,
-		pts:      make(map[Cell]CellSet),
-		factObjs: make(map[*ir.Object][]Cell),
-		edgeSet:  make(map[Edge]bool),
-		edgeIdx:  make(map[*ir.Object][]Edge),
-		watchers: make(map[Cell][]watch),
-		bound:    make(map[callBinding]bool),
+		ctx:       ctx,
+		limits:    opts.Limits,
+		prog:      prog,
+		strat:     strat,
+		opts:      opts,
+		table:     NewCellTable(),
+		normCache: make(map[*ir.Object]CellID, nobj),
+		factObjs:  make(map[*ir.Object][]CellID, nobj),
+		edgeSet:   make(map[edgeKey]bool, 4*nobj),
+		bound:     make(map[callBinding]bool),
+		pts:       make([]Bits, 0, 2*nobj),
+		delta:     make([]Bits, 0, 2*nobj),
+		watchers:  make([][]watch, 0, 2*nobj),
+		exactOut:  make([][]CellID, 0, 2*nobj),
+	}
+	if ee, ok := strat.(exactEdger); ok {
+		s.exact = ee.exactEdges()
 	}
 	if opts.UseUnknown {
 		s.unknown = &ir.Object{ID: -1, Name: "<unknown>", Kind: ir.ObjVar}
@@ -172,7 +236,8 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts 
 	return &Result{
 		Strategy:   strat,
 		Program:    prog,
-		pts:        s.pts,
+		table:      s.table,
+		dense:      s.pts,
 		Duration:   time.Since(start),
 		Steps:      s.steps,
 		Incomplete: s.stop,
@@ -192,16 +257,27 @@ type callBinding struct {
 	fn   *ir.Object
 }
 
-// memPair identifies one (destination target, source target) pair of a
-// memcopy statement. Both pointer operands watch their cells, so without
-// dedup a pair would be resolved once or twice depending on the order the
-// two facts reach the worklist; resolving each pair exactly once keeps the
-// instrumentation counts independent of the propagation schedule.
-type memPair struct {
+// memPairID identifies one (destination target, source target) pair of a
+// memcopy statement, keyed by interned ids. See memPair in refsolver.go for
+// why pairs are resolved exactly once.
+type memPairID struct {
 	stmt     *ir.Stmt
-	dst, src Cell
+	dst, src CellID
 }
 
+// edgeKey dedups copy edges by interned endpoints — cheaper to hash than an
+// Edge (two Cell structs), and equivalent since interning is injective.
+type edgeKey struct {
+	dst, src CellID
+	size     int64
+}
+
+// solver runs the Figure-2 fixpoint on the dense representation: every cell
+// is interned to a CellID once — when a strategy hands it across the API
+// boundary — and all per-fact state (points-to sets, deltas, edge indexes,
+// watcher lists) is indexed by id. The hot loop therefore never hashes a
+// Cell struct and never allocates per fact; batch propagation through copy
+// edges is a word-wise Bits union.
 type solver struct {
 	prog  *ir.Program
 	strat Strategy
@@ -216,34 +292,156 @@ type solver struct {
 	limits Limits
 	steps  int   // worklist drains performed
 	nfacts int   // points-to edges recorded
+	ncells int   // distinct cells holding facts (non-empty pts sets)
 	stop   *Stop // non-nil once the run is aborted
 
 	unknown *ir.Object // non-nil under Options.UseUnknown
 	misuses []Misuse
 	flagged map[*ir.Stmt]bool
 
-	pts      map[Cell]CellSet
-	factObjs map[*ir.Object][]Cell // cells with facts, per object (for edges)
+	table     *CellTable
+	normCache map[*ir.Object]CellID // Normalize(obj, nil) interned, per object
 
-	edgeSet map[Edge]bool
-	edgeIdx map[*ir.Object][]Edge // copy edges indexed by source object
+	pts      []Bits                  // points-to sets, indexed by CellID
+	delta    []Bits                  // pending new targets, indexed by CellID
+	dirty    []CellID                // cells whose delta is non-empty
+	watchers [][]watch               // statement premises, indexed by CellID
+	factObjs map[*ir.Object][]CellID // cells with facts, per object (for edges)
 
-	watchers map[Cell][]watch
-	bound    map[callBinding]bool
-	memDone  map[memPair]bool
+	edgeSet map[edgeKey]bool
+	// Copy-edge indexes. Strategies whose PropagateEdge fires exactly on
+	// the edge's source cell (the field-based instances) get their edges
+	// indexed by source CellID — drain then walks a []CellID instead of
+	// filtering every edge on the source object. Range edges (Offsets) and
+	// edges from unknown strategies stay in the by-object index and go
+	// through PropagateEdge.
+	exact    bool
+	exactOut [][]CellID            // exact edges: src id → dst ids
+	edgeIdx  map[*ir.Object][]Edge // range/generic edges by source object
+	hasRange bool
 
-	// Difference propagation (Heintze–Tardieu): the worklist holds cells
-	// whose points-to sets grew, and delta holds, per cell, exactly the
-	// targets added since the cell was last processed. Rules and copy
-	// edges therefore fire once per *new* fact, and the per-cell watcher
-	// and edge lists are walked once per batch of new facts rather than
-	// once per fact.
-	delta map[Cell][]Cell
-	dirty []Cell
+	bound   map[callBinding]bool
+	memDone map[memPairID]bool
+
+	// Reusable buffers: id snapshots for iterate-while-mutating sites and
+	// drained delta bitsets. Both are stacks so reentrant rule firing
+	// (applyRule → addEdge → replay) gets its own buffer.
+	scratch  [][]CellID
+	bitsFree []Bits
+
+	// Chunked arenas: most per-cell slices (a points-to set's first blocks,
+	// a cell's watcher list, an exact-edge adjacency list) stay tiny, so
+	// they carve their initial capacity out of shared slabs instead of
+	// allocating individually. A slice that outgrows its slot falls back
+	// to the normal append path; the abandoned slot is the price of one
+	// oversized set, not a leak.
+	blockArena []bitsBlock
+	watchArena []watch
+	idArena    []CellID
+}
+
+// arenaBlocks returns an empty capacity-c block slice carved from the slab.
+func (s *solver) arenaBlocks(c int) []bitsBlock {
+	if len(s.blockArena) < c {
+		s.blockArena = make([]bitsBlock, 512)
+	}
+	out := s.blockArena[:0:c]
+	s.blockArena = s.blockArena[c:]
+	return out
+}
+
+// seedBits gives an untouched Bits its initial arena-backed capacity.
+func (s *solver) seedBits(b *Bits) {
+	if cap(b.blocks) == 0 {
+		b.blocks = s.arenaBlocks(4)
+	}
+}
+
+func (s *solver) arenaWatch(c int) []watch {
+	if len(s.watchArena) < c {
+		s.watchArena = make([]watch, 256)
+	}
+	out := s.watchArena[:0:c]
+	s.watchArena = s.watchArena[c:]
+	return out
+}
+
+func (s *solver) arenaIDs(c int) []CellID {
+	if len(s.idArena) < c {
+		s.idArena = make([]CellID, 512)
+	}
+	out := s.idArena[:0:c]
+	s.idArena = s.idArena[c:]
+	return out
 }
 
 func (s *solver) norm(obj *ir.Object, path ir.Path) Cell {
 	return s.strat.Normalize(obj, path)
+}
+
+// cellID interns c and grows the id-indexed state to cover it.
+func (s *solver) cellID(c Cell) CellID {
+	id := s.table.ID(c)
+	if n := s.table.Len(); n > len(s.pts) {
+		if n <= cap(s.pts) {
+			s.pts = s.pts[:n]
+			s.delta = s.delta[:n]
+			s.watchers = s.watchers[:n]
+			s.exactOut = s.exactOut[:n]
+		} else {
+			grow := n * 2
+			pts := make([]Bits, n, grow)
+			copy(pts, s.pts)
+			s.pts = pts
+			delta := make([]Bits, n, grow)
+			copy(delta, s.delta)
+			s.delta = delta
+			watchers := make([][]watch, n, grow)
+			copy(watchers, s.watchers)
+			s.watchers = watchers
+			exactOut := make([][]CellID, n, grow)
+			copy(exactOut, s.exactOut)
+			s.exactOut = exactOut
+		}
+	}
+	return id
+}
+
+// normID interns Normalize(obj, nil) through a per-object cache: rule
+// firings normalize the same destination objects over and over, and for the
+// field strategies each Normalize allocates a path string.
+func (s *solver) normID(obj *ir.Object) CellID {
+	if id, ok := s.normCache[obj]; ok {
+		return id
+	}
+	id := s.cellID(s.norm(obj, nil))
+	s.normCache[obj] = id
+	return id
+}
+
+func (s *solver) getScratch() []CellID {
+	if n := len(s.scratch); n > 0 {
+		b := s.scratch[n-1]
+		s.scratch = s.scratch[:n-1]
+		return b[:0]
+	}
+	return make([]CellID, 0, 64)
+}
+
+func (s *solver) putScratch(b []CellID) { s.scratch = append(s.scratch, b) }
+
+func (s *solver) takeBits() Bits {
+	if n := len(s.bitsFree); n > 0 {
+		b := s.bitsFree[n-1]
+		s.bitsFree = s.bitsFree[:n-1]
+		return b
+	}
+	return Bits{}
+}
+
+func (s *solver) recycleBits(b Bits) {
+	b.Clear()
+	s.bitsFree = append(s.bitsFree, b)
 }
 
 func (s *solver) run() {
@@ -299,7 +497,7 @@ func (s *solver) abort(reason StopReason, limit int, err error) {
 		Reason: reason,
 		Steps:  s.steps,
 		Facts:  s.nfacts,
-		Cells:  len(s.pts),
+		Cells:  s.ncells,
 		Limit:  limit,
 		Err:    err,
 	}
@@ -308,11 +506,7 @@ func (s *solver) abort(reason StopReason, limit int, err error) {
 func (s *solver) initStmt(st *ir.Stmt) {
 	switch st.Op {
 	case ir.OpAddrOf:
-		why := ""
-		if traceCell != "" {
-			why = "addrof " + st.String()
-		}
-		s.addFactWhy(s.norm(st.Dst, nil), s.norm(st.Src, st.Path), why)
+		s.addFact(s.normID(st.Dst), s.cellID(s.norm(st.Src, st.Path)))
 
 	case ir.OpCopy:
 		dst := s.norm(st.Dst, nil)
@@ -322,33 +516,38 @@ func (s *solver) initStmt(st *ir.Stmt) {
 		}
 
 	case ir.OpAddrField, ir.OpLoad:
-		s.watch(s.norm(st.Ptr, nil), st, 0)
+		s.watch(s.normID(st.Ptr), st, 0)
 
 	case ir.OpStore:
 		if st.Src == nil {
 			return // store of a pointer-free value
 		}
-		s.watch(s.norm(st.Ptr, nil), st, 0)
+		s.watch(s.normID(st.Ptr), st, 0)
 
 	case ir.OpMemCopy:
-		s.watch(s.norm(st.Ptr, nil), st, 0)
-		s.watch(s.norm(st.Src, nil), st, 1)
+		s.watch(s.normID(st.Ptr), st, 0)
+		s.watch(s.normID(st.Src), st, 1)
 
 	case ir.OpPtrArith:
-		s.watch(s.norm(st.Src, nil), st, 0)
+		s.watch(s.normID(st.Src), st, 0)
 
 	case ir.OpCall:
-		s.watch(s.norm(st.Ptr, nil), st, 0)
+		s.watch(s.normID(st.Ptr), st, 0)
 	}
 }
 
 // watch registers the statement and replays existing facts at the cell.
-func (s *solver) watch(c Cell, st *ir.Stmt, role int) {
+func (s *solver) watch(c CellID, st *ir.Stmt, role int) {
+	if cap(s.watchers[c]) == 0 {
+		s.watchers[c] = s.arenaWatch(2)
+	}
 	s.watchers[c] = append(s.watchers[c], watch{stmt: st, role: role})
-	if set, ok := s.pts[c]; ok {
-		for tgt := range set {
-			s.applyRule(watch{stmt: st, role: role}, tgt)
+	if s.pts[c].Len() > 0 {
+		buf := s.pts[c].AppendTo(s.getScratch())
+		for _, tgt := range buf {
+			s.applyRule(watch{stmt: st, role: role}, s.table.Cell(tgt), tgt)
 		}
+		s.putScratch(buf)
 	}
 }
 
@@ -356,31 +555,31 @@ func (s *solver) watch(c Cell, st *ir.Stmt, role int) {
 // cell together with the rule that produced it (debug aid).
 var traceCell = os.Getenv("PTRTRACE")
 
-func (s *solver) addFactWhy(c, tgt Cell, why string) {
-	if traceCell != "" && strings.Contains(c.String(), traceCell) {
-		fmt.Printf("TRACE %s += %s   [%s]\n", c, tgt, why)
-	}
-	s.addFact(c, tgt)
-}
-
 // addFact records pointsTo(c, tgt) and schedules propagation of the delta.
 // Once the run is aborted the solver is frozen: no new facts, no new
 // worklist entries — the fact set stays exactly what had been derived.
-func (s *solver) addFact(c, tgt Cell) {
+func (s *solver) addFact(c, tgt CellID) {
 	if s.stop != nil {
 		return
 	}
-	set, ok := s.pts[c]
-	if !ok {
-		if s.limits.MaxCells > 0 && len(s.pts) >= s.limits.MaxCells {
-			s.abort(StopMaxCells, s.limits.MaxCells, nil)
-			return
-		}
-		set = make(CellSet)
-		s.pts[c] = set
+	set := &s.pts[c]
+	isNew := set.Len() == 0
+	if isNew && s.limits.MaxCells > 0 && s.ncells >= s.limits.MaxCells {
+		s.abort(StopMaxCells, s.limits.MaxCells, nil)
+		return
 	}
+	s.seedBits(set)
 	if !set.Add(tgt) {
 		return
+	}
+	if traceCell != "" {
+		cc := s.table.Cell(c)
+		if strings.Contains(cc.String(), traceCell) {
+			fmt.Printf("TRACE %s += %s\n", cc, s.table.Cell(tgt))
+		}
+	}
+	if isNew {
+		s.ncells++
 	}
 	s.nfacts++
 	if s.limits.MaxFacts > 0 && s.nfacts >= s.limits.MaxFacts {
@@ -389,61 +588,140 @@ func (s *solver) addFact(c, tgt Cell) {
 		// only propagation of it is skipped.
 		return
 	}
-	if len(set) == 1 {
-		s.factObjs[c.Obj] = append(s.factObjs[c.Obj], c)
+	if isNew {
+		s.recordFactObj(c)
 	}
-	if s.delta == nil {
-		s.delta = make(map[Cell][]Cell)
-	}
-	pend := s.delta[c]
-	if len(pend) == 0 {
+	if s.delta[c].Len() == 0 {
 		s.dirty = append(s.dirty, c)
 	}
-	s.delta[c] = append(pend, tgt)
+	s.seedBits(&s.delta[c])
+	s.delta[c].Add(tgt)
+}
+
+// recordFactObj indexes a newly non-empty cell under its object.
+func (s *solver) recordFactObj(c CellID) {
+	obj := s.table.Cell(c).Obj
+	lst := s.factObjs[obj]
+	if cap(lst) == 0 {
+		lst = s.arenaIDs(4)
+	}
+	s.factObjs[obj] = append(lst, c)
+}
+
+// mergeFrom unions src's points-to set into dst's, pushing exactly the new
+// facts. It is the batch form of addFact used for copy-edge propagation:
+// with no fact/cell limits configured (the common case) the union is a
+// word-wise Bits merge with no per-fact work at all; under limits it falls
+// back to per-fact accounting so trip points match addFact exactly.
+func (s *solver) mergeFrom(dst CellID, src *Bits) {
+	if s.stop != nil || src.Len() == 0 || src == &s.pts[dst] {
+		return
+	}
+	if s.limits.MaxFacts > 0 || s.limits.MaxCells > 0 {
+		buf := src.AppendTo(s.getScratch())
+		for _, tgt := range buf {
+			s.addFact(dst, tgt)
+		}
+		s.putScratch(buf)
+		return
+	}
+	set := &s.pts[dst]
+	isNew := set.Len() == 0
+	s.seedBits(set)
+	buf := set.UnionDiff(src, s.getScratch())
+	if len(buf) > 0 {
+		if traceCell != "" {
+			cc := s.table.Cell(dst)
+			if strings.Contains(cc.String(), traceCell) {
+				for _, tgt := range buf {
+					fmt.Printf("TRACE %s += %s\n", cc, s.table.Cell(tgt))
+				}
+			}
+		}
+		if isNew {
+			s.ncells++
+			s.recordFactObj(dst)
+		}
+		s.nfacts += len(buf)
+		d := &s.delta[dst]
+		if d.Len() == 0 {
+			s.dirty = append(s.dirty, dst)
+		}
+		s.seedBits(d)
+		for _, tgt := range buf {
+			d.Add(tgt)
+		}
+	}
+	s.putScratch(buf)
 }
 
 // drain pushes a cell's pending delta through copy edges and statement
 // premises. Rules fired here may grow the delta of any cell, including c
 // itself; addFact re-enqueues it in that case.
-func (s *solver) drain(c Cell) {
-	batch := s.delta[c]
-	if len(batch) == 0 {
+func (s *solver) drain(c CellID) {
+	if s.delta[c].Len() == 0 {
 		return
 	}
-	s.delta[c] = nil
-	// Copy edges whose source object matches. The edge list is snapshotted
-	// by the range header: edges added while draining replay existing facts
-	// themselves (addEdge), so they must not also see this batch.
-	for _, e := range s.edgeIdx[c.Obj] {
-		if dst, ok := s.strat.PropagateEdge(e, c); ok {
-			why := ""
-			if traceCell != "" {
-				why = "edge " + e.String()
-			}
-			for _, tgt := range batch {
-				s.addFactWhy(dst, tgt, why)
+	batch := s.delta[c]
+	s.delta[c] = s.takeBits()
+	// Exact copy edges out of this cell (field strategies): whole-batch
+	// bitset merges. The slice header snapshots the edge list: edges added
+	// while draining replay existing facts themselves (addEdge), so they
+	// must not also see this batch.
+	for _, dst := range s.exactOut[c] {
+		s.mergeFrom(dst, &batch)
+	}
+	// Range/generic edges whose source object matches, filtered through
+	// the strategy's PropagateEdge.
+	if s.hasRange {
+		cCell := s.table.Cell(c)
+		for _, e := range s.edgeIdx[cCell.Obj] {
+			if dst, ok := s.strat.PropagateEdge(e, cCell); ok {
+				s.mergeFrom(s.cellID(dst), &batch)
 			}
 		}
 	}
 	// Statement premises on this cell.
 	for _, w := range s.watchers[c] {
-		for _, tgt := range batch {
-			s.applyRule(w, tgt)
+		buf := batch.AppendTo(s.getScratch())
+		for _, tgt := range buf {
+			s.applyRule(w, s.table.Cell(tgt), tgt)
 		}
+		s.putScratch(buf)
 	}
+	s.recycleBits(batch)
 }
 
 // addEdge records a copy edge and replays existing facts at its source.
+// Endpoints are interned here — once per distinct edge — so propagation and
+// deduplication never re-hash a Cell struct.
 func (s *solver) addEdge(e Edge) {
-	if s.edgeSet[e] {
+	src := s.cellID(e.Src)
+	dst := s.cellID(e.Dst)
+	key := edgeKey{dst: dst, src: src, size: e.Size}
+	if s.edgeSet[key] {
 		return
 	}
-	s.edgeSet[e] = true
+	s.edgeSet[key] = true
+	if s.exact && e.Size == 0 {
+		if cap(s.exactOut[src]) == 0 {
+			s.exactOut[src] = s.arenaIDs(2)
+		}
+		s.exactOut[src] = append(s.exactOut[src], dst)
+		if dst != src {
+			s.mergeFrom(dst, &s.pts[src])
+		}
+		return
+	}
+	s.hasRange = true
+	if s.edgeIdx == nil {
+		s.edgeIdx = make(map[*ir.Object][]Edge)
+	}
 	s.edgeIdx[e.Src.Obj] = append(s.edgeIdx[e.Src.Obj], e)
-	for _, c := range s.factObjs[e.Src.Obj] {
-		if dst, ok := s.strat.PropagateEdge(e, c); ok {
-			for tgt := range s.pts[c] {
-				s.addFact(dst, tgt)
+	for _, cid := range s.factObjs[e.Src.Obj] {
+		if dst, ok := s.strat.PropagateEdge(e, s.table.Cell(cid)); ok {
+			if dstID := s.cellID(dst); dstID != cid {
+				s.mergeFrom(dstID, &s.pts[cid])
 			}
 		}
 	}
@@ -451,16 +729,16 @@ func (s *solver) addEdge(e Edge) {
 
 // memCopy resolves one (dst target, src target) pair of a memcopy statement,
 // skipping pairs already resolved from the other operand's watch.
-func (s *solver) memCopy(st *ir.Stmt, dst, src Cell) {
-	key := memPair{stmt: st, dst: dst, src: src}
+func (s *solver) memCopy(st *ir.Stmt, dst, src CellID) {
+	key := memPairID{stmt: st, dst: dst, src: src}
 	if s.memDone[key] {
 		return
 	}
 	if s.memDone == nil {
-		s.memDone = make(map[memPair]bool)
+		s.memDone = make(map[memPairID]bool)
 	}
 	s.memDone[key] = true
-	for _, e := range s.strat.Resolve(dst, src, nil) {
+	for _, e := range s.strat.Resolve(s.table.Cell(dst), s.table.Cell(src), nil) {
 		s.addEdge(e)
 	}
 }
@@ -481,7 +759,9 @@ func pointeeType(o *ir.Object) *types.Type {
 }
 
 // applyRule fires one statement rule for a newly discovered pointer target.
-func (s *solver) applyRule(w watch, tgt Cell) {
+// tgt and tgtID are the same cell in both representations: rules hand Cells
+// to the strategy boundary and ids to the fact store.
+func (s *solver) applyRule(w watch, tgt Cell, tgtID CellID) {
 	st := w.stmt
 	if s.unknown != nil && tgt.Obj == s.unknown {
 		// A possibly corrupted pointer reaches a dereference (or call):
@@ -505,13 +785,9 @@ func (s *solver) applyRule(w watch, tgt Cell) {
 	switch st.Op {
 	case ir.OpAddrField:
 		// Rule 2: s = &((*p).α).
-		dst := s.norm(st.Dst, nil)
-		why := ""
-		if traceCell != "" {
-			why = "addrfield " + st.String()
-		}
+		dst := s.normID(st.Dst)
 		for _, c := range s.strat.Lookup(pointeeType(st.Ptr), st.Path, tgt) {
-			s.addFactWhy(dst, c, why)
+			s.addFact(dst, s.cellID(c))
 		}
 
 	case ir.OpLoad:
@@ -543,14 +819,22 @@ func (s *solver) applyRule(w watch, tgt Cell) {
 	case ir.OpMemCopy:
 		// Block copy of unknown extent between two pointees: resolve each
 		// (dst target, src target) pair exactly once.
-		if w.role == 0 {
-			for src := range s.pts[s.norm(st.Src, nil)] {
-				s.memCopy(st, tgt, src)
+		other := st.Src
+		if w.role != 0 {
+			other = st.Ptr
+		}
+		if id := s.normID(other); s.pts[id].Len() > 0 {
+			buf := s.pts[id].AppendTo(s.getScratch())
+			if w.role == 0 {
+				for _, src := range buf {
+					s.memCopy(st, tgtID, src)
+				}
+			} else {
+				for _, dst := range buf {
+					s.memCopy(st, dst, tgtID)
+				}
 			}
-		} else {
-			for dst := range s.pts[s.norm(st.Ptr, nil)] {
-				s.memCopy(st, dst, tgt)
-			}
+			s.putScratch(buf)
 		}
 
 	case ir.OpPtrArith:
@@ -560,15 +844,15 @@ func (s *solver) applyRule(w watch, tgt Cell) {
 		// sub-fields are the statically known cells of the object; for
 		// untyped heap storage this approximates interior offsets by
 		// the block's base cell (see DESIGN.md §6).
-		dst := s.norm(st.Dst, nil)
-		s.addFact(dst, tgt)
+		dst := s.normID(st.Dst)
+		s.addFact(dst, tgtID)
 		if !s.opts.NoPtrArithSmear {
 			for _, c := range s.strat.CellsOf(tgt.Obj) {
-				s.addFact(dst, c)
+				s.addFact(dst, s.cellID(c))
 			}
 		}
 		if s.unknown != nil {
-			s.addFact(dst, Cell{Obj: s.unknown})
+			s.addFact(dst, s.normID(s.unknown))
 		}
 
 	case ir.OpCall:

@@ -101,3 +101,15 @@ func exactEdgePropagate(e Edge, src Cell) (Cell, bool) {
 	}
 	return Cell{}, false
 }
+
+// exactEdger is an optional Strategy refinement. A strategy whose
+// PropagateEdge is exactEdgePropagate for every Size==0 edge it produces —
+// i.e. an edge carries exactly its source cell, never a range of offsets —
+// can declare so and the solver indexes those edges by interned source id,
+// turning per-fact PropagateEdge filtering into a direct adjacency walk with
+// whole-batch bitset merges. Strategies that do not implement it (or range
+// edges like the Offsets instance's) go through the generic PropagateEdge
+// path unchanged.
+type exactEdger interface {
+	exactEdges() bool
+}

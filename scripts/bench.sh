@@ -1,23 +1,51 @@
 #!/bin/sh
 # Benchmark snapshot: run the full ptrbench evaluation over the corpus and
 # write BENCH_<date>.json in the repository root — wall time, per-run solver
-# steps and memoization counters ride along inside the ptrbench JSON.
+# steps and memoization counters ride along inside the ptrbench JSON — plus
+# BENCH_<date>.bench.txt, a benchstat-compatible sample of the solver
+# representation benchmarks (go test -bench, -benchmem) so future changes can
+# show statistically grounded deltas:
 #
-# Usage (from anywhere; REPEAT controls timing repetitions):
+#	benchstat BENCH_old.bench.txt BENCH_new.bench.txt
 #
-#	sh scripts/bench.sh
+# Usage (from anywhere; REPEAT controls ptrbench timing repetitions):
+#
+#	sh scripts/bench.sh            # full snapshot: 10 benchstat samples
+#	sh scripts/bench.sh -short     # CI smoke: 3 samples, small programs
 #	REPEAT=5 sh scripts/bench.sh
 #
-# The output file is self-describing: {"date", "wall_seconds", "repeat",
+# The JSON file is self-describing: {"date", "wall_seconds", "repeat",
 # "evaluation": <ptrbench -json document>}.
 set -eu
 
 cd "$(dirname "$0")/.."
 
+short=0
+for arg in "$@"; do
+	case "$arg" in
+	-short) short=1 ;;
+	*)
+		echo "usage: sh scripts/bench.sh [-short]" >&2
+		exit 2
+		;;
+	esac
+done
+
 repeat="${REPEAT:-1}"
 date="$(date -u +%Y-%m-%d)"
 out="BENCH_${date}.json"
+stat="BENCH_${date}.bench.txt"
 tmp="${out}.tmp"
+
+if [ "$short" = 1 ]; then
+	count=3
+	benchtime=5x
+	filter='BenchmarkSolverRepresentation/(anagram|less)/'
+else
+	count=10
+	benchtime=20x
+	filter='BenchmarkSolverRepresentation'
+fi
 
 start="$(date +%s)"
 go run ./cmd/ptrbench -json -repeat "$repeat" >"$tmp"
@@ -34,5 +62,9 @@ wall=$((end - start))
 	printf '}\n'
 } >"$out"
 rm -f "$tmp"
-
 echo "wrote $out (${wall}s)" >&2
+
+# Benchstat sample: -count runs of each benchmark so benchstat can attach
+# confidence intervals; fixed -benchtime keeps run counts comparable.
+go test -run '^$' -bench "$filter" -benchmem -count "$count" -benchtime "$benchtime" . >"$stat"
+echo "wrote $stat ($count samples per benchmark)" >&2
