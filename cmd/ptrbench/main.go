@@ -9,7 +9,11 @@
 // Flags:
 //
 //	-table name   which table to print: fig3, fig4, fig5, fig6, summary,
-//	              all (default)
+//	              stats, all (default)
+//	-stats        also print the solver's constraint-graph counters (SCCs
+//	              collapsed, cells merged, waves, edge traversals saved)
+//	-nocycle      disable online cycle elimination and wave scheduling
+//	              (ablation; facts are identical, only the schedule changes)
 //	-abi name     layout for the offsets instance (lp64, ilp32, packed1)
 //	-repeat n     timing repetitions per (program, instance) (default 3)
 //	-parallel n   worker count for the corpus run (default GOMAXPROCS;
@@ -51,6 +55,8 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "corpus worker count (0 = GOMAXPROCS)")
 	program := flag.String("program", "", "restrict to one corpus program")
 	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
+	stats := flag.Bool("stats", false, "print solver constraint-graph (cycle elimination) counters")
+	noCycle := flag.Bool("nocycle", false, "disable cycle elimination / wave scheduling (ablation)")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON instead of tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -107,7 +113,8 @@ func run() error {
 		specs = append(specs, metrics.Spec{Name: name, Sources: src})
 	}
 	progs, err := metrics.MeasureCorpusContext(ctx, specs, frontend.Options{ABI: theABI},
-		metrics.Options{Repeat: *repeat, Parallelism: *parallel, Limits: gov.Limits()})
+		metrics.Options{Repeat: *repeat, Parallelism: *parallel,
+			NoCycleElim: *noCycle, Limits: gov.Limits()})
 	if err != nil {
 		return err
 	}
@@ -127,6 +134,8 @@ func run() error {
 		report.Fig6(w, progs)
 	case "summary":
 		report.Summary(w, progs)
+	case "stats":
+		report.WaveStats(w, progs)
 	case "related":
 		runRelated(ctx, names, theABI, gov.Limits())
 	case "all":
@@ -137,6 +146,9 @@ func run() error {
 		report.Summary(w, progs)
 	default:
 		return cli.Usagef("unknown table %q", *table)
+	}
+	if *stats && *table != "stats" {
+		report.WaveStats(w, progs)
 	}
 
 	if *sweep {

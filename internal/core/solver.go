@@ -30,6 +30,14 @@ type Result struct {
 	table *CellTable
 	dense []Bits
 
+	// redirect maps every CellID onto its union-find representative when
+	// online cycle elimination merged cells (nil otherwise): a merged
+	// member's observable points-to set IS its representative's set — the
+	// set every member provably converges to — so queries, dumps and
+	// metrics read dense[redirect[id]] and stay byte-identical to a run
+	// without merging.
+	redirect []CellID
+
 	matOnce sync.Once
 	pts     map[Cell]CellSet
 
@@ -37,6 +45,10 @@ type Result struct {
 
 	// Steps counts worklist drains performed by the run.
 	Steps int
+
+	// Wave counts the constraint-graph layer's work: SCCs collapsed,
+	// cells merged, waves run, and batched vs per-fact edge traversals.
+	Wave WaveStats
 
 	// Incomplete is non-nil when the solver stopped before fixpoint — a
 	// resource limit tripped or the context was canceled. The facts
@@ -50,6 +62,15 @@ type Result struct {
 	Misuses []Misuse
 }
 
+// set returns the dense points-to set of id, following the cycle-merge
+// redirect when one exists.
+func (r *Result) set(id CellID) *Bits {
+	if r.redirect != nil {
+		id = r.redirect[id]
+	}
+	return &r.dense[id]
+}
+
 // points returns the map view, materializing it from the dense form on
 // first use.
 func (r *Result) points() map[Cell]CellSet {
@@ -59,7 +80,7 @@ func (r *Result) points() map[Cell]CellSet {
 		}
 		m := make(map[Cell]CellSet)
 		for id := range r.dense {
-			set := &r.dense[id]
+			set := r.set(CellID(id))
 			if set.Len() == 0 {
 				continue
 			}
@@ -111,7 +132,7 @@ func (r *Result) TotalFacts() int {
 	if r.table != nil {
 		n := 0
 		for i := range r.dense {
-			n += r.dense[i].Len()
+			n += r.set(CellID(i)).Len()
 		}
 		return n
 	}
@@ -134,7 +155,7 @@ func (r *Result) SiteSetSize(site *ir.DerefSite) int {
 			return 0
 		}
 		n := 0
-		r.dense[id].Iterate(func(t CellID) { n += r.Strategy.ExpandedSize(r.table.Cell(t)) })
+		r.set(id).Iterate(func(t CellID) { n += r.Strategy.ExpandedSize(r.table.Cell(t)) })
 		return n
 	}
 	set := r.PointsTo(site.Ptr, nil)
@@ -168,6 +189,13 @@ type Options struct {
 	// Limits bounds solver resources; the zero value is unlimited. See
 	// the Limits type for partial-result semantics when a bound trips.
 	Limits Limits
+
+	// NoCycleElim disables online cycle elimination and the topological
+	// wave scheduler, falling back to the classic per-cell LIFO worklist.
+	// Results are identical either way (the constraint-graph layer is an
+	// observable-preserving optimization); provided as an ablation and a
+	// kill switch.
+	NoCycleElim bool
 
 	// UseUnknown implements the alternative §4.2.1 sketches before
 	// adopting Assumption 1: pointer-arithmetic results additionally
@@ -228,12 +256,18 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts 
 	if ee, ok := strat.(exactEdger); ok {
 		s.exact = ee.exactEdges()
 	}
+	// Wave scheduling + online cycle elimination: exact-edge strategies
+	// only (range edges are excluded from collapse by construction), and
+	// only without fact/cell limits — merging equalizes whole sets at
+	// once, which the per-fact trip accounting of MaxFacts/MaxCells (and
+	// the step accounting of MaxSteps) is defined against.
+	s.waves = s.exact && !opts.NoCycleElim && opts.Limits == (Limits{})
 	if opts.UseUnknown {
 		s.unknown = &ir.Object{ID: -1, Name: "<unknown>", Kind: ir.ObjVar}
 	}
 	start := time.Now()
 	s.run()
-	return &Result{
+	res := &Result{
 		Strategy:   strat,
 		Program:    prog,
 		table:      s.table,
@@ -242,7 +276,16 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts 
 		Steps:      s.steps,
 		Incomplete: s.stop,
 		Misuses:    s.misuses,
+		Wave:       s.stats,
 	}
+	if s.merged {
+		red := make([]CellID, len(s.pts))
+		for i := range red {
+			red[i] = s.find(CellID(i))
+		}
+		res.redirect = red
+	}
+	return res
 }
 
 // watch is a registered statement premise: when a new points-to fact lands
@@ -322,6 +365,34 @@ type solver struct {
 
 	bound   map[callBinding]bool
 	memDone map[memPairID]bool
+
+	// Constraint-graph layer (congraph.go). waves gates the whole layer:
+	// it is on for exact-edge strategies running without fact/cell limits
+	// (merging equalizes sets wholesale, which per-fact limit accounting
+	// cannot attribute). parent is the union-find forest, rank the last
+	// Tarjan pass's topological order, redundant the evidence counter
+	// that re-arms detection, merged whether any SCC collapsed.
+	waves         bool
+	merged        bool
+	parent        []CellID
+	rank          []int32
+	redundant     int
+	edgesSinceSCC int // exact edges added since the last detection pass
+	stats         WaveStats
+
+	// Reusable buffers for the wave scheduler and Tarjan passes, so a solve
+	// that runs detection more than once (or many waves) does not reallocate
+	// its O(cells) working state each time.
+	topo      []CellID   // ranked subgraph in Tarjan pop order (sinks first)
+	waveBuf   []uint64   // packed ids of one wave's residual (unranked) cells
+	dirtyPrev []CellID   // previous wave's dirty list, swapped to avoid reallocation
+	exactSrcs []CellID   // cells with exact out-edges: Tarjan's root set (may hold dups)
+	sccIndex  []int32    // Tarjan visit numbers (0 = unvisited outside a pass)
+	sccLow    []int32    // Tarjan low-links
+	sccOn     []bool     // on-stack flags
+	sccSeen   []CellID   // vertices visited this pass, for O(visited) index reset
+	sccStack  []CellID   // Tarjan component stack
+	sccFrames []sccFrame // explicit DFS stack
 
 	// Reusable buffers: id snapshots for iterate-while-mutating sites and
 	// drained delta bitsets. Both are stacks so reentrant rule firing
@@ -457,6 +528,12 @@ func (s *solver) run() {
 		}
 		s.initStmt(st)
 	}
+	if s.waves {
+		// Topological wave scheduling with online cycle elimination
+		// (congraph.go); observables are identical to the classic loop.
+		s.runWaves()
+		return
+	}
 	// Fixpoint over cell deltas.
 	for len(s.dirty) > 0 {
 		if s.stop != nil {
@@ -538,6 +615,7 @@ func (s *solver) initStmt(st *ir.Stmt) {
 
 // watch registers the statement and replays existing facts at the cell.
 func (s *solver) watch(c CellID, st *ir.Stmt, role int) {
+	c = s.find(c)
 	if cap(s.watchers[c]) == 0 {
 		s.watchers[c] = s.arenaWatch(2)
 	}
@@ -562,6 +640,7 @@ func (s *solver) addFact(c, tgt CellID) {
 	if s.stop != nil {
 		return
 	}
+	c = s.find(c)
 	set := &s.pts[c]
 	isNew := set.Len() == 0
 	if isNew && s.limits.MaxCells > 0 && s.ncells >= s.limits.MaxCells {
@@ -609,26 +688,31 @@ func (s *solver) recordFactObj(c CellID) {
 }
 
 // mergeFrom unions src's points-to set into dst's, pushing exactly the new
-// facts. It is the batch form of addFact used for copy-edge propagation:
-// with no fact/cell limits configured (the common case) the union is a
-// word-wise Bits merge with no per-fact work at all; under limits it falls
-// back to per-fact accounting so trip points match addFact exactly.
-func (s *solver) mergeFrom(dst CellID, src *Bits) {
+// facts, and reports how many were new (the cycle-detection trigger watches
+// for repeated zero-gain merges). It is the batch form of addFact used for
+// copy-edge propagation: with no fact/cell limits configured (the common
+// case) the union is a word-wise Bits merge with no per-fact work at all;
+// under limits it falls back to per-fact accounting so trip points match
+// addFact exactly.
+func (s *solver) mergeFrom(dst CellID, src *Bits) int {
+	dst = s.find(dst)
 	if s.stop != nil || src.Len() == 0 || src == &s.pts[dst] {
-		return
+		return 0
 	}
 	if s.limits.MaxFacts > 0 || s.limits.MaxCells > 0 {
+		before := s.pts[dst].Len()
 		buf := src.AppendTo(s.getScratch())
 		for _, tgt := range buf {
 			s.addFact(dst, tgt)
 		}
 		s.putScratch(buf)
-		return
+		return s.pts[dst].Len() - before
 	}
 	set := &s.pts[dst]
 	isNew := set.Len() == 0
 	s.seedBits(set)
 	buf := set.UnionDiff(src, s.getScratch())
+	added := len(buf)
 	if len(buf) > 0 {
 		if traceCell != "" {
 			cc := s.table.Cell(dst)
@@ -653,6 +737,7 @@ func (s *solver) mergeFrom(dst CellID, src *Bits) {
 		}
 	}
 	s.putScratch(buf)
+	return added
 }
 
 // drain pushes a cell's pending delta through copy edges and statement
@@ -669,14 +754,28 @@ func (s *solver) drain(c CellID) {
 	// while draining replay existing facts themselves (addEdge), so they
 	// must not also see this batch.
 	for _, dst := range s.exactOut[c] {
-		s.mergeFrom(dst, &batch)
+		rd := s.find(dst)
+		if rd == c {
+			continue // self-loop left by a merge: delta ⊆ pts already
+		}
+		s.stats.EdgeBatches++
+		s.stats.FactCrossings += batch.Len()
+		if s.mergeFrom(rd, &batch) == 0 {
+			s.redundant++ // zero-gain merge: evidence of a cycle
+		} else {
+			s.redundant = 0
+		}
 	}
 	// Range/generic edges whose source object matches, filtered through
-	// the strategy's PropagateEdge.
+	// the strategy's PropagateEdge. (Mutually exclusive with wave mode:
+	// exactEdger strategies never emit Size != 0 edges, so hasRange implies
+	// the identity find() and no merged cells.)
 	if s.hasRange {
 		cCell := s.table.Cell(c)
 		for _, e := range s.edgeIdx[cCell.Obj] {
 			if dst, ok := s.strat.PropagateEdge(e, cCell); ok {
+				s.stats.EdgeBatches++
+				s.stats.FactCrossings += batch.Len()
 				s.mergeFrom(s.cellID(dst), &batch)
 			}
 		}
@@ -704,12 +803,21 @@ func (s *solver) addEdge(e Edge) {
 	}
 	s.edgeSet[key] = true
 	if s.exact && e.Size == 0 {
-		if cap(s.exactOut[src]) == 0 {
-			s.exactOut[src] = s.arenaIDs(2)
+		rs := s.find(src)
+		if cap(s.exactOut[rs]) == 0 {
+			s.exactOut[rs] = s.arenaIDs(2)
 		}
-		s.exactOut[src] = append(s.exactOut[src], dst)
-		if dst != src {
-			s.mergeFrom(dst, &s.pts[src])
+		if s.waves {
+			s.edgesSinceSCC++
+			if len(s.exactOut[rs]) == 0 {
+				s.exactSrcs = append(s.exactSrcs, rs)
+			}
+		}
+		s.exactOut[rs] = append(s.exactOut[rs], dst)
+		if rd := s.find(dst); rd != rs && s.pts[rs].Len() > 0 {
+			s.stats.EdgeBatches++
+			s.stats.FactCrossings += s.pts[rs].Len()
+			s.mergeFrom(rd, &s.pts[rs])
 		}
 		return
 	}
@@ -823,7 +931,7 @@ func (s *solver) applyRule(w watch, tgt Cell, tgtID CellID) {
 		if w.role != 0 {
 			other = st.Ptr
 		}
-		if id := s.normID(other); s.pts[id].Len() > 0 {
+		if id := s.find(s.normID(other)); s.pts[id].Len() > 0 {
 			buf := s.pts[id].AppendTo(s.getScratch())
 			if w.role == 0 {
 				for _, src := range buf {

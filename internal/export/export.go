@@ -95,6 +95,17 @@ type RunJSON struct {
 	LookupCacheMisses  int `json:"lookup_cache_misses,omitempty"`
 	ResolveCacheHits   int `json:"resolve_cache_hits,omitempty"`
 	ResolveCacheMisses int `json:"resolve_cache_misses,omitempty"`
+
+	// Constraint-graph layer counters. SCCs/cells/waves are zero unless
+	// online cycle elimination engaged; edge_batches and fact_crossings are
+	// counted for every dense run, so an ablation run (NoCycleElim) shows
+	// the naive schedule's traversal cost for comparison.
+	SCCsFound       int `json:"sccs_found,omitempty"`
+	CellsMerged     int `json:"cells_merged,omitempty"`
+	Waves           int `json:"waves,omitempty"`
+	EdgeBatches     int `json:"edge_batches,omitempty"`
+	FactCrossings   int `json:"fact_crossings,omitempty"`
+	TraversalsSaved int `json:"traversals_saved,omitempty"`
 }
 
 // ProgramJSON is the JSON form of one benchmark program's measurements.
@@ -132,6 +143,12 @@ func Program(p *metrics.Program) ProgramJSON {
 			LookupCacheMisses:  r.Recorder.LookupCacheMisses,
 			ResolveCacheHits:   r.Recorder.ResolveCacheHits,
 			ResolveCacheMisses: r.Recorder.ResolveCacheMisses,
+			SCCsFound:          r.Wave.SCCsFound,
+			CellsMerged:        r.Wave.CellsMerged,
+			Waves:              r.Wave.Waves,
+			EdgeBatches:        r.Wave.EdgeBatches,
+			FactCrossings:      r.Wave.FactCrossings,
+			TraversalsSaved:    r.Wave.TraversalsSaved(),
 		}
 	}
 	return out

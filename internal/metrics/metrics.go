@@ -52,6 +52,11 @@ type Run struct {
 	Duration     time.Duration
 	Steps        int
 	Recorder     core.Recorder
+
+	// Wave carries the constraint-graph layer's counters (SCCs collapsed,
+	// cells merged, waves run, batched vs per-fact edge traversals); all
+	// zero when cycle elimination did not engage.
+	Wave core.WaveStats
 }
 
 // Program is the full measurement of one benchmark program.
@@ -153,6 +158,10 @@ type Options struct {
 	// NoMemo disables the strategies' lookup/resolve memoization
 	// (ablation; results are identical, only speed changes).
 	NoMemo bool
+	// NoCycleElim disables the dense solver's online cycle elimination and
+	// wave scheduling (ablation; results are identical, only the schedule
+	// and the constraint-graph counters change).
+	NoCycleElim bool
 	// Limits bounds each analysis run. The figures cannot be built from
 	// partial fact sets, so a tripped limit (or a canceled context) makes
 	// the measurement fail with the classified error instead of emitting
@@ -194,7 +203,8 @@ func MeasureContext(ctx context.Context, name string, sources []frontend.Source,
 			if opts.NoMemo {
 				core.SetMemoization(strat, false)
 			}
-			r := core.AnalyzeContext(ctx, res.IR, strat, core.Options{Limits: opts.Limits})
+			r := core.AnalyzeContext(ctx, res.IR, strat,
+				core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim})
 			if r.Incomplete != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, sn, r.Incomplete.AsError())
 			}
@@ -219,6 +229,7 @@ func toRun(sn string, r *core.Result, strat core.Strategy) *Run {
 		Duration:     r.Duration,
 		Steps:        r.Steps,
 		Recorder:     *strat.Recorder(),
+		Wave:         r.Wave,
 	}
 }
 
@@ -306,7 +317,7 @@ func MeasureCorpusContext(ctx context.Context, specs []Spec, fopts frontend.Opti
 				core.SetMemoization(strat, false)
 			}
 			jobs[i] = core.BatchJob{Prog: loaded[pr.prog].IR, Strat: strat,
-				Opts: core.Options{Limits: opts.Limits}}
+				Opts: core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim}}
 		}
 		results, errs := core.AnalyzeBatchContext(ctx, jobs, opts.Parallelism)
 		// Keep only the fastest repetition per pair (repetitions differ

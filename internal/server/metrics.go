@@ -92,6 +92,13 @@ type SolverVarz struct {
 	Rejected   int64 `json:"rejected"`    // inputs refused (parse/sema)
 	Canceled   int64 `json:"canceled"`    // solves abandoned by cancellation
 	InFlightNS int64 `json:"inflight_ns"` // total wall time spent solving
+
+	// Constraint-graph layer totals (online cycle elimination + wave
+	// scheduling in the dense solver).
+	SCCsFound       int64 `json:"sccs_found"`       // copy-edge cycles collapsed
+	CellsMerged     int64 `json:"cells_merged"`     // cells folded into representatives
+	Waves           int64 `json:"waves"`            // topological passes run
+	TraversalsSaved int64 `json:"traversals_saved"` // edge traversals avoided vs per-fact schedule
 }
 
 // statusRecorder captures the response status for metrics.

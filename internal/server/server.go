@@ -75,6 +75,11 @@ type Server struct {
 	solves, solveSteps, solveIncomplete atomic.Int64
 	solveRejected, solveCanceled        atomic.Int64
 	solveNS                             atomic.Int64
+
+	// Constraint-graph layer totals across all solves (cycle elimination +
+	// wave scheduling; see pointsto.SolverStats).
+	solveSCCs, solveMerged, solveWaves atomic.Int64
+	solveTravSaved                     atomic.Int64
 }
 
 // New builds a Server over the given cache.
@@ -301,6 +306,11 @@ func (s *Server) solveSnapshot(ctx context.Context, key string, sources []points
 			return nil, aerr
 		}
 		s.solveSteps.Add(int64(rep.Steps()))
+		ss := rep.SolverStats()
+		s.solveSCCs.Add(int64(ss.SCCsFound))
+		s.solveMerged.Add(int64(ss.CellsMerged))
+		s.solveWaves.Add(int64(ss.Waves))
+		s.solveTravSaved.Add(int64(ss.TraversalsSaved))
 		if rep.Incomplete() != nil {
 			s.solveIncomplete.Add(1)
 		}
@@ -474,12 +484,16 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.cfg.Store.Stats(),
 		Solver: SolverVarz{
-			Solves:     s.solves.Load(),
-			Steps:      s.solveSteps.Load(),
-			Incomplete: s.solveIncomplete.Load(),
-			Rejected:   s.solveRejected.Load(),
-			Canceled:   s.solveCanceled.Load(),
-			InFlightNS: s.solveNS.Load(),
+			Solves:          s.solves.Load(),
+			Steps:           s.solveSteps.Load(),
+			Incomplete:      s.solveIncomplete.Load(),
+			Rejected:        s.solveRejected.Load(),
+			Canceled:        s.solveCanceled.Load(),
+			InFlightNS:      s.solveNS.Load(),
+			SCCsFound:       s.solveSCCs.Load(),
+			CellsMerged:     s.solveMerged.Load(),
+			Waves:           s.solveWaves.Load(),
+			TraversalsSaved: s.solveTravSaved.Load(),
 		},
 		Endpoints: make(map[string]EndpointJSON, len(s.endpoints)),
 	}

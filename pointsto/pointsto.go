@@ -80,6 +80,10 @@ type Options struct {
 	// NoMemoization disables the solver's lookup/resolve caches (results
 	// are identical; ablation only).
 	NoMemoization bool
+	// NoCycleElim disables online cycle elimination and topological wave
+	// scheduling in the dense solver, falling back to the classic
+	// per-fact worklist (results are identical; ablation only).
+	NoCycleElim bool
 }
 
 // Limits bounds the solver's resource use; zero values mean unlimited.
@@ -247,6 +251,7 @@ func coreOptions(cfg Config) core.Options {
 	return core.Options{
 		NoPtrArithSmear: cfg.Options.NoPtrArithSmear,
 		UseUnknown:      cfg.Options.FlagMisuse,
+		NoCycleElim:     cfg.Options.NoCycleElim,
 		Limits:          cfg.Limits.core(),
 	}
 }
@@ -387,6 +392,39 @@ func (r *Report) Names() []string {
 
 // Steps returns the number of worklist steps the solver performed.
 func (r *Report) Steps() int { return r.result.Steps }
+
+// SolverStats describes the work done by the solver's constraint-graph
+// layer (online cycle elimination + topological wave scheduling).
+type SolverStats struct {
+	// SCCsFound is the number of copy-edge cycles collapsed.
+	SCCsFound int
+	// CellsMerged is the number of cells folded into a representative.
+	CellsMerged int
+	// Waves is the number of topological passes the scheduler ran.
+	Waves int
+	// EdgeBatches is the number of batched copy-edge traversals performed.
+	EdgeBatches int
+	// FactCrossings is the number of (edge, fact) pairs those batches
+	// carried — the cost a per-fact schedule would have paid.
+	FactCrossings int
+	// TraversalsSaved is FactCrossings − EdgeBatches (floored at zero).
+	TraversalsSaved int
+}
+
+// SolverStats returns the constraint-graph layer's counters for this run.
+// The SCC and wave counters are zero when cycle elimination did not engage
+// (the Offsets instance, runs under Limits, or Config ablations).
+func (r *Report) SolverStats() SolverStats {
+	w := r.result.Wave
+	return SolverStats{
+		SCCsFound:       w.SCCsFound,
+		CellsMerged:     w.CellsMerged,
+		Waves:           w.Waves,
+		EdgeBatches:     w.EdgeBatches,
+		FactCrossings:   w.FactCrossings,
+		TraversalsSaved: w.TraversalsSaved(),
+	}
+}
 
 // pointsToSet unions the points-to sets of every object with the name.
 func (r *Report) pointsToSet(name string) core.CellSet {

@@ -1,10 +1,10 @@
 #!/bin/sh
 # Benchmark snapshot: run the full ptrbench evaluation over the corpus and
-# write BENCH_<date>.json in the repository root — wall time, per-run solver
-# steps and memoization counters ride along inside the ptrbench JSON — plus
-# BENCH_<date>.bench.txt, a benchstat-compatible sample of the solver
-# representation benchmarks (go test -bench, -benchmem) so future changes can
-# show statistically grounded deltas:
+# write BENCH_<stamp>.json in the output directory — wall time, per-run
+# solver steps, memoization and cycle-elimination counters ride along inside
+# the ptrbench JSON — plus BENCH_<stamp>.bench.txt, a benchstat-compatible
+# sample of the solver representation benchmarks (go test -bench, -benchmem)
+# so future changes can show statistically grounded deltas:
 #
 #	benchstat BENCH_old.bench.txt BENCH_new.bench.txt
 #
@@ -13,12 +13,31 @@
 #	sh scripts/bench.sh            # full snapshot: 10 benchstat samples
 #	sh scripts/bench.sh -short     # CI smoke: 3 samples, small programs
 #	REPEAT=5 sh scripts/bench.sh
+#	BENCH_DIR=out sh scripts/bench.sh    # write snapshots under out/
+#	BENCH_TAG=wave sh scripts/bench.sh   # stamp BENCH_<date>.wave.*
 #
 # The JSON file is self-describing: {"date", "wall_seconds", "repeat",
 # "evaluation": <ptrbench -json document>}.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+# bench_stamp prints the snapshot stamp shared by every output file: the
+# UTC date, plus BENCH_TAG when set (so a re-run on the same day does not
+# clobber a committed baseline).
+bench_stamp() {
+	stamp="$(date -u +%Y-%m-%d)"
+	if [ -n "${BENCH_TAG:-}" ]; then
+		stamp="${stamp}.${BENCH_TAG}"
+	fi
+	printf '%s' "$stamp"
+}
+
+# bench_path prints the output path for one snapshot artifact suffix,
+# rooted at BENCH_DIR (repository root by default).
+bench_path() {
+	printf '%s/BENCH_%s%s' "${BENCH_DIR:-.}" "$(bench_stamp)" "$1"
+}
 
 short=0
 for arg in "$@"; do
@@ -32,9 +51,9 @@ for arg in "$@"; do
 done
 
 repeat="${REPEAT:-1}"
-date="$(date -u +%Y-%m-%d)"
-out="BENCH_${date}.json"
-stat="BENCH_${date}.bench.txt"
+mkdir -p "${BENCH_DIR:-.}"
+out="$(bench_path .json)"
+stat="$(bench_path .bench.txt)"
 tmp="${out}.tmp"
 
 if [ "$short" = 1 ]; then
@@ -54,7 +73,7 @@ wall=$((end - start))
 
 {
 	printf '{\n'
-	printf '  "date": "%s",\n' "$date"
+	printf '  "date": "%s",\n' "$(bench_stamp)"
 	printf '  "wall_seconds": %d,\n' "$wall"
 	printf '  "repeat": %d,\n' "$repeat"
 	printf '  "evaluation": '
