@@ -19,6 +19,10 @@
 //	-parallel n   worker count for the corpus run (default GOMAXPROCS;
 //	              1 forces the sequential path)
 //	-program p    restrict to one corpus program
+//	-demand       measure the demand-driven query engine instead of the
+//	              figures: per program, the median single query's cold and
+//	              warm latency vs the exhaustive solve plus slice-size
+//	              counters (honors -json, -repeat, -program, -abi)
 //	-sweep        also run the synthetic generator sweep
 //	-timeout d    abort the whole corpus run after duration d (exit 4)
 //	-max-steps n  bound each solver run's worklist steps (exit 3 on trip)
@@ -54,6 +58,7 @@ func run() error {
 	repeat := flag.Int("repeat", 3, "timing repetitions")
 	parallel := flag.Int("parallel", 0, "corpus worker count (0 = GOMAXPROCS)")
 	program := flag.String("program", "", "restrict to one corpus program")
+	demand := flag.Bool("demand", false, "measure demand-driven queries vs exhaustive solves")
 	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
 	stats := flag.Bool("stats", false, "print solver constraint-graph (cycle elimination) counters")
 	noCycle := flag.Bool("nocycle", false, "disable cycle elimination / wave scheduling (ablation)")
@@ -112,6 +117,26 @@ func run() error {
 		}
 		specs = append(specs, metrics.Spec{Name: name, Sources: src})
 	}
+
+	if *demand {
+		var ms []*metrics.DemandMeasurement
+		for _, spec := range specs {
+			pm, err := metrics.MeasureDemandContext(ctx, spec.Name, spec.Sources,
+				frontend.Options{ABI: theABI},
+				metrics.Options{Repeat: *repeat, Strategies: []string{"common-initial-seq"},
+					NoCycleElim: *noCycle, Limits: gov.Limits()})
+			if err != nil {
+				return err
+			}
+			ms = append(ms, pm...)
+		}
+		if *jsonOut {
+			return export.WriteDemand(os.Stdout, *abi, ms)
+		}
+		report.Demand(os.Stdout, ms)
+		return nil
+	}
+
 	progs, err := metrics.MeasureCorpusContext(ctx, specs, frontend.Options{ABI: theABI},
 		metrics.Options{Repeat: *repeat, Parallelism: *parallel,
 			NoCycleElim: *noCycle, Limits: gov.Limits()})

@@ -4,6 +4,14 @@
 // served from memory (or from the disk spill after a restart) instead of
 // re-solved.
 //
+// Alongside the exhaustive /v1/analyze path the daemon keeps warm query
+// sessions (POST /v1/session): a session answers /v1/pointsto, /v1/alias
+// and batched POST /v1/query requests through the demand-driven engine,
+// exploring only the constraint slice a query needs instead of solving the
+// whole program up front. Sessions are keyed by the same content hash as
+// the cache and evicted LRU past -max-sessions; /varz reports their
+// counters under "demand".
+//
 // Usage:
 //
 //	ptrserved [flags]
@@ -15,6 +23,7 @@
 //	                   0 = unlimited)
 //	-spill-dir d       directory for the disk spill; "" disables spilling.
 //	                   A restarted daemon warms from this directory.
+//	-max-sessions n    warm demand-query sessions kept resident (default 32)
 //	-drain d           graceful-shutdown drain window for in-flight solves
 //	                   (default 10s); after it, stragglers are canceled
 //	-max-source-bytes  request-body size cap (default 4 MiB)
@@ -33,8 +42,9 @@
 // Quickstart:
 //
 //	ptrserved -addr :7979 &
-//	curl -s localhost:7979/v1/analyze -d '{"corpus": "anagram"}'
+//	curl -s localhost:7979/v1/session -d '{"corpus": "anagram"}'
 //	curl -s 'localhost:7979/v1/pointsto?key=<key>&var=...'
+//	curl -s localhost:7979/v1/query -d '{"queries": [{"op": "pointsto", "key": "<key>", "var": "..."}]}'
 package main
 
 import (
@@ -63,6 +73,7 @@ func run() error {
 	spillDir := flag.String("spill-dir", "", "disk-spill directory for cached results (empty = no spill)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain window for in-flight solves")
 	maxSource := flag.Int64("max-source-bytes", 4<<20, "request body size cap in bytes")
+	maxSessions := flag.Int("max-sessions", 32, "warm demand-query sessions kept resident")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	var gov cli.Govern
 	gov.RegisterFlags(flag.CommandLine)
@@ -78,6 +89,7 @@ func run() error {
 	srv := server.New(server.Config{
 		Store:          st,
 		MaxSourceBytes: *maxSource,
+		MaxSessions:    *maxSessions,
 		CeilLimits: pointsto.Limits{
 			MaxSteps: gov.MaxSteps,
 			MaxFacts: gov.MaxFacts,

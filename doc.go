@@ -2,9 +2,11 @@
 // Programs with Structures and Casting" (Yong, Horwitz, Reps — PLDI 1999):
 // a self-contained C front end, the paper's normalized five-form IR, the
 // tunable normalize/lookup/resolve analysis framework with its four
-// instances, a twenty-program benchmark corpus, a harness that
+// instances, a demand-driven query engine behind a session-oriented API
+// (pointsto.Session), a twenty-program benchmark corpus, a harness that
 // regenerates the paper's Figures 3-6, and a query daemon (cmd/ptrserved)
-// that serves analyses over HTTP from a content-addressed result cache.
+// that answers point queries from warm sessions and serves full analyses
+// from a content-addressed result cache.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for measured-vs-paper results. The root package exists to

@@ -2,10 +2,15 @@
 // queries — the kind of downstream consumer (slicers, race checkers,
 // optimizers) whose precision the paper's Figure 4 is a proxy for.
 //
+// A Session answers each query from the demand-driven engine: only the
+// constraint slice feeding the two queried variables is explored, and
+// slices are memoized across queries.
+//
 //	go run ./examples/aliasquery
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -31,7 +36,8 @@ void setup(void) {
 `
 
 func main() {
-	report, err := pointsto.Analyze(
+	ctx := context.Background()
+	sess, err := pointsto.NewSession(
 		[]pointsto.Source{{Name: "buffers.c", Text: program}},
 		pointsto.Config{},
 	)
@@ -46,12 +52,20 @@ func main() {
 	}
 	fmt.Println("may-alias queries (common-initial-sequence instance):")
 	for _, p := range pairs {
-		fmt.Printf("  %-8s vs %-8s : %v\n", p[0], p[1], report.MayAlias(p[0], p[1]))
+		aliased, err := sess.MayAlias(ctx, p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s vs %-8s : %v\n", p[0], p[1], aliased)
 	}
 
 	fmt.Println()
 	fmt.Println("points-to sets behind the answers:")
 	for _, n := range []string{"input", "output", "scratch"} {
-		fmt.Printf("  %-8s -> {%s}\n", n, strings.Join(report.PointsTo(n), ", "))
+		targets, err := sess.PointsTo(ctx, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s -> {%s}\n", n, strings.Join(targets, ", "))
 	}
 }

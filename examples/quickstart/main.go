@@ -1,10 +1,12 @@
-// Quickstart: analyze a small C program with the Common Initial Sequence
-// instance and print the points-to sets of its named variables.
+// Quickstart: open a session on a small C program with the Common Initial
+// Sequence instance, answer one query on demand, then print the full
+// points-to table.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -32,12 +34,14 @@ int main(void) {
 `
 
 func main() {
-	// Run the full pipeline — preprocess, parse, type-check, normalize to
-	// the paper's five assignment forms, solve to fixpoint. The zero
-	// Config selects the Common Initial Sequence instance, the most
-	// precise portable one; Strategy: pointsto.Offsets would pick the
+	ctx := context.Background()
+
+	// Open a session: preprocess, parse, type-check, normalize to the
+	// paper's five assignment forms — but don't solve yet. The zero Config
+	// selects the Common Initial Sequence instance, the most precise
+	// portable one; Strategy: pointsto.Offsets would pick the
 	// layout-specific one.
-	report, err := pointsto.Analyze(
+	sess, err := pointsto.NewSession(
 		[]pointsto.Source{{Name: "quickstart.c", Text: program}},
 		pointsto.Config{Strategy: pointsto.CIS},
 	)
@@ -45,7 +49,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Query: every named variable's points-to set, sorted.
+	// A single query runs the demand-driven engine: only the constraint
+	// slice feeding q is explored, not the whole program.
+	targets, err := sess.PointsTo(ctx, "q")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("demand query: q -> {%s}\n\n", strings.Join(targets, ", "))
+
+	// Report runs (and memoizes) the exhaustive solve for whole-program
+	// tables; its answers match the demand-driven ones byte for byte.
+	report, err := sess.Report(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("points-to sets (common-initial-sequence instance):")
 	for _, set := range report.Sets() {
 		fmt.Printf("  %-18s -> {%s}\n", set.Cell, strings.Join(set.Targets, ", "))

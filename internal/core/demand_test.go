@@ -1,0 +1,193 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cc/layout"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// demandSrc exercises every rule family the slice builder must handle:
+// address-of, field access, loads, stores through pointers, memcopy
+// (struct assignment), casts, pointer arithmetic, and calls with
+// parameter/return bindings.
+const demandSrc = `
+struct S { int *s1; int *s2; };
+struct T { struct S hd; int *extra; };
+int a, b, c;
+struct S s, s2;
+struct T t;
+int *gp;
+int **pp;
+
+int *pick(int *x, int *y) {
+	if (a) return x;
+	return y;
+}
+
+void store_through(int **d, int *v) { *d = v; }
+
+void main() {
+	s.s1 = &a;
+	s.s2 = &b;
+	t.hd = s;                  /* memcopy */
+	gp = ((struct S *)&t)->s1; /* cast + field load */
+	pp = &gp;
+	store_through(pp, &c);     /* call + store through param */
+	gp = pick(&a, &b);         /* call + return binding */
+	gp = gp + 1;               /* pointer arithmetic */
+	s2 = *(struct S *)&t;      /* cast + memcopy load */
+}
+`
+
+// demandAnswer formats a demand points-to set the same way targetCells does
+// for the exhaustive result.
+func demandAnswer(d *core.Demand, obj *ir.Object) map[string]bool {
+	out := make(map[string]bool)
+	for c := range d.PointsToObj(obj) {
+		out[c.String()] = true
+	}
+	return out
+}
+
+// namedPointers returns the program's non-temp objects, the query surface a
+// Session exposes.
+func namedPointers(p *ir.Program) []*ir.Object {
+	var out []*ir.Object
+	for _, o := range p.Objects {
+		if !o.IsTemp() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// TestDemandMatchesFull pins the tentpole's correctness contract at the
+// core layer: for every strategy and every named object, the demand
+// engine's answer equals the exhaustive solver's, with the memo both cold
+// (fresh engine per object) and warm (one engine, every object in
+// sequence).
+func TestDemandMatchesFull(t *testing.T) {
+	res := loadIR(t, demandSrc, nil)
+	for name := range strategies(nil) {
+		t.Run(name, func(t *testing.T) {
+			mk := func() core.Strategy {
+				return strategies(layout.New(res.Layout.ABI()))[name]
+			}
+			full := core.AnalyzeContext(context.Background(), res.IR, mk(), core.Options{})
+
+			// Cold: a fresh engine answers each single query correctly.
+			for _, obj := range namedPointers(res.IR) {
+				d := core.NewDemand(res.IR, mk(), core.Options{}, 0)
+				if err := d.Query(context.Background(), obj); err != nil {
+					t.Fatalf("cold query %s: %v", obj.Name, err)
+				}
+				got := demandAnswer(d, obj)
+				want := targetCells(full, obj)
+				wantSet(t, "cold "+obj.Name, got, keys(want)...)
+			}
+
+			// Warm: one engine accumulates every slice; earlier answers must
+			// survive later expansion, and re-queries must be memo hits.
+			d := core.NewDemand(res.IR, mk(), core.Options{}, 0)
+			objs := namedPointers(res.IR)
+			for _, obj := range objs {
+				if err := d.Query(context.Background(), obj); err != nil {
+					t.Fatalf("warm query %s: %v", obj.Name, err)
+				}
+			}
+			for _, obj := range objs {
+				wantSet(t, "warm "+obj.Name, demandAnswer(d, obj), keys(targetCells(full, obj))...)
+			}
+			before := d.Stats().MemoHits
+			if err := d.Query(context.Background(), objs...); err != nil {
+				t.Fatalf("re-query: %v", err)
+			}
+			if after := d.Stats().MemoHits; after != before+1 {
+				t.Errorf("MemoHits after re-query = %d, want %d", after, before+1)
+			}
+		})
+	}
+}
+
+// TestDemandQueryOrderIrrelevant runs the warm sequence in reverse to pin
+// the revDeps replay: edges recorded before their destination object was
+// demanded must be honored when a later query demands it.
+func TestDemandQueryOrderIrrelevant(t *testing.T) {
+	res := loadIR(t, demandSrc, nil)
+	full := core.AnalyzeContext(context.Background(), res.IR, core.NewCIS(), core.Options{})
+	d := core.NewDemand(res.IR, core.NewCIS(), core.Options{}, 0)
+	objs := namedPointers(res.IR)
+	for i := len(objs) - 1; i >= 0; i-- {
+		if err := d.Query(context.Background(), objs[i]); err != nil {
+			t.Fatalf("query %s: %v", objs[i].Name, err)
+		}
+	}
+	for _, obj := range objs {
+		wantSet(t, "reverse "+obj.Name, demandAnswer(d, obj), keys(targetCells(full, obj))...)
+	}
+}
+
+// TestDemandSliceSmallerThanProgram checks the engine actually skips work:
+// querying one local in a program with an unrelated heavy component must
+// not activate the unrelated statements.
+func TestDemandSliceSmallerThanProgram(t *testing.T) {
+	src := `
+int a, b, c, d;
+int *p, *q, *r, *s;
+void unrelated() { q = &b; r = &c; s = &d; r = q; s = r; q = s; }
+void main() { p = &a; }
+`
+	res := loadIR(t, src, nil)
+	d := core.NewDemand(res.IR, core.NewCIS(), core.Options{}, 0)
+	p := objByName(t, res.IR, "p")
+	if err := d.Query(context.Background(), p); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	wantSet(t, "p", demandAnswer(d, p), "a")
+	st := d.Stats()
+	if st.TotalStmts == 0 || st.StmtsActivated >= st.TotalStmts {
+		t.Errorf("activated %d of %d statements, want a strict subset", st.StmtsActivated, st.TotalStmts)
+	}
+	full := core.AnalyzeContext(context.Background(), res.IR, core.NewCIS(), core.Options{})
+	if d.Stats().CellsVisited >= full.NumCells() {
+		t.Errorf("demand visited %d cells, full solve %d — slice should be smaller", d.Stats().CellsVisited, full.NumCells())
+	}
+}
+
+// TestDemandBudget checks that a budget trip poisons the engine and keeps
+// failing fast.
+func TestDemandBudget(t *testing.T) {
+	res := loadIR(t, demandSrc, nil)
+	d := core.NewDemand(res.IR, core.NewCIS(), core.Options{}, 1)
+	gp := objByName(t, res.IR, "gp")
+	err := d.Query(context.Background(), gp)
+	if !errors.Is(err, core.ErrDemandBudget) {
+		t.Fatalf("budget query err = %v, want ErrDemandBudget", err)
+	}
+	if !d.Poisoned() {
+		t.Error("engine not poisoned after budget trip")
+	}
+	if err := d.Query(context.Background(), gp); !errors.Is(err, core.ErrDemandBudget) {
+		t.Errorf("post-poison query err = %v, want ErrDemandBudget", err)
+	}
+}
+
+// TestDemandCanceled checks that cancellation mid-query reports a canceled
+// fault and poisons the engine rather than serving half-propagated state.
+func TestDemandCanceled(t *testing.T) {
+	res := loadIR(t, demandSrc, nil)
+	d := core.NewDemand(res.IR, core.NewCIS(), core.Options{}, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := d.Query(ctx, objByName(t, res.IR, "gp"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query err = %v, want context.Canceled in chain", err)
+	}
+	if !d.Poisoned() {
+		t.Error("engine not poisoned after cancellation")
+	}
+}

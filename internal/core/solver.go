@@ -126,6 +126,17 @@ func (r *Result) SortedCells() []Cell {
 	return cells.Sorted()
 }
 
+// NumCells returns the number of cells the run interned — for a full solve,
+// every cell any statement or fact touched; for a demand slice, only the
+// cells of the explored subgraph. It is the denominator of the demand
+// engine's slice-size ratio.
+func (r *Result) NumCells() int {
+	if r.table != nil {
+		return r.table.Len()
+	}
+	return len(r.pts)
+}
+
 // TotalFacts is the total number of points-to edges (Figure 6's metric).
 // It reads the dense form and does not materialize the map view.
 func (r *Result) TotalFacts() int {
@@ -236,6 +247,15 @@ const cancelCheckEvery = 64
 // result comes back with Result.Incomplete set. A nil Incomplete means the
 // run reached fixpoint.
 func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts Options) *Result {
+	s := newSolver(ctx, prog, strat, opts)
+	start := time.Now()
+	s.run()
+	return s.finish(start)
+}
+
+// newSolver builds a solver over the program with empty fact state; run (or
+// the demand engine's pump) drives it to fixpoint afterwards.
+func newSolver(ctx context.Context, prog *ir.Program, strat Strategy, opts Options) *solver {
 	nobj := len(prog.Objects)
 	s := &solver{
 		ctx:       ctx,
@@ -265,11 +285,14 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts 
 	if opts.UseUnknown {
 		s.unknown = &ir.Object{ID: -1, Name: "<unknown>", Kind: ir.ObjVar}
 	}
-	start := time.Now()
-	s.run()
+	return s
+}
+
+// finish packages the solver's state as a Result.
+func (s *solver) finish(start time.Time) *Result {
 	res := &Result{
-		Strategy:   strat,
-		Program:    prog,
+		Strategy:   s.strat,
+		Program:    s.prog,
 		table:      s.table,
 		dense:      s.pts,
 		Duration:   time.Since(start),
@@ -365,6 +388,11 @@ type solver struct {
 
 	bound   map[callBinding]bool
 	memDone map[memPairID]bool
+
+	// noteEdge, when set (demand engine only), observes every deduplicated
+	// copy edge as (destination object, source object) — the demand
+	// engine's backward-dependency signal.
+	noteEdge func(dst, src *ir.Object)
 
 	// Constraint-graph layer (congraph.go). waves gates the whole layer:
 	// it is on for exact-edge strategies running without fact/cell limits
@@ -534,7 +562,13 @@ func (s *solver) run() {
 		s.runWaves()
 		return
 	}
-	// Fixpoint over cell deltas.
+	s.runLoop()
+}
+
+// runLoop is the classic per-cell LIFO fixpoint over cell deltas. It is the
+// schedule used without wave mode, and the propagation phase the demand
+// engine alternates with slice expansion.
+func (s *solver) runLoop() {
 	for len(s.dirty) > 0 {
 		if s.stop != nil {
 			return
@@ -802,6 +836,9 @@ func (s *solver) addEdge(e Edge) {
 		return
 	}
 	s.edgeSet[key] = true
+	if s.noteEdge != nil {
+		s.noteEdge(e.Dst.Obj, e.Src.Obj)
+	}
 	if s.exact && e.Size == 0 {
 		rs := s.find(src)
 		if cap(s.exactOut[rs]) == 0 {

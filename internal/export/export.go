@@ -181,3 +181,53 @@ func WriteResult(w io.Writer, r *core.Result, prog *ir.Program, includeSets bool
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
 }
+
+// DemandJSON is the wire form of one demand-vs-exhaustive measurement.
+type DemandJSON struct {
+	Program  string `json:"program"`
+	Strategy string `json:"strategy"`
+	QueryVar string `json:"query_var"`
+
+	FirstQueryNS int64 `json:"first_query_ns"`
+	WarmQueryNS  int64 `json:"warm_query_ns"`
+	FullSolveNS  int64 `json:"full_solve_ns"`
+
+	DemandCells    int  `json:"demand_cells"`
+	FullCells      int  `json:"full_cells"`
+	StmtsActivated int  `json:"stmts_activated"`
+	TotalStmts     int  `json:"total_stmts"`
+	MinCells       int  `json:"min_cells"`
+	MaxCells       int  `json:"max_cells"`
+	Queries        int  `json:"queries"`
+	Fallback       bool `json:"fallback,omitempty"`
+}
+
+// WriteDemand marshals the demand-engine measurements to w (indented).
+func WriteDemand(w io.Writer, abi string, ms []*metrics.DemandMeasurement) error {
+	doc := struct {
+		ABI    string       `json:"abi"`
+		Demand []DemandJSON `json:"demand"`
+	}{ABI: abi}
+	for _, m := range ms {
+		doc.Demand = append(doc.Demand, DemandJSON{
+			Program:      m.Name,
+			Strategy:     m.Strategy,
+			QueryVar:     m.QueryVar,
+			FirstQueryNS: m.FirstQuery.Nanoseconds(),
+			WarmQueryNS:  m.WarmQuery.Nanoseconds(),
+			FullSolveNS:  m.FullSolve.Nanoseconds(),
+
+			DemandCells:    m.DemandCells,
+			FullCells:      m.FullCells,
+			StmtsActivated: m.StmtsActivated,
+			TotalStmts:     m.TotalStmts,
+			MinCells:       m.MinCells,
+			MaxCells:       m.MaxCells,
+			Queries:        m.Queries,
+			Fallback:       m.Fallback,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

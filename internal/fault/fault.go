@@ -41,6 +41,10 @@ const (
 	// KindCanceled marks an analysis stopped by context cancellation or
 	// deadline expiry.
 	KindCanceled
+	// KindUnknownName marks a query for a variable or function name the
+	// analyzed program does not define — distinguishable from a pointer
+	// that is known but points nowhere.
+	KindUnknownName
 )
 
 func (k Kind) String() string {
@@ -53,6 +57,8 @@ func (k Kind) String() string {
 		return "limit"
 	case KindCanceled:
 		return "canceled"
+	case KindUnknownName:
+		return "unknown-name"
 	case KindInternal:
 		return "internal"
 	}
@@ -68,11 +74,12 @@ func (s *sentinel) Error() string { return s.kind.String() + " error" }
 // Sentinels for errors.Is. They carry no detail themselves; match one, then
 // errors.As for the *Error when the stage, position or stack is needed.
 var (
-	ErrParse    error = &sentinel{KindParse}
-	ErrSema     error = &sentinel{KindSema}
-	ErrLimit    error = &sentinel{KindLimit}
-	ErrCanceled error = &sentinel{KindCanceled}
-	ErrInternal error = &sentinel{KindInternal}
+	ErrParse       error = &sentinel{KindParse}
+	ErrSema        error = &sentinel{KindSema}
+	ErrLimit       error = &sentinel{KindLimit}
+	ErrCanceled    error = &sentinel{KindCanceled}
+	ErrInternal    error = &sentinel{KindInternal}
+	ErrUnknownName error = &sentinel{KindUnknownName}
 )
 
 // Error is a classified pipeline error.

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+)
+
+// TestDemandSliceBeatsFullSolve is the demand engine's headline smoke test:
+// on the two largest corpus programs a single first query must intern fewer
+// than half the cells the exhaustive solve does — otherwise "demand-driven"
+// is just a slower spelling of the full fixpoint.
+func TestDemandSliceBeatsFullSolve(t *testing.T) {
+	for _, name := range []string{"bc", "less"} {
+		srcs, err := corpus.Source(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ms, err := MeasureDemand(name, srcs, frontend.Options{},
+			Options{Strategies: []string{"common-initial-seq"}})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, m := range ms {
+			t.Logf("%s/%s: median query %q visited %d/%d cells (%.1f%%), activated %d/%d stmts, slice range [%d, %d] over %d vars",
+				m.Name, m.Strategy, m.QueryVar, m.DemandCells, m.FullCells,
+				100*m.CellRatio(), m.StmtsActivated, m.TotalStmts, m.MinCells, m.MaxCells, m.Queries)
+			if m.DemandCells <= 0 || m.FullCells <= 0 {
+				t.Errorf("%s/%s: degenerate cell counts: %+v", m.Name, m.Strategy, m)
+				continue
+			}
+			if 2*m.DemandCells >= m.FullCells {
+				t.Errorf("%s/%s: demand slice visited %d of %d cells, want < 50%%",
+					m.Name, m.Strategy, m.DemandCells, m.FullCells)
+			}
+			if m.StmtsActivated >= m.TotalStmts {
+				t.Errorf("%s/%s: slice activated every statement (%d)", m.Name, m.Strategy, m.StmtsActivated)
+			}
+		}
+	}
+}

@@ -228,3 +228,20 @@ func WaveStats(w io.Writer, progs []*metrics.Program) {
 		tot.Wave.EdgeBatches, tot.Wave.FactCrossings, tot.Wave.TraversalsSaved())
 	fmt.Fprintln(w)
 }
+
+// Demand renders the demand-driven engine's measurements: per program, the
+// median query's cold and warm latency against the exhaustive solve, and
+// how much of the program the slice touched.
+func Demand(w io.Writer, ms []*metrics.DemandMeasurement) {
+	fmt.Fprintln(w, "Demand-driven queries vs exhaustive solve (median named dereference pointer;")
+	fmt.Fprintln(w, "slice range spans the cheapest to the most expensive single query):")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %-10s %10s %10s %10s | %7s %14s %12s\n",
+		"program", "query", "first", "warm", "full", "cells%", "cells", "slice range")
+	for _, m := range ms {
+		fmt.Fprintf(w, "%-12s %-10s %10v %10v %10v | %6.1f%% %6d/%-7d %5d-%-6d\n",
+			m.Name, m.QueryVar, m.FirstQuery, m.WarmQuery, m.FullSolve,
+			100*m.CellRatio(), m.DemandCells, m.FullCells, m.MinCells, m.MaxCells)
+	}
+	fmt.Fprintln(w)
+}

@@ -47,24 +47,78 @@ type ReportJSON struct {
 	Stop         *export.IncompleteJSON `json:"stop,omitempty"`
 }
 
-// PointsToResponse is the body of GET /v1/pointsto.
-type PointsToResponse struct {
-	Key     string   `json:"key"`
-	Var     string   `json:"var"`
-	Found   bool     `json:"found"` // false: the program has no such variable
-	Targets []string `json:"targets"`
-	// Incomplete mirrors the report: on a partial result an empty Targets
-	// means "not derived", not "points nowhere".
-	Incomplete bool `json:"incomplete"`
+// Query ops for QueryJSON.Op.
+const (
+	OpPointsTo = "pointsto"
+	OpMayAlias = "alias"
+)
+
+// QueryJSON is the one query shape every read endpoint speaks: GET
+// /v1/pointsto and GET /v1/alias normalize their form parameters into it,
+// and POST /v1/query accepts a batch of them verbatim. Var carries the
+// pointsto operand; A and B carry the alias operands.
+type QueryJSON struct {
+	Op  string `json:"op"` // "pointsto" or "alias"
+	Key string `json:"key"`
+	Var string `json:"var,omitempty"`
+	A   string `json:"a,omitempty"`
+	B   string `json:"b,omitempty"`
 }
 
-// AliasResponse is the body of GET /v1/alias.
-type AliasResponse struct {
-	Key        string `json:"key"`
-	A          string `json:"a"`
-	B          string `json:"b"`
-	MayAlias   bool   `json:"may_alias"`
-	Incomplete bool   `json:"incomplete"` // a false MayAlias is inconclusive when true
+// QueryResultJSON is one query's answer — the body of GET /v1/pointsto and
+// GET /v1/alias, and one element of a /v1/query batch response. Exactly one
+// of Targets (pointsto) or MayAlias (alias) is populated. A query for a
+// variable name the program does not define fails with 404 and kind
+// "unknown-name" — an empty Targets therefore always means "points
+// nowhere", never "no such variable".
+type QueryResultJSON struct {
+	Op       string   `json:"op"`
+	Key      string   `json:"key"`
+	Var      string   `json:"var,omitempty"`
+	A        string   `json:"a,omitempty"`
+	B        string   `json:"b,omitempty"`
+	Targets  []string `json:"targets,omitempty"`
+	MayAlias *bool    `json:"may_alias,omitempty"`
+	// Incomplete mirrors the answering report: on a partial (limit-tripped)
+	// result an empty Targets or false MayAlias means "not derived", not
+	// conclusive absence. Always false for demand-engine answers.
+	Incomplete bool `json:"incomplete,omitempty"`
+	// Error and Status are set only inside /v1/query batch responses, where
+	// per-query failures are reported in place; the standalone endpoints
+	// use HTTP status codes instead.
+	Error  *ErrorResponse `json:"error,omitempty"`
+	Status int            `json:"status,omitempty"`
+}
+
+// QueryBatchRequest is the body of POST /v1/query.
+type QueryBatchRequest struct {
+	Queries []QueryJSON `json:"queries"`
+}
+
+// QueryBatchResponse is the body of POST /v1/query: one result per query,
+// in request order.
+type QueryBatchResponse struct {
+	Results []QueryResultJSON `json:"results"`
+}
+
+// SessionRequest is the body of POST /v1/session: open (or refresh) a warm
+// query session for a program. Sessions take no limits — a session answers
+// queries exactly, via the demand engine or its memoized full solve — so
+// the returned key is the limit-free content hash of sources + config.
+type SessionRequest struct {
+	Sources  []SourceJSON `json:"sources,omitempty"`
+	Corpus   string       `json:"corpus,omitempty"`
+	Strategy string       `json:"strategy,omitempty"` // instance name; default common-initial-seq
+	ABI      string       `json:"abi,omitempty"`      // lp64 (default), ilp32, packed1
+}
+
+// SessionResponse is the body of POST /v1/session. Names lists every
+// queryable variable and function, so a client can drive /v1/query without
+// guessing.
+type SessionResponse struct {
+	Key    string   `json:"key"`
+	Cached bool     `json:"cached"` // the session was already warm
+	Names  []string `json:"names"`
 }
 
 // CompareRequest is the body of POST /v1/compare: one program analyzed

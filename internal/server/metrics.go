@@ -81,7 +81,23 @@ type Varz struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Cache         store.Stats             `json:"cache"`
 	Solver        SolverVarz              `json:"solver"`
+	Demand        DemandVarz              `json:"demand"`
 	Endpoints     map[string]EndpointJSON `json:"endpoints"`
+}
+
+// DemandVarz aggregates the warm-session demand engine's daemon-lifetime
+// counters (resident sessions plus everything already evicted).
+type DemandVarz struct {
+	Sessions int64 `json:"sessions"` // warm sessions currently resident
+	Created  int64 `json:"created"`  // sessions ever created
+	Evicted  int64 `json:"evicted"`  // sessions dropped by the LRU cap
+
+	Queries        int64 `json:"queries"`         // PointsTo/MayAlias queries answered
+	MemoHits       int64 `json:"memo_hits"`       // queries fully covered by earlier slices
+	Fallbacks      int64 `json:"fallbacks"`       // budget trips rerouted to the exhaustive solver
+	FullSolves     int64 `json:"full_solves"`     // exhaustive solves sessions had to run
+	StmtsActivated int64 `json:"stmts_activated"` // statements pulled into demand slices
+	CellsVisited   int64 `json:"cells_visited"`   // cells interned by demand slices
 }
 
 // SolverVarz aggregates the daemon-lifetime solver work.

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+// This file is the one query path behind /v1/pointsto, /v1/alias and the
+// batched /v1/query: every entry point normalizes its input into a
+// QueryJSON, and runQuery answers it — session-first (the demand engine of
+// a warm Session solves just the queried slice), falling back to a cached
+// exhaustive snapshot when no session is resident for the key.
+
+// validateQuery checks a query's shape; the returned error text is safe to
+// hand to clients.
+func validateQuery(q QueryJSON) error {
+	switch q.Op {
+	case OpPointsTo:
+		if q.Var == "" {
+			return fmt.Errorf("missing var parameter")
+		}
+	case OpMayAlias:
+		if q.A == "" || q.B == "" {
+			return fmt.Errorf("missing a or b parameter")
+		}
+	default:
+		return fmt.Errorf("unknown op %q (want %q or %q)", q.Op, OpPointsTo, OpMayAlias)
+	}
+	if !store.ValidKey(q.Key) {
+		return fmt.Errorf("malformed key (want 64 hex digits)")
+	}
+	return nil
+}
+
+// queryError is a failed query, pre-mapped onto the wire contract.
+type queryError struct {
+	status int
+	body   ErrorResponse
+}
+
+// failQuery classifies err for one query.
+func failQuery(err error, key string) *queryError {
+	status, kind := classify(err)
+	return &queryError{status: status, body: ErrorResponse{Error: err.Error(), Kind: kind, Key: key}}
+}
+
+// runQuery answers one normalized query. Session-first: a warm session for
+// the key answers through the demand engine; otherwise a cached snapshot
+// (from an earlier full solve) answers; an unknown key is a 404 the client
+// fixes by opening a session or analyzing first.
+func (s *Server) runQuery(ctx context.Context, q QueryJSON) (QueryResultJSON, *queryError) {
+	if err := validateQuery(q); err != nil {
+		return QueryResultJSON{}, &queryError{
+			status: http.StatusBadRequest,
+			body:   ErrorResponse{Error: err.Error(), Kind: "usage"},
+		}
+	}
+	if sess, ok := s.sessions.get(q.Key); ok {
+		switch q.Op {
+		case OpPointsTo:
+			targets, err := sess.PointsTo(ctx, q.Var)
+			if err != nil {
+				return QueryResultJSON{}, failQuery(err, q.Key)
+			}
+			if targets == nil {
+				targets = []string{}
+			}
+			return QueryResultJSON{Op: q.Op, Key: q.Key, Var: q.Var, Targets: targets}, nil
+		case OpMayAlias:
+			alias, err := sess.MayAlias(ctx, q.A, q.B)
+			if err != nil {
+				return QueryResultJSON{}, failQuery(err, q.Key)
+			}
+			return QueryResultJSON{Op: q.Op, Key: q.Key, A: q.A, B: q.B, MayAlias: &alias}, nil
+		}
+	}
+	snap, ok := s.cfg.Store.Get(q.Key)
+	if !ok {
+		return QueryResultJSON{}, &queryError{
+			status: http.StatusNotFound,
+			body: ErrorResponse{
+				Error: "unknown key (not cached; POST /v1/session or /v1/analyze first)",
+				Kind:  "usage", Key: q.Key,
+			},
+		}
+	}
+	incomplete := snap.Incomplete != nil
+	unknown := func(name string) *queryError {
+		return failQuery(fault.Newf(fault.KindUnknownName, "query", "", "unknown name %q", name), q.Key)
+	}
+	switch q.Op {
+	case OpPointsTo:
+		if !snap.HasVar(q.Var) {
+			return QueryResultJSON{}, unknown(q.Var)
+		}
+		targets := snap.PointsTo(q.Var)
+		if targets == nil {
+			targets = []string{}
+		}
+		return QueryResultJSON{Op: q.Op, Key: q.Key, Var: q.Var, Targets: targets, Incomplete: incomplete}, nil
+	default: // OpMayAlias; validateQuery rejected everything else
+		for _, name := range []string{q.A, q.B} {
+			if !snap.HasVar(name) {
+				return QueryResultJSON{}, unknown(name)
+			}
+		}
+		alias := snap.MayAlias(q.A, q.B)
+		return QueryResultJSON{Op: q.Op, Key: q.Key, A: q.A, B: q.B, MayAlias: &alias, Incomplete: incomplete}, nil
+	}
+}
+
+// handleQuery is the batched POST /v1/query: many queries, one round trip,
+// one warm session. Per-query failures are reported in place (with the
+// status the standalone endpoint would have used) so one bad name cannot
+// fail a batch.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryBatchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err, "")
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "empty queries", Kind: "usage"})
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("too many queries (%d > %d)", len(req.Queries), maxBatchQueries), Kind: "usage"})
+		return
+	}
+	ctx, cancel := s.requestContext(r, LimitsJSON{})
+	defer cancel()
+	resp := QueryBatchResponse{Results: make([]QueryResultJSON, len(req.Queries))}
+	for i, q := range req.Queries {
+		res, qerr := s.runQuery(ctx, q)
+		if qerr != nil {
+			resp.Results[i] = QueryResultJSON{
+				Op: q.Op, Key: q.Key, Var: q.Var, A: q.A, B: q.B,
+				Error: &qerr.body, Status: qerr.status,
+			}
+			continue
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxBatchQueries bounds one /v1/query request.
+const maxBatchQueries = 1000

@@ -6,18 +6,29 @@
 //
 //	POST /v1/analyze   solve (or fetch) one program under one instance;
 //	                   returns the report summary plus the cache key
+//	POST /v1/session   open a warm query session for a program (front end
+//	                   only — no solving); queries against its key answer
+//	                   through the demand engine
 //	GET  /v1/pointsto  ?key=&var=   points-to set of a variable
 //	GET  /v1/alias     ?key=&a=&b=  may-alias query between two variables
+//	POST /v1/query     a batch of pointsto/alias queries in one round trip
 //	POST /v1/compare   one program under all four §4.3 instances, diffed
 //	GET  /healthz      liveness probe
 //	GET  /varz         expvar-flavored counters: cache stats, solver work,
-//	                   per-endpoint latency histograms
+//	                   demand-engine counters, per-endpoint latency
+//	                   histograms
+//
+// Queries answer session-first: a warm session solves just the constraint
+// slice the query demands (first-query latency scales with the query, not
+// the program), falling back to a cached exhaustive snapshot when no
+// session is resident.
 //
 // The fault taxonomy of internal/fault is the wire contract: parse/sema
 // faults map to 422 (the input is wrong), a tripped resource limit is NOT
 // an error (200 with "incomplete": true — the facts returned are sound but
-// not exhaustive), cancellation maps to 499, and internal faults (recovered
-// panics) to 500.
+// not exhaustive), cancellation maps to 499, a query for an undefined
+// variable name to 404 (kind "unknown-name"), and internal faults
+// (recovered panics) to 500.
 //
 // Per-request limits and timeouts are clamped to the server's configured
 // ceilings, so one client cannot buy more solver than the operator allows.
@@ -63,6 +74,9 @@ type Config struct {
 	// MaxTimeout is the per-request timeout ceiling (also the default when
 	// a request names none); 0 means no server-imposed timeout.
 	MaxTimeout time.Duration
+	// MaxSessions bounds the warm query sessions kept resident (LRU
+	// eviction beyond it); 0 selects 32.
+	MaxSessions int
 }
 
 // Server is the analysis query service.
@@ -71,6 +85,7 @@ type Server struct {
 	mux       *http.ServeMux
 	start     time.Time
 	endpoints map[string]*endpointStats
+	sessions  *sessionCache
 
 	solves, solveSteps, solveIncomplete atomic.Int64
 	solveRejected, solveCanceled        atomic.Int64
@@ -95,10 +110,13 @@ func New(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 		start:     time.Now(),
 		endpoints: make(map[string]*endpointStats),
+		sessions:  newSessionCache(cfg.MaxSessions),
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/session", s.instrument("session", s.handleSession))
 	s.mux.HandleFunc("GET /v1/pointsto", s.instrument("pointsto", s.handlePointsTo))
 	s.mux.HandleFunc("GET /v1/alias", s.instrument("alias", s.handleAlias))
+	s.mux.HandleFunc("POST /v1/query", s.instrument("query", s.handleQuery))
 	s.mux.HandleFunc("POST /v1/compare", s.instrument("compare", s.handleCompare))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
@@ -248,11 +266,11 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 	enc.Encode(body) // nothing useful to do with a write error here
 }
 
-// writeError maps a classified error onto the wire contract. key, when
-// known, lets the client retry the query later.
-func writeError(w http.ResponseWriter, err error, key string) {
-	kind := "usage"
-	status := http.StatusBadRequest
+// classify maps a classified error onto the wire contract's (status, kind)
+// pair. The default is 400/"usage" for unclassified request-shaping errors.
+func classify(err error) (status int, kind string) {
+	kind = "usage"
+	status = http.StatusBadRequest
 	switch k, classified := fault.KindOf(err); {
 	case classified && (k == fault.KindParse || k == fault.KindSema):
 		kind, status = k.String(), http.StatusUnprocessableEntity
@@ -260,6 +278,8 @@ func writeError(w http.ResponseWriter, err error, key string) {
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
 		kind, status = fault.KindCanceled.String(), StatusClientClosedRequest
+	case classified && k == fault.KindUnknownName:
+		kind, status = k.String(), http.StatusNotFound
 	case classified && k == fault.KindLimit:
 		// Shouldn't normally escape as an error (limit trips are reported
 		// as incomplete 200s), but keep the mapping total.
@@ -267,6 +287,13 @@ func writeError(w http.ResponseWriter, err error, key string) {
 	case classified && k == fault.KindInternal:
 		kind, status = k.String(), http.StatusInternalServerError
 	}
+	return status, kind
+}
+
+// writeError maps a classified error onto the wire contract. key, when
+// known, lets the client retry the query later.
+func writeError(w http.ResponseWriter, err error, key string) {
+	status, kind := classify(err)
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, Key: key})
 }
 
@@ -347,62 +374,57 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reportJSON(key, snap))
 }
 
-// lookup resolves a query key against the cache, writing the 404 itself
-// when the key is absent or malformed.
-func (s *Server) lookup(w http.ResponseWriter, key string) (*export.Snapshot, bool) {
-	if !store.ValidKey(key) {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "malformed key (want 64 hex digits)", Kind: "usage"})
-		return nil, false
+// handleSession opens (or refreshes) a warm query session. Only the front
+// end runs here — no solving — so the endpoint is cheap; the demand engine
+// pays per query instead.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err, "")
+		return
 	}
-	snap, ok := s.cfg.Store.Get(key)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorResponse{
-			Error: "unknown key (not cached; POST /v1/analyze first)", Kind: "usage", Key: key})
-		return nil, false
+	sources, err := resolveSources(req.Sources, req.Corpus)
+	if err != nil {
+		writeError(w, err, "")
+		return
 	}
-	return snap, true
+	strategy, err := parseStrategy(req.Strategy)
+	if err != nil {
+		writeError(w, err, "")
+		return
+	}
+	// Sessions are deliberately limit-free: a session answers exactly, so
+	// its key is the content hash without any Limits dimension. The same
+	// key therefore also addresses full-solve snapshots of the same
+	// limit-free config.
+	cfg := pointsto.Config{Strategy: strategy, ABI: req.ABI}
+	key := store.Key(sources, cfg)
+	sess, cached, err := s.sessions.getOrCreate(key, sources, cfg)
+	if err != nil {
+		writeError(w, err, key)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionResponse{Key: key, Cached: cached, Names: sess.Names()})
+}
+
+// serveQuery answers one form-parameterized query (the GET endpoints).
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, q QueryJSON) {
+	ctx, cancel := s.requestContext(r, LimitsJSON{})
+	defer cancel()
+	res, qerr := s.runQuery(ctx, q)
+	if qerr != nil {
+		writeJSON(w, qerr.status, qerr.body)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handlePointsTo(w http.ResponseWriter, r *http.Request) {
-	key, name := r.FormValue("key"), r.FormValue("var")
-	if name == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing var parameter", Kind: "usage"})
-		return
-	}
-	snap, ok := s.lookup(w, key)
-	if !ok {
-		return
-	}
-	targets := snap.PointsTo(name)
-	if targets == nil {
-		targets = []string{}
-	}
-	writeJSON(w, http.StatusOK, PointsToResponse{
-		Key:        key,
-		Var:        name,
-		Found:      snap.HasVar(name),
-		Targets:    targets,
-		Incomplete: snap.Incomplete != nil,
-	})
+	s.serveQuery(w, r, QueryJSON{Op: OpPointsTo, Key: r.FormValue("key"), Var: r.FormValue("var")})
 }
 
 func (s *Server) handleAlias(w http.ResponseWriter, r *http.Request) {
-	key, a, b := r.FormValue("key"), r.FormValue("a"), r.FormValue("b")
-	if a == "" || b == "" {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "missing a or b parameter", Kind: "usage"})
-		return
-	}
-	snap, ok := s.lookup(w, key)
-	if !ok {
-		return
-	}
-	writeJSON(w, http.StatusOK, AliasResponse{
-		Key:        key,
-		A:          a,
-		B:          b,
-		MayAlias:   snap.MayAlias(a, b),
-		Incomplete: snap.Incomplete != nil,
-	})
+	s.serveQuery(w, r, QueryJSON{Op: OpMayAlias, Key: r.FormValue("key"), A: r.FormValue("a"), B: r.FormValue("b")})
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
@@ -483,6 +505,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	varz := Varz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Cache:         s.cfg.Store.Stats(),
+		Demand:        s.sessions.varz(),
 		Solver: SolverVarz{
 			Solves:          s.solves.Load(),
 			Steps:           s.solveSteps.Load(),

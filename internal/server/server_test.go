@@ -227,15 +227,20 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("implausible report: %+v", rep)
 	}
 
-	// Query points-to and alias against the returned key.
-	var pt PointsToResponse
+	// Query points-to and alias against the returned key; an unknown
+	// variable is a 404, distinguishable from a known pointer that points
+	// nowhere.
+	var pt QueryResultJSON
 	if resp := getJSON(t, base+"/v1/pointsto?key="+rep.Key+"&var=main", &pt); resp.StatusCode != http.StatusOK {
 		t.Fatalf("pointsto status %d", resp.StatusCode)
 	}
-	if !pt.Found {
+	if pt.Var != "main" || pt.Op != OpPointsTo {
 		t.Errorf("main should be a known name: %+v", pt)
 	}
-	var al AliasResponse
+	if resp := getJSON(t, base+"/v1/pointsto?key="+rep.Key+"&var=no_such_var", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown var: status %d, want 404", resp.StatusCode)
+	}
+	var al QueryResultJSON
 	if resp := getJSON(t, base+"/v1/alias?key="+rep.Key+"&a=main&b=main", &al); resp.StatusCode != http.StatusOK {
 		t.Fatalf("alias status %d", resp.StatusCode)
 	}
@@ -451,7 +456,7 @@ func TestWarmRestartServesFromSpill(t *testing.T) {
 
 	st2, _ := store.New(0, dir)
 	_, ts2 := newTestServer(t, Config{Store: st2})
-	var pt PointsToResponse
+	var pt QueryResultJSON
 	if resp := getJSON(t, ts2.URL+"/v1/pointsto?key="+rep.Key+"&var=p", &pt); resp.StatusCode != http.StatusOK {
 		t.Fatalf("restarted daemon: pointsto status %d, want 200 from spill", resp.StatusCode)
 	}
@@ -461,9 +466,9 @@ func TestWarmRestartServesFromSpill(t *testing.T) {
 	if v := varz(t, ts2.URL); v.Solver.Solves != 0 || v.Cache.DiskHits != 1 {
 		t.Errorf("restart should warm from disk without solving: %+v", v)
 	}
-	var al AliasResponse
+	var al QueryResultJSON
 	getJSON(t, ts2.URL+"/v1/alias?key="+rep.Key+"&a=p&b=q", &al)
-	if !al.MayAlias {
+	if al.MayAlias == nil || !*al.MayAlias {
 		t.Error("p and q both point at g; spilled snapshot must still answer alias")
 	}
 }

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// openSession POSTs /v1/session and decodes the response.
+func openSession(t *testing.T, base string, req SessionRequest) SessionResponse {
+	t.Helper()
+	resp, raw := postJSON(t, base+"/v1/session", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session status %d: %s", resp.StatusCode, raw)
+	}
+	var sr SessionResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestSessionEndpointAnswersWithoutFullSolve is the service-tier tentpole
+// check: open a session, query through it, and verify (a) no exhaustive
+// solve ever ran, (b) the demand counters moved, and (c) the answers are
+// byte-identical to the exhaustive snapshot a /v1/analyze of the same
+// program produces.
+func TestSessionEndpointAnswersWithoutFullSolve(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sr := openSession(t, ts.URL, SessionRequest{Corpus: "anagram"})
+	if len(sr.Names) == 0 || sr.Cached {
+		t.Fatalf("fresh session: %+v", sr)
+	}
+
+	// Demand answers for a few names.
+	demand := make(map[string][]string)
+	for _, name := range sr.Names {
+		var qr QueryResultJSON
+		if resp := getJSON(t, ts.URL+"/v1/pointsto?key="+sr.Key+"&var="+name, &qr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("pointsto %q: status %d", name, resp.StatusCode)
+		}
+		if qr.Incomplete {
+			t.Errorf("demand answer for %q flagged incomplete", name)
+		}
+		demand[name] = qr.Targets
+	}
+
+	v := varz(t, ts.URL)
+	if v.Solver.Solves != 0 {
+		t.Errorf("demand queries forced %d full solves, want 0", v.Solver.Solves)
+	}
+	if v.Demand.Sessions != 1 || v.Demand.Created != 1 {
+		t.Errorf("demand sessions: %+v", v.Demand)
+	}
+	if v.Demand.Queries == 0 || v.Demand.StmtsActivated == 0 || v.Demand.CellsVisited == 0 {
+		t.Errorf("demand counters did not move: %+v", v.Demand)
+	}
+
+	// Reopening is a cache hit.
+	if sr2 := openSession(t, ts.URL, SessionRequest{Corpus: "anagram"}); !sr2.Cached || sr2.Key != sr.Key {
+		t.Errorf("second open: %+v, want cached with same key", sr2)
+	}
+
+	// The exhaustive oracle: /v1/analyze with no limits shares the session's
+	// limit-free key, so its snapshot answers the same queries — and must
+	// agree byte for byte.
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Corpus: "anagram"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", resp.StatusCode, raw)
+	}
+	var rep ReportJSON
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Key != sr.Key {
+		t.Fatalf("limit-free analyze key %s != session key %s", rep.Key, sr.Key)
+	}
+	srv2, ts2 := newTestServer(t, Config{})
+	_ = srv2 // fresh server: no session resident, so queries hit the snapshot path
+	postJSON(t, ts2.URL+"/v1/analyze", AnalyzeRequest{Corpus: "anagram"})
+	for name, want := range demand {
+		var qr QueryResultJSON
+		if resp := getJSON(t, ts2.URL+"/v1/pointsto?key="+rep.Key+"&var="+name, &qr); resp.StatusCode != http.StatusOK {
+			t.Fatalf("snapshot pointsto %q: status %d", name, resp.StatusCode)
+		}
+		got := qr.Targets
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("demand vs snapshot for %q: demand %v, snapshot %v", name, want, got)
+		}
+	}
+}
+
+// TestSessionUnknownVar404 pins the unknown-name wire contract on the
+// session path.
+func TestSessionUnknownVar404(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sr := openSession(t, ts.URL, SessionRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}})
+
+	var e ErrorResponse
+	resp := getJSON(t, ts.URL+"/v1/pointsto?key="+sr.Key+"&var=no_such_var", &e)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown var: status %d, want 404", resp.StatusCode)
+	}
+	if e.Kind != "unknown-name" {
+		t.Errorf("unknown var kind = %q, want unknown-name", e.Kind)
+	}
+	// A known pointer that points nowhere is a 200 with an empty set — the
+	// two cases are distinguishable on the wire.
+	var qr QueryResultJSON
+	if resp := getJSON(t, ts.URL+"/v1/pointsto?key="+sr.Key+"&var=g", &qr); resp.StatusCode != http.StatusOK {
+		t.Errorf("known empty var: status %d, want 200", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/alias?key="+sr.Key+"&a=p&b=no_such_var", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("alias with unknown var: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBatchQuery exercises POST /v1/query: many queries, one round trip,
+// per-item errors in place.
+func TestBatchQuery(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sr := openSession(t, ts.URL, SessionRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}})
+
+	req := QueryBatchRequest{Queries: []QueryJSON{
+		{Op: OpPointsTo, Key: sr.Key, Var: "p"},
+		{Op: OpMayAlias, Key: sr.Key, A: "p", B: "q"},
+		{Op: OpPointsTo, Key: sr.Key, Var: "no_such_var"},
+		{Op: "bogus", Key: sr.Key},
+	}}
+	resp, raw := postJSON(t, ts.URL+"/v1/query", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, raw)
+	}
+	var br QueryBatchResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(br.Results))
+	}
+	if got := br.Results[0].Targets; !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("batch pointsto(p) = %v, want [g]", got)
+	}
+	if br.Results[1].MayAlias == nil || !*br.Results[1].MayAlias {
+		t.Errorf("batch alias(p,q) = %+v, want true", br.Results[1])
+	}
+	if br.Results[2].Error == nil || br.Results[2].Status != http.StatusNotFound || br.Results[2].Error.Kind != "unknown-name" {
+		t.Errorf("batch unknown var: %+v, want in-place 404 unknown-name", br.Results[2])
+	}
+	if br.Results[3].Error == nil || br.Results[3].Status != http.StatusBadRequest {
+		t.Errorf("batch bad op: %+v, want in-place 400", br.Results[3])
+	}
+
+	// Shape errors on the batch itself.
+	if resp, _ := postJSON(t, ts.URL+"/v1/query", QueryBatchRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSessionEviction: the LRU cap retires the oldest session; its key then
+// answers via the snapshot path (404 here, since nothing was analyzed).
+func TestSessionEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSessions: 1})
+	sr1 := openSession(t, ts.URL, SessionRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}})
+	// Touch the first session so its counters exist, then displace it.
+	getJSON(t, ts.URL+"/v1/pointsto?key="+sr1.Key+"&var=p", nil)
+	openSession(t, ts.URL, SessionRequest{Corpus: "anagram"})
+
+	v := varz(t, ts.URL)
+	if v.Demand.Sessions != 1 || v.Demand.Evicted != 1 || v.Demand.Created != 2 {
+		t.Errorf("after eviction: %+v", v.Demand)
+	}
+	if v.Demand.Queries == 0 {
+		t.Errorf("evicted session's counters were dropped: %+v", v.Demand)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/pointsto?key="+sr1.Key+"&var=p", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted key with no snapshot: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSessionParseFault422: the session endpoint speaks the same fault
+// taxonomy as /v1/analyze.
+func TestSessionParseFault422(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, raw := postJSON(t, ts.URL+"/v1/session", SessionRequest{
+		Sources: []SourceJSON{{Name: "bad.c", Text: "int main( {"}}})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("parse error: status %d, want 422: %s", resp.StatusCode, raw)
+	}
+	var e ErrorResponse
+	json.Unmarshal(raw, &e)
+	if e.Kind != "parse" && e.Kind != "sema" {
+		t.Errorf("kind = %q", e.Kind)
+	}
+}

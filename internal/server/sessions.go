@@ -1,0 +1,161 @@
+package server
+
+import (
+	"sync"
+
+	"repro/pointsto"
+)
+
+// sessionCache keeps warm pointsto.Sessions keyed by the same content hash
+// the result cache uses, so /v1/pointsto and /v1/alias can answer through
+// the demand engine without forcing (or having already forced) a full
+// solve. Eviction is count-based LRU: a Session pins its front-end result
+// and accumulated demand slice, so the bound is on residency, not bytes.
+// Evicted sessions fold their counters into the cache totals so /varz
+// numbers are daemon-lifetime, not residency-lifetime.
+type sessionCache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[string]*sessionEntry
+	creating map[string]*sessionFlight
+
+	clock   int64 // monotonic LRU tick source
+	created int64
+	evicted int64
+	retired pointsto.SessionStats // counters of evicted sessions
+}
+
+// sessionEntry is one resident session plus its LRU clock.
+type sessionEntry struct {
+	sess *pointsto.Session
+	tick int64
+}
+
+// sessionFlight dedups concurrent creations of the same key: the front end
+// runs once, every caller shares the outcome.
+type sessionFlight struct {
+	done chan struct{}
+	sess *pointsto.Session
+	err  error
+}
+
+func newSessionCache(max int) *sessionCache {
+	if max <= 0 {
+		max = 32
+	}
+	return &sessionCache{
+		max:      max,
+		entries:  make(map[string]*sessionEntry),
+		creating: make(map[string]*sessionFlight),
+	}
+}
+
+// get returns the resident session for key, refreshing its LRU position.
+func (c *sessionCache) get(key string) (*pointsto.Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	e.tick = c.nextTickLocked()
+	return e.sess, true
+}
+
+// tick is a monotonic LRU clock; nextTickLocked advances it.
+func (c *sessionCache) nextTickLocked() int64 {
+	c.clock++
+	return c.clock
+}
+
+// getOrCreate returns the session for key, building it (front end only — no
+// solving) on first use. Construction errors are classified faults and are
+// not cached: a later identical request retries. cached reports whether the
+// session already existed.
+func (c *sessionCache) getOrCreate(key string, sources []pointsto.Source, cfg pointsto.Config) (sess *pointsto.Session, cached bool, err error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		e.tick = c.nextTickLocked()
+		c.mu.Unlock()
+		return e.sess, true, nil
+	}
+	if f, ok := c.creating[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.sess, false, f.err
+	}
+	f := &sessionFlight{done: make(chan struct{})}
+	c.creating[key] = f
+	c.mu.Unlock()
+
+	f.sess, f.err = pointsto.NewSession(sources, cfg)
+
+	c.mu.Lock()
+	delete(c.creating, key)
+	if f.err == nil {
+		c.entries[key] = &sessionEntry{sess: f.sess, tick: c.nextTickLocked()}
+		c.created++
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.sess, false, f.err
+}
+
+// evictLocked drops least-recently-used sessions down to the residency cap.
+func (c *sessionCache) evictLocked() {
+	for len(c.entries) > c.max {
+		var oldestKey string
+		var oldest int64
+		first := true
+		for k, e := range c.entries {
+			if first || e.tick < oldest {
+				oldestKey, oldest, first = k, e.tick, false
+			}
+		}
+		c.retireLocked(c.entries[oldestKey].sess)
+		delete(c.entries, oldestKey)
+		c.evicted++
+	}
+}
+
+// retireLocked folds a departing session's counters into the totals.
+func (c *sessionCache) retireLocked(s *pointsto.Session) {
+	st := s.Stats()
+	c.retired.Queries += st.Queries
+	c.retired.MemoHits += st.MemoHits
+	c.retired.Fallbacks += st.Fallbacks
+	c.retired.FullSolves += st.FullSolves
+	c.retired.ObjectsDemanded += st.ObjectsDemanded
+	c.retired.StmtsActivated += st.StmtsActivated
+	c.retired.CellsVisited += st.CellsVisited
+}
+
+// varz aggregates the cache's demand counters: the retired totals plus
+// every resident session's live numbers.
+func (c *sessionCache) varz() DemandVarz {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg := c.retired
+	for _, e := range c.entries {
+		st := e.sess.Stats()
+		agg.Queries += st.Queries
+		agg.MemoHits += st.MemoHits
+		agg.Fallbacks += st.Fallbacks
+		agg.FullSolves += st.FullSolves
+		agg.ObjectsDemanded += st.ObjectsDemanded
+		agg.StmtsActivated += st.StmtsActivated
+		agg.CellsVisited += st.CellsVisited
+	}
+	return DemandVarz{
+		Sessions:       int64(len(c.entries)),
+		Created:        c.created,
+		Evicted:        c.evicted,
+		Queries:        agg.Queries,
+		MemoHits:       agg.MemoHits,
+		Fallbacks:      agg.Fallbacks,
+		FullSolves:     agg.FullSolves,
+		StmtsActivated: int64(agg.StmtsActivated),
+		CellsVisited:   int64(agg.CellsVisited),
+	}
+}

@@ -1,17 +1,37 @@
 // Package pointsto is the public façade of the pointer-analysis framework:
-// a single entry point — Analyze — over the C front end and the tunable
-// normalize/lookup/resolve solver of "Pointer Analysis for Programs with
-// Structures and Casting" (Yong, Horwitz, Reps — PLDI 1999), with the four
-// analysis instances of the paper exposed as a Strategy enum and the results
-// exposed through name-based query methods.
+// the C front end and the tunable normalize/lookup/resolve solver of
+// "Pointer Analysis for Programs with Structures and Casting" (Yong,
+// Horwitz, Reps — PLDI 1999), with the four analysis instances of the paper
+// exposed as a Strategy enum and the results exposed through name-based
+// query methods.
 //
 // # Usage
+//
+// The session-oriented API answers queries on demand: construct a Session
+// once (runs only the front end), then ask. Each query explores just the
+// constraint slice backward-reachable from the queried variable, memoized
+// across queries, so the first answer arrives orders of magnitude before a
+// whole-program solve would:
+//
+//	sess, err := pointsto.NewSession([]pointsto.Source{{Name: "a.c", Text: src}},
+//		pointsto.Config{Strategy: pointsto.CIS})
+//	if err != nil { ... }
+//	targets, err := sess.PointsTo(ctx, "p")     // {"x", "s.s1", ...}
+//	aliased, err := sess.MayAlias(ctx, "p", "q")
+//	rep, err := sess.Report(ctx)                // full solve, memoized
+//
+// Query errors carry the fault taxonomy: an unknown variable name matches
+// ErrUnknownName, a canceled context ErrCanceled. Sets configured with
+// Limits (partial answers by design) bypass the demand engine and answer
+// from the governed exhaustive solve.
+//
+// Analyze is the one-shot form — a thin wrapper that builds a Session and
+// returns its exhaustive Report:
 //
 //	report, err := pointsto.Analyze([]pointsto.Source{{Name: "a.c", Text: src}},
 //		pointsto.Config{Strategy: pointsto.CIS})
 //	if err != nil { ... }
-//	targets := report.PointsTo("p")        // {"x", "s.s1", ...}
-//	aliased := report.MayAlias("p", "q")
+//	targets := report.PointsTo("p")
 //	avg := report.DerefSetSize()           // the paper's Figure 4 metric
 //
 // AnalyzeAll fans one translation unit across several instances (or use
@@ -26,9 +46,12 @@
 // nothing outside this module can import it, and nothing inside the module's
 // examples does. The façade itself follows these rules:
 //
-//   - The signatures of Analyze, AnalyzeAll and the Report query methods
-//     are append-only: new methods and new Config fields may appear, but
-//     existing ones keep their meaning.
+//   - The signatures of NewSession, Analyze, AnalyzeAll and the Session and
+//     Report query methods are append-only: new methods and new Config
+//     fields may appear, but existing ones keep their meaning.
+//   - Session queries and Report queries agree: for any name, a Session's
+//     demand-driven answer equals the exhaustive Report's answer, byte for
+//     byte (pinned corpus-wide by the differential tests).
 //   - Strategy values are stable identifiers; their String() forms
 //     ("collapse-always", "collapse-on-cast", "common-initial-seq",
 //     "offsets") match the paper's four instances and the CLI flags.

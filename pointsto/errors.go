@@ -22,11 +22,12 @@ type Kind = fault.Kind
 
 // The error kinds.
 const (
-	KindInternal = fault.KindInternal
-	KindParse    = fault.KindParse
-	KindSema     = fault.KindSema
-	KindLimit    = fault.KindLimit
-	KindCanceled = fault.KindCanceled
+	KindInternal    = fault.KindInternal
+	KindParse       = fault.KindParse
+	KindSema        = fault.KindSema
+	KindLimit       = fault.KindLimit
+	KindCanceled    = fault.KindCanceled
+	KindUnknownName = fault.KindUnknownName
 )
 
 // Sentinels for errors.Is. A cancellation error additionally unwraps to
@@ -44,6 +45,9 @@ var (
 	// ErrInternal matches recovered panics: bugs in the analyzer, never
 	// the input's fault. The *Error carries the goroutine stack.
 	ErrInternal = fault.ErrInternal
+	// ErrUnknownName matches queries for a variable or function name the
+	// analyzed program does not define (Report.Lookup, Session queries).
+	ErrUnknownName = fault.ErrUnknownName
 )
 
 // IsCanceled reports whether the error (anywhere in its chain) is an

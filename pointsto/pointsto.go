@@ -122,6 +122,14 @@ type Config struct {
 	Timeout time.Duration
 	// Limits bounds the solver's resources; see the Limits type.
 	Limits Limits
+	// DemandBudget caps the constraint-subgraph slice a Session demand
+	// query may explore before falling back to the exhaustive solver, as
+	// a fraction of the program's statements (floored at 256 statements).
+	// 0 means the default of 0.5; values >= 1 make fallback impossible;
+	// negative values remove the cap entirely. The budget never changes
+	// an answer — only which engine computes it — so it is not part of
+	// the content-addressed cache key.
+	DemandBudget float64
 }
 
 // context derives the call's context from ctx and Config.Timeout.
@@ -153,19 +161,19 @@ func Analyze(sources []Source, cfg Config) (*Report, error) {
 // report is returned alongside an error matching ErrCanceled, so callers
 // can choose between discarding the work and using the sound-but-partial
 // facts.
+//
+// AnalyzeContext is the full-solve special case of a Session: it builds
+// one and immediately forces its exhaustive Report. Callers who will ask
+// more than one question should keep the Session instead.
 func AnalyzeContext(ctx context.Context, sources []Source, cfg Config) (report *Report, err error) {
 	defer fault.Recover("analyze", &err)
-	ctx, cancel := cfg.context(ctx)
-	defer cancel()
-	res, err := load(sources, cfg)
+	sess, err := NewSession(sources, cfg)
 	if err != nil {
 		return nil, err
 	}
-	report = solve(ctx, res, cfg)
-	if stop := report.result.Incomplete; stop != nil && stop.Canceled() {
-		return report, stop.AsError()
-	}
-	return report, nil
+	ctx, cancel := cfg.context(ctx)
+	defer cancel()
+	return sess.Report(ctx)
 }
 
 // AnalyzeAll analyzes the same sources under several instances, fanning the
@@ -454,6 +462,17 @@ func (r *Report) PointsTo(name string) []string {
 		out = append(out, c.String())
 	}
 	return out
+}
+
+// Lookup is PointsTo with unknown-name detection: a name the analyzed
+// program does not define fails with an error matching ErrUnknownName
+// instead of returning the nil set that a known-but-null pointer also
+// returns. New callers should prefer it (or a Session) over PointsTo.
+func (r *Report) Lookup(name string) ([]string, error) {
+	if len(r.objects(name)) == 0 {
+		return nil, fault.Newf(fault.KindUnknownName, "query", "", "unknown name %q", name)
+	}
+	return r.PointsTo(name), nil
 }
 
 // MayAlias reports whether the two named pointers may reference the same

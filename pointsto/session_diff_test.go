@@ -1,0 +1,101 @@
+package pointsto_test
+
+// The tentpole's correctness oracle: across the whole corpus and all four
+// strategy instances, every answer the Session's demand engine produces
+// must be byte-identical to the exhaustive Report's — with the slice memo
+// both cold (first query for a name) and warm (repeat query after every
+// other slice has been merged in).
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/pointsto"
+)
+
+// corpusSources adapts a corpus program to the public Source type.
+func corpusSources(t *testing.T, name string) []pointsto.Source {
+	t.Helper()
+	fsrc, err := corpus.Source(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]pointsto.Source, len(fsrc))
+	for i, s := range fsrc {
+		out[i] = pointsto.Source{Name: s.Name, Text: s.Text}
+	}
+	return out
+}
+
+func TestSessionMatchesExhaustiveReport(t *testing.T) {
+	names := corpus.SortedByGroup()
+	if testing.Short() {
+		names = names[:4]
+	}
+	ctx := context.Background()
+	for _, prog := range names {
+		sources := corpusSources(t, prog)
+		for _, strat := range pointsto.Strategies() {
+			t.Run(fmt.Sprintf("%s/%s", prog, strat), func(t *testing.T) {
+				// DemandBudget >= 1 keeps every query on the demand engine:
+				// a silent fallback to the full solver would make this test
+				// vacuously pass.
+				cfg := pointsto.Config{Strategy: strat, DemandBudget: 1}
+				full, err := pointsto.Analyze(sources, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sess, err := pointsto.NewSession(sources, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				queryNames := full.Names()
+				if got := sess.Names(); !reflect.DeepEqual(got, queryNames) {
+					t.Fatalf("Names mismatch: session %d entries, report %d", len(got), len(queryNames))
+				}
+				// Cold pass: each name's first query grows the slice.
+				for _, name := range queryNames {
+					got, err := sess.PointsTo(ctx, name)
+					if err != nil {
+						t.Fatalf("cold PointsTo(%q): %v", name, err)
+					}
+					if want := full.PointsTo(name); !reflect.DeepEqual(got, want) {
+						t.Errorf("cold PointsTo(%q) = %v, want %v", name, got, want)
+					}
+				}
+				// Warm pass: every answer is served from the merged memo.
+				for _, name := range queryNames {
+					got, err := sess.PointsTo(ctx, name)
+					if err != nil {
+						t.Fatalf("warm PointsTo(%q): %v", name, err)
+					}
+					if want := full.PointsTo(name); !reflect.DeepEqual(got, want) {
+						t.Errorf("warm PointsTo(%q) = %v, want %v", name, got, want)
+					}
+				}
+				// MayAlias over a sample of name pairs.
+				sample := queryNames
+				if len(sample) > 8 {
+					sample = sample[:8]
+				}
+				for _, a := range sample {
+					for _, b := range sample {
+						got, err := sess.MayAlias(ctx, a, b)
+						if err != nil {
+							t.Fatalf("MayAlias(%q, %q): %v", a, b, err)
+						}
+						if want := full.MayAlias(a, b); got != want {
+							t.Errorf("MayAlias(%q, %q) = %v, want %v", a, b, got, want)
+						}
+					}
+				}
+				if st := sess.Stats(); st.Fallbacks != 0 || st.FullSolves != 0 {
+					t.Errorf("session used the exhaustive solver (fallbacks=%d fullSolves=%d); differential coverage lost", st.Fallbacks, st.FullSolves)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package pointsto_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/pointsto"
+)
+
+const sessionSrc = `
+struct S { int *s1; int *s2; } s;
+int a, b, c;
+int *p, *q, *r;
+int **pp;
+void main() {
+	p = &a;
+	q = &b;
+	s.s1 = p;
+	s.s2 = &c;
+	pp = &p;
+	*pp = q;
+	r = s.s1;
+}
+`
+
+func sessionSources() []pointsto.Source {
+	return []pointsto.Source{{Name: "t.c", Text: sessionSrc}}
+}
+
+func TestSessionUnknownName(t *testing.T) {
+	ctx := context.Background()
+	sess, err := pointsto.NewSession(sessionSources(), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PointsTo(ctx, "nosuch"); !errors.Is(err, pointsto.ErrUnknownName) {
+		t.Errorf("PointsTo(nosuch) err = %v, want ErrUnknownName", err)
+	}
+	if _, err := sess.MayAlias(ctx, "p", "nosuch"); !errors.Is(err, pointsto.ErrUnknownName) {
+		t.Errorf("MayAlias(p, nosuch) err = %v, want ErrUnknownName", err)
+	}
+	// The fault is structured like every other pipeline error.
+	_, err = sess.PointsTo(ctx, "nosuch")
+	var fe *pointsto.Error
+	if !errors.As(err, &fe) || fe.Kind != pointsto.KindUnknownName {
+		t.Errorf("unknown-name fault not a *Error with KindUnknownName: %#v", err)
+	}
+	// Report.Lookup draws the same distinction; legacy PointsTo stays nil.
+	rep, err := pointsto.Analyze(sessionSources(), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Lookup("nosuch"); !errors.Is(err, pointsto.ErrUnknownName) {
+		t.Errorf("Report.Lookup(nosuch) err = %v, want ErrUnknownName", err)
+	}
+	if got, err := rep.Lookup("p"); err != nil || !reflect.DeepEqual(got, rep.PointsTo("p")) {
+		t.Errorf("Report.Lookup(p) = %v, %v; want PointsTo result and nil error", got, err)
+	}
+	if rep.PointsTo("nosuch") != nil {
+		t.Error("legacy Report.PointsTo(nosuch) must stay nil")
+	}
+}
+
+// TestSessionConcurrentQueries hammers one session from many goroutines
+// with mixed PointsTo / MayAlias / Sets traffic; run under -race this pins
+// the concurrency-safety contract, and every answer is checked against the
+// exhaustive report.
+func TestSessionConcurrentQueries(t *testing.T) {
+	ctx := context.Background()
+	cfg := pointsto.Config{DemandBudget: 1}
+	full, err := pointsto.Analyze(sessionSources(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := pointsto.NewSession(sessionSources(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := full.Names()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				a := names[(g+i)%len(names)]
+				b := names[(g*7+i*3)%len(names)]
+				switch (g + i) % 3 {
+				case 0:
+					got, err := sess.PointsTo(ctx, a)
+					if err != nil {
+						errs <- fmt.Errorf("PointsTo(%q): %w", a, err)
+						return
+					}
+					if want := full.PointsTo(a); !reflect.DeepEqual(got, want) {
+						errs <- fmt.Errorf("PointsTo(%q) = %v, want %v", a, got, want)
+						return
+					}
+				case 1:
+					got, err := sess.MayAlias(ctx, a, b)
+					if err != nil {
+						errs <- fmt.Errorf("MayAlias(%q,%q): %w", a, b, err)
+						return
+					}
+					if want := full.MayAlias(a, b); got != want {
+						errs <- fmt.Errorf("MayAlias(%q,%q) = %v, want %v", a, b, got, want)
+						return
+					}
+				case 2:
+					got, err := sess.Sets(ctx)
+					if err != nil {
+						errs <- fmt.Errorf("Sets: %w", err)
+						return
+					}
+					if want := full.Sets(); !reflect.DeepEqual(got, want) {
+						errs <- fmt.Errorf("Sets mismatch")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSessionCancelDoesNotPoisonMemo checks the singleflight-style
+// contract: a query canceled mid-flight reports ErrCanceled, and later
+// queries — including ones the canceled slice had partially explored —
+// still return exact answers.
+func TestSessionCancelDoesNotPoisonMemo(t *testing.T) {
+	ctx := context.Background()
+	cfg := pointsto.Config{DemandBudget: 1}
+	full, err := pointsto.Analyze(sessionSources(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := pointsto.NewSession(sessionSources(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm part of the memo.
+	if _, err := sess.PointsTo(ctx, "p"); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel a query mid-flight (the context is dead on arrival, so the
+	// engine stops at its first poll — the worst case for leaving
+	// half-propagated state behind).
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := sess.PointsTo(canceled, "r"); !pointsto.IsCanceled(err) {
+		t.Fatalf("canceled PointsTo err = %v, want ErrCanceled", err)
+	}
+	// Every later answer must still be exact.
+	for _, name := range full.Names() {
+		got, err := sess.PointsTo(ctx, name)
+		if err != nil {
+			t.Fatalf("post-cancel PointsTo(%q): %v", name, err)
+		}
+		if want := full.PointsTo(name); !reflect.DeepEqual(got, want) {
+			t.Errorf("post-cancel PointsTo(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestSessionBudgetFallback builds a program whose single-query slice
+// exceeds the budget floor and checks the transparent reroute to the
+// exhaustive solver.
+func TestSessionBudgetFallback(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("int a;\nint *v0;\n")
+	for i := 1; i <= 300; i++ {
+		fmt.Fprintf(&sb, "int *v%d;\n", i)
+	}
+	sb.WriteString("void main() {\nv0 = &a;\n")
+	for i := 1; i <= 300; i++ {
+		fmt.Fprintf(&sb, "v%d = v%d;\n", i, i-1)
+	}
+	sb.WriteString("}\n")
+	sources := []pointsto.Source{{Name: "chain.c", Text: sb.String()}}
+
+	ctx := context.Background()
+	// A tiny positive fraction clamps to the 256-statement floor, which a
+	// 300-copy chain exceeds.
+	cfg := pointsto.Config{DemandBudget: 0.0001}
+	full, err := pointsto.Analyze(sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := pointsto.NewSession(sources, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.PointsTo(ctx, "v300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := full.PointsTo("v300"); !reflect.DeepEqual(got, want) {
+		t.Errorf("fallback PointsTo(v300) = %v, want %v", got, want)
+	}
+	st := sess.Stats()
+	if st.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", st.Fallbacks)
+	}
+	if st.FullSolves != 1 {
+		t.Errorf("FullSolves = %d, want 1", st.FullSolves)
+	}
+	// Once fallen back, queries keep working (now via the memoized report).
+	if got, err := sess.PointsTo(ctx, "v1"); err != nil || !reflect.DeepEqual(got, full.PointsTo("v1")) {
+		t.Errorf("post-fallback PointsTo(v1) = %v, %v", got, err)
+	}
+}
+
+// TestSessionLimitsForceExhaustive checks that a Limits config bypasses the
+// demand engine (the partial-result contract is whole-run) yet still
+// answers.
+func TestSessionLimitsForceExhaustive(t *testing.T) {
+	ctx := context.Background()
+	cfg := pointsto.Config{Limits: pointsto.Limits{MaxSteps: 1 << 20}}
+	sess, err := pointsto.NewSession(sessionSources(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.PointsTo(ctx, "p"); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Stats()
+	if st.StmtsActivated != 0 {
+		t.Errorf("demand engine engaged under Limits (activated %d stmts)", st.StmtsActivated)
+	}
+	if st.FullSolves != 1 {
+		t.Errorf("FullSolves = %d, want 1", st.FullSolves)
+	}
+}
+
+// TestReportCancelMidSolve pins the flight-cancellation contract at the
+// facade level: a caller whose context dies mid-solve gets a partial report
+// with ErrCanceled, the abandoned result is not memoized, and a later
+// caller with a live context solves afresh and succeeds. (Regression: the
+// flight context must be cancelable even with Config.Timeout zero.)
+func TestReportCancelMidSolve(t *testing.T) {
+	sess, err := pointsto.NewSession(sessionSources(), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := sess.Report(ctx)
+	if !pointsto.IsCanceled(err) {
+		t.Fatalf("Report under dead ctx: err = %v, want ErrCanceled", err)
+	}
+	if rep == nil || rep.Incomplete() == nil {
+		t.Errorf("canceled Report: rep = %v, want partial with Incomplete set", rep)
+	}
+	if st := sess.Stats(); st.FullSolves != 0 {
+		t.Errorf("canceled solve was memoized: FullSolves = %d", st.FullSolves)
+	}
+	rep, err = sess.Report(context.Background())
+	if err != nil || rep.Incomplete() != nil {
+		t.Fatalf("fresh Report after cancel: err=%v incomplete=%v", err, rep.Incomplete())
+	}
+}
