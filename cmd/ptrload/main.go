@@ -1,0 +1,196 @@
+// Command ptrload storms a running ptrserved with a mixed, reproducible
+// request workload and reports what the service tier did under pressure:
+// throughput, latency quantiles (p50/p95/p99), and an error taxonomy by
+// HTTP status and fault kind. Overload rejections (429 "overloaded", 503
+// "would-miss-deadline") are retried with jittered exponential backoff that
+// honors the server's Retry-After hint, like a well-behaved client.
+//
+// Usage:
+//
+//	ptrload [flags]
+//
+// Flags:
+//
+//	-addr u         server base URL (default http://127.0.0.1:7979)
+//	-workers n      concurrent request loops (default 8)
+//	-requests n     total operations across workers (default 200)
+//	-seed n         workload seed; same seed, same per-worker op sequence
+//	-corpus a,b     built-in programs to spread traffic over
+//	                (default anagram,ft,compiler)
+//	-mix spec       op weights, e.g. analyze=2,pointsto=4,alias=2,query=2,session=1
+//	-retries n      max retries per op on 429/503/transport errors (default 3)
+//	-max-backoff d  cap on every backoff sleep, Retry-After included (default 30s)
+//	-analyze-timeout-ms n  stamp analyze requests with this timeout limit;
+//	                under load this provokes deadline sheds (503)
+//	-json           emit the full scorecard as JSON instead of text
+//	-assert         exit 1 when a service-tier invariant broke (corrupt
+//	                bodies, 5xx other than 503, rejections missing Retry-After)
+//
+// Exit code 0 means the run completed (and, with -assert, the server kept
+// its overload contract); 1 means an invariant broke or the run could not
+// start.
+//
+// Quickstart:
+//
+//	ptrserved -addr :7979 -max-inflight-solves 4 &
+//	ptrload -addr http://127.0.0.1:7979 -workers 32 -requests 2000 -assert
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/loadgen"
+)
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func main() { os.Exit(cli.Run("ptrload", run)) }
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:7979", "server base URL")
+	workers := flag.Int("workers", 8, "concurrent request loops")
+	requests := flag.Int("requests", 200, "total operations across workers")
+	seed := flag.Int64("seed", 1, "workload seed")
+	corpora := flag.String("corpus", "anagram,ft,compiler", "comma-separated built-in programs to target")
+	mixSpec := flag.String("mix", "", "op weights, e.g. analyze=2,pointsto=4,alias=2,query=2,session=1 (empty = default mix)")
+	retries := flag.Int("retries", 3, "max retries per op on 429/503/transport errors (negative = never retry)")
+	maxBackoff := flag.Duration("max-backoff", 30*time.Second, "cap on every backoff sleep, Retry-After included")
+	analyzeTimeout := flag.Int64("analyze-timeout-ms", 0, "timeout_ms limit stamped on analyze ops (0 = none)")
+	asJSON := flag.Bool("json", false, "emit the scorecard as JSON")
+	assert := flag.Bool("assert", false, "exit 1 when a service-tier invariant broke")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %v", flag.Args())
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		BaseURL:          strings.TrimRight(*addr, "/"),
+		Workers:          *workers,
+		Requests:         *requests,
+		Seed:             *seed,
+		Corpora:          splitList(*corpora),
+		Mix:              mix,
+		MaxRetries:       *retries,
+		MaxBackoff:       *maxBackoff,
+		AnalyzeTimeoutMS: *analyzeTimeout,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		if err := writeJSON(os.Stdout, res); err != nil {
+			return err
+		}
+	} else {
+		printResult(res)
+	}
+	if *assert {
+		if v := res.Violations(); len(v) > 0 {
+			for _, msg := range v {
+				fmt.Fprintf(os.Stderr, "ptrload: invariant broken: %s\n", msg)
+			}
+			return fmt.Errorf("%d service-tier invariant(s) broken", len(v))
+		}
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseMix reads "op=weight,..." into a Mix; empty means the default blend.
+func parseMix(spec string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	if spec == "" {
+		return m, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		op, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, cli.Usagef("bad -mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, cli.Usagef("bad -mix weight %q", val)
+		}
+		switch op {
+		case loadgen.OpAnalyze:
+			m.Analyze = w
+		case loadgen.OpPointsTo:
+			m.PointsTo = w
+		case loadgen.OpAlias:
+			m.Alias = w
+		case loadgen.OpQuery:
+			m.Query = w
+		case loadgen.OpSession:
+			m.Session = w
+		default:
+			return m, cli.Usagef("unknown -mix op %q", op)
+		}
+	}
+	return m, nil
+}
+
+func printResult(r *loadgen.Result) {
+	fmt.Printf("ops %d  ok %d  failed %d  retries %d  corrupt %d\n",
+		r.Ops, r.Succeeded, r.Failed, r.Retries, r.Corrupt)
+	fmt.Printf("elapsed %v  throughput %.1f ok/s\n", r.Elapsed.Round(time.Millisecond), r.ThroughputRPS)
+	fmt.Printf("latency p50 %.1fms  p95 %.1fms  p99 %.1fms  max %.1fms\n",
+		r.P50MS, r.P95MS, r.P99MS, r.MaxMS)
+	fmt.Printf("status: %s\n", formatCounts(r.StatusCounts))
+	if len(r.KindCounts) > 0 {
+		fmt.Printf("kinds:  %s\n", formatCounts(r.KindCounts))
+	}
+	fmt.Printf("ops by type: %s\n", formatCounts(r.OpCounts))
+	for _, v := range r.Violations() {
+		fmt.Printf("VIOLATION: %s\n", v)
+	}
+}
+
+func formatCounts(m map[string]int64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}

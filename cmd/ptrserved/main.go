@@ -35,6 +35,25 @@
 //	-max-steps n       per-request worklist-step ceiling (0 = none)
 //	-max-facts n       per-request points-to-fact ceiling (0 = none)
 //	-max-cells n       per-request cell-count ceiling (0 = none)
+//	-max-inflight-solves n  solves admitted concurrently per endpoint
+//	                   (0 = unlimited). With a limit set, a bounded queue
+//	                   forms behind the slots and overflow is rejected with
+//	                   429 + Retry-After; a request whose deadline budget
+//	                   cannot cover the estimated solve cost is shed with
+//	                   503 "would-miss-deadline".
+//	-solve-queue n     requests allowed to wait for a slot
+//	                   (0 = 4x -max-inflight-solves)
+//	-chaos spec        deterministic fault injection for drills, e.g.
+//	                   seed=7,solve-delay=50ms:0.3,spill-err=0.1,panic=1,
+//	                   slow-write=5ms:0.2. Injected faults surface in /varz
+//	                   under "chaos". Never use in production.
+//
+// A daemon started with -spill-dir verifies every spill file on boot:
+// corrupt or truncated snapshots are moved to <spill-dir>/quarantine and
+// counted in /varz (cache.quarantined) instead of being served or crashing
+// the boot. Spill writes are atomic (temp file + fsync + rename), so a
+// crash mid-write leaves no torn files behind — at worst a stale temp file
+// the next boot sweeps away.
 //
 // SIGTERM or SIGINT begins a graceful shutdown: the listener closes,
 // in-flight solves drain, and the process exits 0 on a clean drain.
@@ -59,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cli"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -75,6 +95,9 @@ func run() error {
 	maxSource := flag.Int64("max-source-bytes", 4<<20, "request body size cap in bytes")
 	maxSessions := flag.Int("max-sessions", 32, "warm demand-query sessions kept resident")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	maxInflight := flag.Int("max-inflight-solves", 0, "concurrent solves admitted per endpoint (0 = unlimited, no admission control)")
+	solveQueue := flag.Int("solve-queue", 0, "requests allowed to wait for a solve slot (0 = 4x -max-inflight-solves); beyond it, 429")
+	chaosSpec := flag.String("chaos", "", "deterministic fault injection, e.g. seed=7,solve-delay=50ms:0.3,spill-err=0.1,panic=1,slow-write=5ms:0.2 (empty = off; never use in production)")
 	var gov cli.Govern
 	gov.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -82,9 +105,32 @@ func run() error {
 		return cli.Usagef("unexpected arguments %v", flag.Args())
 	}
 
+	chaosCfg, err := chaos.ParseSpec(*chaosSpec)
+	if err != nil {
+		return cli.Usagef("bad -chaos spec: %v", err)
+	}
+	monkey := chaos.New(chaosCfg)
+	if monkey != nil {
+		fmt.Fprintf(os.Stderr, "ptrserved: CHAOS MODE (seed %d) — injecting faults on purpose\n", chaosCfg.Seed)
+	}
+
 	st, err := store.New(*cacheBytes, *spillDir)
 	if err != nil {
 		return fmt.Errorf("open spill dir: %w", err)
+	}
+	if monkey != nil {
+		st.SetSpillHook(monkey.SpillError)
+	}
+	if *spillDir != "" {
+		// Warm-restart integrity sweep: corrupt or truncated spill files
+		// (e.g. from a crash mid-write before the atomic rename landed, or
+		// disk rot) are quarantined now, not discovered as 500s later.
+		vr, err := st.VerifySpill()
+		if err != nil {
+			return fmt.Errorf("verify spill dir: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "ptrserved: spill verify: %d checked, %d quarantined, %d temp files cleaned\n",
+			vr.Checked, vr.Quarantined, vr.TempCleaned)
 	}
 	srv := server.New(server.Config{
 		Store:          st,
@@ -96,6 +142,11 @@ func run() error {
 			MaxCells: gov.MaxCells,
 		},
 		MaxTimeout: gov.Timeout,
+		Admission: server.AdmissionConfig{
+			MaxInflight: *maxInflight,
+			MaxQueue:    *solveQueue,
+		},
+		Chaos: monkey,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

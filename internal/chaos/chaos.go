@@ -1,0 +1,268 @@
+// Package chaos is the deterministic fault-injection layer of the service
+// tier. A Chaos value, built from a compact spec string (ptrserved's -chaos
+// flag), decides — from a seeded PRNG, so a run is exactly reproducible —
+// when to inject each of four failure modes the daemon must survive:
+//
+//   - solve latency: an extra delay inside the solve path, turning a fast
+//     corpus into a slow one so admission control and deadlines engage
+//   - spill I/O errors: the store's disk writes and reads fail, exercising
+//     the counted-not-fatal contract
+//   - forced panics: a spill operation panics mid-flight (a simulated
+//     crash), exercising the recovery boundaries
+//   - slow-client writes: response bodies trickle out in small, delayed
+//     chunks, exercising the server's tolerance for slow readers
+//
+// Every hook is safe on a nil *Chaos (it does nothing), so call sites need
+// no guards, and every injected fault is counted so a harness can assert
+// "the run saw the chaos it asked for".
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config declares what to inject and how often. Probabilities are in
+// [0, 1]; a zero probability (or zero delay/count) disables that mode.
+type Config struct {
+	// Seed drives every injection decision; two runs with the same seed
+	// and the same call sequence inject identically.
+	Seed int64
+	// SolveDelay is added to a solve with probability SolveDelayP.
+	SolveDelay  time.Duration
+	SolveDelayP float64
+	// SpillErrP is the probability a spill read/write fails.
+	SpillErrP float64
+	// Panics is the number of forced panics to inject into spill
+	// operations (after the spill-error dice, so the two compose).
+	Panics int
+	// SlowWrite sleeps this long between SlowWriteChunk-byte slices of a
+	// response body, with probability SlowWriteP per response.
+	SlowWrite      time.Duration
+	SlowWriteChunk int
+	SlowWriteP     float64
+}
+
+// Stats counts the faults actually injected.
+type Stats struct {
+	SolveDelays int64 `json:"solve_delays"`
+	SpillErrors int64 `json:"spill_errors"`
+	Panics      int64 `json:"panics"`
+	SlowWrites  int64 `json:"slow_writes"`
+}
+
+// Chaos injects faults per its Config. Safe for concurrent use; all
+// methods are no-ops on a nil receiver.
+type Chaos struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	panicsLeft  atomic.Int64
+	solveDelays atomic.Int64
+	spillErrors atomic.Int64
+	panics      atomic.Int64
+	slowWrites  atomic.Int64
+}
+
+// New builds a Chaos from cfg. A nil return for the zero config keeps the
+// no-chaos path allocation- and branch-free at call sites.
+func New(cfg Config) *Chaos {
+	if cfg == (Config{Seed: cfg.Seed}) {
+		return nil
+	}
+	if cfg.SlowWriteChunk <= 0 {
+		cfg.SlowWriteChunk = 512
+	}
+	c := &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	c.panicsLeft.Store(int64(cfg.Panics))
+	return c
+}
+
+// ParseSpec builds a Config from the -chaos flag syntax: comma-separated
+// key=value fields.
+//
+//	seed=N               PRNG seed (default 1)
+//	solve-delay=DUR:P    delay DUR added to a solve with probability P
+//	                     (":P" optional, default 1)
+//	spill-err=P          spill I/O fails with probability P
+//	panic=N              N forced panics in spill operations
+//	slow-write=DUR:P     DUR sleep between response chunks, probability P
+//
+// Example: "seed=42,solve-delay=5ms:0.3,spill-err=0.2,panic=1".
+func ParseSpec(spec string) (Config, error) {
+	cfg := Config{Seed: 1}
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos: field %q is not key=value", field)
+		}
+		switch k {
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad seed %q: %v", v, err)
+			}
+			cfg.Seed = n
+		case "solve-delay":
+			d, p, err := parseDurProb(v)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad solve-delay %q: %v", v, err)
+			}
+			cfg.SolveDelay, cfg.SolveDelayP = d, p
+		case "spill-err":
+			p, err := parseProb(v)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad spill-err %q: %v", v, err)
+			}
+			cfg.SpillErrP = p
+		case "panic":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return cfg, fmt.Errorf("chaos: bad panic count %q", v)
+			}
+			cfg.Panics = n
+		case "slow-write":
+			d, p, err := parseDurProb(v)
+			if err != nil {
+				return cfg, fmt.Errorf("chaos: bad slow-write %q: %v", v, err)
+			}
+			cfg.SlowWrite, cfg.SlowWriteP = d, p
+		default:
+			return cfg, fmt.Errorf("chaos: unknown field %q (want seed, solve-delay, spill-err, panic, slow-write)", k)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+func parseDurProb(s string) (time.Duration, float64, error) {
+	ds, ps, hasP := strings.Cut(s, ":")
+	d, err := time.ParseDuration(ds)
+	if err != nil {
+		return 0, 0, err
+	}
+	if d < 0 {
+		return 0, 0, fmt.Errorf("negative duration %v", d)
+	}
+	p := 1.0
+	if hasP {
+		if p, err = parseProb(ps); err != nil {
+			return 0, 0, err
+		}
+	}
+	return d, p, nil
+}
+
+// roll draws one uniform [0, 1) sample from the seeded stream.
+func (c *Chaos) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// SolveDelay blocks for the configured injected latency (when the dice say
+// so), returning early if ctx is done. Call it inside the solve path.
+func (c *Chaos) SolveDelay(ctx context.Context) {
+	if c == nil || c.cfg.SolveDelay <= 0 || c.cfg.SolveDelayP <= 0 {
+		return
+	}
+	if c.roll() >= c.cfg.SolveDelayP {
+		return
+	}
+	c.solveDelays.Add(1)
+	t := time.NewTimer(c.cfg.SolveDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// SpillError is a store.SpillHook: it fails a spill operation with the
+// configured probability, and burns the forced-panic budget first — a
+// panic inside the spill path is the harshest crash the store must absorb.
+func (c *Chaos) SpillError(op string) error {
+	if c == nil {
+		return nil
+	}
+	if c.panicsLeft.Load() > 0 && c.panicsLeft.Add(-1) >= 0 {
+		c.panics.Add(1)
+		panic(fmt.Sprintf("chaos: forced panic in spill %s", op))
+	}
+	if c.cfg.SpillErrP > 0 && c.roll() < c.cfg.SpillErrP {
+		c.spillErrors.Add(1)
+		return fmt.Errorf("chaos: injected spill %s error", op)
+	}
+	return nil
+}
+
+// WrapWriter wraps a response writer into one that trickles: with the
+// configured probability, every chunk of SlowWriteChunk bytes is preceded
+// by the SlowWrite delay. The decision is taken once per response.
+func (c *Chaos) WrapWriter(w io.Writer) io.Writer {
+	if c == nil || c.cfg.SlowWrite <= 0 || c.cfg.SlowWriteP <= 0 {
+		return w
+	}
+	if c.roll() >= c.cfg.SlowWriteP {
+		return w
+	}
+	c.slowWrites.Add(1)
+	return &slowWriter{w: w, chunk: c.cfg.SlowWriteChunk, delay: c.cfg.SlowWrite}
+}
+
+// Stats returns the injected-fault counters so far.
+func (c *Chaos) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		SolveDelays: c.solveDelays.Load(),
+		SpillErrors: c.spillErrors.Load(),
+		Panics:      c.panics.Load(),
+		SlowWrites:  c.slowWrites.Load(),
+	}
+}
+
+// slowWriter emits delay-then-chunk until the buffer drains.
+type slowWriter struct {
+	w     io.Writer
+	chunk int
+	delay time.Duration
+}
+
+func (sw *slowWriter) Write(p []byte) (int, error) {
+	written := 0
+	for len(p) > 0 {
+		time.Sleep(sw.delay)
+		n := min(sw.chunk, len(p))
+		m, err := sw.w.Write(p[:n])
+		written += m
+		if err != nil {
+			return written, err
+		}
+		p = p[n:]
+	}
+	return written, nil
+}

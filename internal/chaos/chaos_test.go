@@ -1,0 +1,152 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=42,solve-delay=5ms:0.3,spill-err=0.2,panic=1,slow-write=1ms:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 42, SolveDelay: 5 * time.Millisecond, SolveDelayP: 0.3,
+		SpillErrP: 0.2, Panics: 1,
+		SlowWrite: time.Millisecond, SlowWriteP: 0.5,
+	}
+	if cfg != want {
+		t.Errorf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+
+	// Probability defaults to 1 when omitted.
+	cfg, err = ParseSpec("solve-delay=2ms")
+	if err != nil || cfg.SolveDelayP != 1 || cfg.SolveDelay != 2*time.Millisecond {
+		t.Errorf("bare duration: %+v, %v", cfg, err)
+	}
+
+	// Empty spec is the no-chaos config.
+	if cfg, err := ParseSpec(""); err != nil || New(cfg) != nil {
+		t.Errorf("empty spec should build no chaos: %+v, %v", cfg, err)
+	}
+
+	for _, bad := range []string{
+		"nonsense", "seed=abc", "spill-err=1.5", "spill-err=-0.1",
+		"solve-delay=xyz", "panic=-2", "frobnicate=1", "solve-delay=1ms:2",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestDeterminism: the same seed injects the same faults at the same call
+// positions; a different seed diverges.
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []bool {
+		c := New(Config{Seed: seed, SpillErrP: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = c.SpillError("write") != nil
+		}
+		return out
+	}
+	a, b := trace(7), trace(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := trace(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces (suspicious)")
+	}
+	injected := 0
+	for _, hit := range a {
+		if hit {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Errorf("p=0.5 injected %d/%d times", injected, len(a))
+	}
+}
+
+func TestNilChaosIsInert(t *testing.T) {
+	var c *Chaos
+	c.SolveDelay(context.Background())
+	if err := c.SpillError("write"); err != nil {
+		t.Error("nil chaos injected an error")
+	}
+	var buf bytes.Buffer
+	if w := c.WrapWriter(&buf); w != &buf {
+		t.Error("nil chaos wrapped the writer")
+	}
+	if c.Stats() != (Stats{}) {
+		t.Error("nil chaos has stats")
+	}
+}
+
+func TestForcedPanicBudget(t *testing.T) {
+	c := New(Config{Seed: 1, Panics: 2})
+	panics := 0
+	for i := 0; i < 10; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			c.SpillError("write")
+		}()
+	}
+	if panics != 2 {
+		t.Errorf("panicked %d times, want exactly 2", panics)
+	}
+	if got := c.Stats().Panics; got != 2 {
+		t.Errorf("Stats().Panics = %d, want 2", got)
+	}
+}
+
+func TestSolveDelayHonorsContext(t *testing.T) {
+	c := New(Config{Seed: 1, SolveDelay: time.Minute, SolveDelayP: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	c.SolveDelay(ctx)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("canceled delay still blocked for %v", d)
+	}
+	if c.Stats().SolveDelays != 1 {
+		t.Errorf("delay not counted")
+	}
+}
+
+func TestSlowWriterDeliversEverything(t *testing.T) {
+	c := New(Config{Seed: 1, SlowWrite: time.Microsecond, SlowWriteChunk: 3, SlowWriteP: 1})
+	var buf bytes.Buffer
+	w := c.WrapWriter(&buf)
+	if w == &buf {
+		t.Fatal("p=1 slow write did not wrap")
+	}
+	payload := []byte("the whole response body, eventually")
+	n, err := w.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Errorf("slow writer corrupted the body: %q", buf.Bytes())
+	}
+	if c.Stats().SlowWrites != 1 {
+		t.Errorf("slow write not counted")
+	}
+}

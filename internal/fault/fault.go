@@ -45,6 +45,14 @@ const (
 	// analyzed program does not define — distinguishable from a pointer
 	// that is known but points nowhere.
 	KindUnknownName
+	// KindOverloaded marks work refused by admission control: the solve
+	// queue is full and taking the request would only deepen the overload.
+	// The request was not attempted; retrying after backing off is correct.
+	KindOverloaded
+	// KindDeadline marks work shed because the caller's remaining deadline
+	// budget is smaller than the expected cost of doing it — starting the
+	// solve would burn capacity on an answer nobody will be around to read.
+	KindDeadline
 )
 
 func (k Kind) String() string {
@@ -59,6 +67,10 @@ func (k Kind) String() string {
 		return "canceled"
 	case KindUnknownName:
 		return "unknown-name"
+	case KindOverloaded:
+		return "overloaded"
+	case KindDeadline:
+		return "would-miss-deadline"
 	case KindInternal:
 		return "internal"
 	}
@@ -80,6 +92,8 @@ var (
 	ErrCanceled    error = &sentinel{KindCanceled}
 	ErrInternal    error = &sentinel{KindInternal}
 	ErrUnknownName error = &sentinel{KindUnknownName}
+	ErrOverloaded  error = &sentinel{KindOverloaded}
+	ErrDeadline    error = &sentinel{KindDeadline}
 )
 
 // Error is a classified pipeline error.

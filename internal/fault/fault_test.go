@@ -18,6 +18,9 @@ func TestSentinelMatching(t *testing.T) {
 		{KindLimit, ErrLimit},
 		{KindCanceled, ErrCanceled},
 		{KindInternal, ErrInternal},
+		{KindUnknownName, ErrUnknownName},
+		{KindOverloaded, ErrOverloaded},
+		{KindDeadline, ErrDeadline},
 	}
 	for _, c := range cases {
 		err := New(c.kind, "stage", "f.c:1:1", errors.New("boom"))
@@ -101,6 +104,26 @@ func TestKindOf(t *testing.T) {
 	}
 	if _, ok := KindOf(errors.New("plain")); ok {
 		t.Error("plain error classified")
+	}
+}
+
+// TestKindStrings pins the wire codes: these strings are the HTTP error
+// taxonomy clients and the ptrload error report branch on.
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindInternal:    "internal",
+		KindParse:       "parse",
+		KindSema:        "sema",
+		KindLimit:       "limit",
+		KindCanceled:    "canceled",
+		KindUnknownName: "unknown-name",
+		KindOverloaded:  "overloaded",
+		KindDeadline:    "would-miss-deadline",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
 	}
 }
 

@@ -1,0 +1,468 @@
+// Package loadgen drives a ptrserved-compatible endpoint with a mixed,
+// reproducible request workload and scores what comes back: throughput,
+// latency quantiles, an error taxonomy by status and fault kind, and the
+// overload invariants the service tier promises (rejections carry
+// Retry-After; nothing but deadline sheds may answer 5xx; bodies always
+// decode). It is the measuring half of the chaos/load harness — cmd/ptrload
+// is the CLI shell, scripts/chaos_smoke.sh the assertion harness.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Op names for Mix weights and the per-op result breakdown.
+const (
+	OpAnalyze  = "analyze"
+	OpPointsTo = "pointsto"
+	OpAlias    = "alias"
+	OpQuery    = "query"
+	OpSession  = "session"
+)
+
+// Mix weights the operation blend. Zero-valued fields never run; the zero
+// Mix selects DefaultMix.
+type Mix struct {
+	Analyze  int `json:"analyze"`
+	PointsTo int `json:"pointsto"`
+	Alias    int `json:"alias"`
+	Query    int `json:"query"`
+	Session  int `json:"session"`
+}
+
+// DefaultMix is read-heavy, like the daemon's intended traffic.
+var DefaultMix = Mix{Analyze: 2, PointsTo: 4, Alias: 2, Query: 2, Session: 1}
+
+func (m Mix) total() int { return m.Analyze + m.PointsTo + m.Alias + m.Query + m.Session }
+
+// pick selects an op by weight from a uniform draw in [0, total).
+func (m Mix) pick(n int) string {
+	for _, w := range []struct {
+		op     string
+		weight int
+	}{
+		{OpAnalyze, m.Analyze}, {OpPointsTo, m.PointsTo}, {OpAlias, m.Alias},
+		{OpQuery, m.Query}, {OpSession, m.Session},
+	} {
+		if n < w.weight {
+			return w.op
+		}
+		n -= w.weight
+	}
+	return OpAnalyze
+}
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7979".
+	BaseURL string
+	// Workers is the number of concurrent request loops (default 8).
+	Workers int
+	// Requests is the total operation count across workers (default 100).
+	Requests int
+	// Seed makes the workload reproducible: same seed, same op sequence
+	// per worker.
+	Seed int64
+	// Corpora are the built-in programs to spread traffic over (default:
+	// a small mixed set). Each is primed with a session before the storm
+	// so query ops have valid keys and names to aim at.
+	Corpora []string
+	// Mix weights the op blend; the zero Mix selects DefaultMix.
+	Mix Mix
+	// MaxRetries bounds retries per op for 429/503/transport errors
+	// (default 3; negative disables retrying).
+	MaxRetries int
+	// BackoffBase seeds the exponential backoff (default 100ms). A server
+	// Retry-After hint raises the sleep to at least its value.
+	BackoffBase time.Duration
+	// MaxBackoff caps every backoff sleep, including honored Retry-After
+	// hints (default 30s). Tests set it low to stay fast.
+	MaxBackoff time.Duration
+	// AnalyzeTimeoutMS, when positive, stamps analyze requests with a
+	// timeout limit — under chaos latency this provokes deadline sheds.
+	AnalyzeTimeoutMS int64
+	// Client overrides the HTTP client (default: 2-minute timeout).
+	Client *http.Client
+}
+
+func (c *Config) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 100
+	}
+	if len(c.Corpora) == 0 {
+		c.Corpora = []string{"anagram", "ft", "compiler"}
+	}
+	if c.Mix.total() <= 0 {
+		c.Mix = DefaultMix
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+}
+
+// Result is the scorecard of one run.
+type Result struct {
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	Ops          int64         `json:"ops"`            // operations completed (any outcome)
+	Succeeded    int64         `json:"succeeded"`      // final status 200
+	Failed       int64         `json:"failed"`         // final status != 200
+	Retries      int64         `json:"retries"`        // extra attempts spent on 429/503/transport errors
+	Transport    int64         `json:"transport"`      // ops that died on a transport error
+	Corrupt      int64         `json:"corrupt"`        // undecodable or shape-violating bodies
+	NoRetryAfter int64         `json:"no_retry_after"` // 429/503 responses missing Retry-After
+
+	StatusCounts map[string]int64 `json:"status_counts"` // final status → count
+	KindCounts   map[string]int64 `json:"kind_counts"`   // error kind → count
+	OpCounts     map[string]int64 `json:"op_counts"`     // op → count
+
+	ThroughputRPS float64 `json:"throughput_rps"` // succeeded ops per second
+
+	P50MS float64 `json:"p50_ms"` // latency of the final attempt per op
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// Violations lists broken service-tier invariants: anything here means the
+// server misbehaved under load (ptrload -assert exits nonzero on them).
+func (r *Result) Violations() []string {
+	var out []string
+	if r.Corrupt > 0 {
+		out = append(out, fmt.Sprintf("%d corrupt responses (undecodable or shape-violating bodies)", r.Corrupt))
+	}
+	for status, n := range r.StatusCounts {
+		if code, err := strconv.Atoi(status); err == nil && code >= 500 && code != http.StatusServiceUnavailable {
+			out = append(out, fmt.Sprintf("%d responses with status %d (only 503 may 5xx under overload)", n, code))
+		}
+	}
+	if r.NoRetryAfter > 0 {
+		out = append(out, fmt.Sprintf("%d overload rejections missing Retry-After", r.NoRetryAfter))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// target is one primed program: the key to query and the names defined in it.
+type target struct {
+	corpus string
+	key    string
+	names  []string
+}
+
+// runner carries one run's shared state.
+type runner struct {
+	cfg     Config
+	targets []target
+
+	next atomic.Int64 // op ticket counter
+
+	mu        sync.Mutex
+	latencies []time.Duration
+	res       Result
+}
+
+// Run executes the configured workload and scores it. The context cancels
+// the run early (workers finish their in-flight op and stop); the partial
+// Result is still returned.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg.setDefaults()
+	r := &runner{cfg: cfg}
+	r.res.StatusCounts = make(map[string]int64)
+	r.res.KindCounts = make(map[string]int64)
+	r.res.OpCounts = make(map[string]int64)
+
+	if err := r.prime(ctx); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Distinct deterministic stream per worker: ops interleave
+			// nondeterministically across workers, but each worker's own
+			// sequence is fixed by (Seed, w).
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*0x9e3779b9))
+			for ctx.Err() == nil {
+				if r.next.Add(1) > int64(cfg.Requests) {
+					return
+				}
+				r.oneOp(ctx, rng)
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.res.Elapsed = time.Since(start)
+	r.finish()
+	return &r.res, nil
+}
+
+// prime opens a session per corpus so query ops have valid keys and names.
+// Priming retries like any op — a cold, admission-limited server may 429 it.
+func (r *runner) prime(ctx context.Context) error {
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ 0x5eed))
+	for _, name := range r.cfg.Corpora {
+		body, _ := json.Marshal(server.SessionRequest{Corpus: name})
+		var last outcome
+		for attempt := 0; ; attempt++ {
+			last = r.do(ctx, http.MethodPost, "/v1/session", body)
+			if !r.shouldRetry(last, attempt) {
+				break
+			}
+			r.backoff(ctx, rng, attempt, last.retryAfter)
+		}
+		if last.status != http.StatusOK {
+			return fmt.Errorf("prime %s: status %d (%s)", name, last.status, last.kind)
+		}
+		var sr server.SessionResponse
+		if err := json.Unmarshal(last.body, &sr); err != nil || sr.Key == "" || len(sr.Names) == 0 {
+			return fmt.Errorf("prime %s: malformed session response: %v", name, err)
+		}
+		r.targets = append(r.targets, target{corpus: name, key: sr.Key, names: sr.Names})
+	}
+	return nil
+}
+
+// outcome is one HTTP attempt, decoded just far enough to score it.
+type outcome struct {
+	status     int    // 0 = transport error
+	kind       string // error taxonomy kind, when the body carried one
+	body       []byte
+	corrupt    bool // body violated the wire contract
+	retryAfter int  // seconds, 0 = absent
+	latency    time.Duration
+}
+
+// do performs one attempt and classifies the response envelope. Body-shape
+// validation beyond the envelope is the caller's job (it knows the op).
+func (r *runner) do(ctx context.Context, method, path string, body []byte) outcome {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.cfg.BaseURL+path, rd)
+	if err != nil {
+		return outcome{kind: "transport"}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return outcome{kind: "transport", latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	o := outcome{status: resp.StatusCode, body: raw, latency: time.Since(start)}
+	if err != nil {
+		o.status = 0
+		o.kind = "transport"
+		return o
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		o.retryAfter = secs
+	}
+	if o.status != http.StatusOK {
+		var er server.ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Kind == "" {
+			o.corrupt = true
+		} else {
+			o.kind = er.Kind
+		}
+	}
+	return o
+}
+
+// shouldRetry: overload rejections and transport errors are worth another
+// attempt; contract errors (4xx) and real faults (500) are terminal.
+func (r *runner) shouldRetry(o outcome, attempt int) bool {
+	if attempt >= r.cfg.MaxRetries || r.cfg.MaxRetries < 0 {
+		return false
+	}
+	return o.status == 0 ||
+		o.status == http.StatusTooManyRequests ||
+		o.status == http.StatusServiceUnavailable
+}
+
+// backoff sleeps the jittered exponential delay, raised to any Retry-After
+// hint and capped at MaxBackoff. rng is the worker's own stream.
+func (r *runner) backoff(ctx context.Context, rng *rand.Rand, attempt int, retryAfter int) {
+	d := r.cfg.BackoffBase << attempt
+	// Full jitter in [d/2, d): synchronized retry herds re-collide forever,
+	// jittered ones spread out.
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	if ra := time.Duration(retryAfter) * time.Second; ra > d {
+		d = ra
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// oneOp runs a single weighted operation through the retry loop and
+// records its outcome.
+func (r *runner) oneOp(ctx context.Context, rng *rand.Rand) {
+	op := r.cfg.Mix.pick(rng.Intn(r.cfg.Mix.total()))
+	tgt := r.targets[rng.Intn(len(r.targets))]
+	method, path, body := r.buildRequest(op, tgt, rng)
+
+	var o outcome
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		o = r.do(ctx, method, path, body)
+		if !r.shouldRetry(o, attempt) {
+			break
+		}
+		retries++
+		r.backoff(ctx, rng, attempt, o.retryAfter)
+	}
+	if o.status == http.StatusOK && !o.corrupt {
+		o.corrupt = !validBody(op, tgt, o.body)
+	}
+	r.record(op, o, retries)
+}
+
+// buildRequest shapes one op against a primed target.
+func (r *runner) buildRequest(op string, tgt target, rng *rand.Rand) (method, path string, body []byte) {
+	name := func() string { return tgt.names[rng.Intn(len(tgt.names))] }
+	switch op {
+	case OpPointsTo:
+		return http.MethodGet, "/v1/pointsto?key=" + tgt.key + "&var=" + name(), nil
+	case OpAlias:
+		return http.MethodGet, "/v1/alias?key=" + tgt.key + "&a=" + name() + "&b=" + name(), nil
+	case OpQuery:
+		n := 1 + rng.Intn(4)
+		req := server.QueryBatchRequest{}
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				req.Queries = append(req.Queries, server.QueryJSON{Op: server.OpPointsTo, Key: tgt.key, Var: name()})
+			} else {
+				req.Queries = append(req.Queries, server.QueryJSON{Op: server.OpMayAlias, Key: tgt.key, A: name(), B: name()})
+			}
+		}
+		body, _ := json.Marshal(req)
+		return http.MethodPost, "/v1/query", body
+	case OpSession:
+		body, _ := json.Marshal(server.SessionRequest{Corpus: tgt.corpus})
+		return http.MethodPost, "/v1/session", body
+	default: // OpAnalyze
+		areq := server.AnalyzeRequest{Corpus: tgt.corpus}
+		if r.cfg.AnalyzeTimeoutMS > 0 {
+			areq.Limits = server.LimitsJSON{TimeoutMS: r.cfg.AnalyzeTimeoutMS}
+		}
+		body, _ := json.Marshal(areq)
+		return http.MethodPost, "/v1/analyze", body
+	}
+}
+
+// validBody checks a 200 body against the op's wire shape: an accepted
+// answer that does not decode — or that answers for a different key — is a
+// corrupt response, exactly what the chaos harness exists to catch.
+func validBody(op string, tgt target, raw []byte) bool {
+	switch op {
+	case OpPointsTo, OpAlias:
+		var qr server.QueryResultJSON
+		return json.Unmarshal(raw, &qr) == nil && qr.Key == tgt.key
+	case OpQuery:
+		var br server.QueryBatchResponse
+		return json.Unmarshal(raw, &br) == nil && len(br.Results) > 0
+	case OpSession:
+		var sr server.SessionResponse
+		return json.Unmarshal(raw, &sr) == nil && sr.Key == tgt.key && len(sr.Names) > 0
+	default: // OpAnalyze
+		var rep server.ReportJSON
+		return json.Unmarshal(raw, &rep) == nil && rep.Key != ""
+	}
+}
+
+// record folds one finished op into the scorecard.
+func (r *runner) record(op string, o outcome, retries int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.res.Ops++
+	r.res.Retries += int64(retries)
+	r.res.OpCounts[op]++
+	status := strconv.Itoa(o.status)
+	if o.status == 0 {
+		status = "transport"
+		r.res.Transport++
+	}
+	r.res.StatusCounts[status]++
+	if o.kind != "" {
+		r.res.KindCounts[o.kind]++
+	}
+	if o.corrupt {
+		r.res.Corrupt++
+	}
+	switch {
+	case o.status == http.StatusOK:
+		r.res.Succeeded++
+	default:
+		r.res.Failed++
+	}
+	if (o.status == http.StatusTooManyRequests || o.status == http.StatusServiceUnavailable) && o.retryAfter == 0 {
+		r.res.NoRetryAfter++
+	}
+	r.latencies = append(r.latencies, o.latency)
+}
+
+// finish computes the derived fields (quantiles, throughput).
+func (r *runner) finish() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.res.Elapsed > 0 {
+		r.res.ThroughputRPS = float64(r.res.Succeeded) / r.res.Elapsed.Seconds()
+	}
+	if len(r.latencies) == 0 {
+		return
+	}
+	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+	q := func(p float64) float64 {
+		idx := int(p*float64(len(r.latencies))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(r.latencies) {
+			idx = len(r.latencies) - 1
+		}
+		return float64(r.latencies[idx].Nanoseconds()) / 1e6
+	}
+	r.res.P50MS = q(0.50)
+	r.res.P95MS = q(0.95)
+	r.res.P99MS = q(0.99)
+	r.res.MaxMS = float64(r.latencies[len(r.latencies)-1].Nanoseconds()) / 1e6
+}

@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+func newServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	if cfg.Store == nil {
+		st, err := store.New(0, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	ts := httptest.NewServer(server.New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fastRetries keeps test runs quick without changing retry semantics.
+func fastRetries(cfg *Config) {
+	cfg.BackoffBase = 2 * time.Millisecond
+	cfg.MaxBackoff = 20 * time.Millisecond
+}
+
+// TestRunScoresMixedLoad drives an admission-limited, chaos-delayed server
+// at several times its concurrency limit and checks the scorecard: every op
+// accounted for, no invariant violations, sane quantiles.
+func TestRunScoresMixedLoad(t *testing.T) {
+	ts := newServer(t, server.Config{
+		Admission: server.AdmissionConfig{MaxInflight: 2, MaxQueue: 2},
+		Chaos:     chaos.New(chaos.Config{Seed: 1, SolveDelay: 5 * time.Millisecond, SolveDelayP: 1}),
+	})
+	cfg := Config{
+		BaseURL:  ts.URL,
+		Workers:  8,
+		Requests: 60,
+		Seed:     42,
+		Corpora:  []string{"anagram", "compiler"},
+	}
+	fastRetries(&cfg)
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 60 {
+		t.Errorf("Ops = %d, want 60", res.Ops)
+	}
+	if res.Succeeded == 0 {
+		t.Error("nothing succeeded")
+	}
+	if res.Succeeded+res.Failed != res.Ops {
+		t.Errorf("succeeded %d + failed %d != ops %d", res.Succeeded, res.Failed, res.Ops)
+	}
+	var statusTotal int64
+	for _, n := range res.StatusCounts {
+		statusTotal += n
+	}
+	if statusTotal != res.Ops {
+		t.Errorf("status counts sum to %d, want %d", statusTotal, res.Ops)
+	}
+	var opTotal int64
+	for _, n := range res.OpCounts {
+		opTotal += n
+	}
+	if opTotal != res.Ops {
+		t.Errorf("op counts sum to %d, want %d", opTotal, res.Ops)
+	}
+	if v := res.Violations(); len(v) != 0 {
+		t.Errorf("violations under healthy overload: %v", v)
+	}
+	if res.P50MS <= 0 || res.P99MS < res.P50MS || res.MaxMS < res.P99MS {
+		t.Errorf("quantiles out of order: p50=%v p99=%v max=%v", res.P50MS, res.P99MS, res.MaxMS)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Errorf("throughput = %v", res.ThroughputRPS)
+	}
+}
+
+// TestRetriesRecoverFrom429: a single-slot server with a tiny queue forces
+// overload rejections; the harness's backoff retries should still land
+// every op, and the retry counter must show the work it took.
+func TestRetriesRecoverFrom429(t *testing.T) {
+	ts := newServer(t, server.Config{
+		Admission: server.AdmissionConfig{MaxInflight: 1, MaxQueue: 1},
+		Chaos:     chaos.New(chaos.Config{Seed: 2, SolveDelay: 10 * time.Millisecond, SolveDelayP: 1}),
+	})
+	cfg := Config{
+		BaseURL:  ts.URL,
+		Workers:  8,
+		Requests: 24,
+		Seed:     7,
+		Corpora:  []string{"anagram"},
+		// Solve-bearing ops only: reads would bypass admission and dilute
+		// the overload pressure this test needs.
+		Mix:        Mix{Analyze: 1, Session: 1},
+		MaxRetries: 8,
+	}
+	fastRetries(&cfg)
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 24 {
+		t.Errorf("Ops = %d, want 24", res.Ops)
+	}
+	if got := res.StatusCounts["500"]; got != 0 {
+		t.Errorf("%d internal errors under overload", got)
+	}
+	if v := res.Violations(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestPrimeFailsOnUnknownCorpus(t *testing.T) {
+	ts := newServer(t, server.Config{})
+	cfg := Config{BaseURL: ts.URL, Corpora: []string{"no-such-program"}, MaxRetries: -1}
+	fastRetries(&cfg)
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("priming an unknown corpus succeeded")
+	}
+}
+
+func TestViolationsFlagBrokenInvariants(t *testing.T) {
+	r := &Result{
+		Corrupt:      2,
+		NoRetryAfter: 1,
+		StatusCounts: map[string]int64{"200": 10, "500": 3, "503": 4},
+	}
+	v := r.Violations()
+	if len(v) != 3 {
+		t.Fatalf("violations = %v, want 3 entries", v)
+	}
+	clean := &Result{StatusCounts: map[string]int64{"200": 10, "429": 2, "503": 1}}
+	if v := clean.Violations(); len(v) != 0 {
+		t.Errorf("clean result violated: %v", v)
+	}
+}
+
+func TestMixPickCoversWeights(t *testing.T) {
+	m := Mix{Analyze: 1, PointsTo: 2, Alias: 1, Query: 1, Session: 1}
+	counts := map[string]int{}
+	for n := 0; n < m.total(); n++ {
+		counts[m.pick(n)]++
+	}
+	want := map[string]int{OpAnalyze: 1, OpPointsTo: 2, OpAlias: 1, OpQuery: 1, OpSession: 1}
+	for op, w := range want {
+		if counts[op] != w {
+			t.Errorf("pick coverage for %s = %d, want %d", op, counts[op], w)
+		}
+	}
+}

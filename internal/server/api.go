@@ -150,8 +150,13 @@ type CompareResponse struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
-	Kind  string `json:"kind"` // fault taxonomy: parse, sema, limit, canceled, internal, usage
+	// Kind is the fault taxonomy code: parse, sema, limit, canceled,
+	// internal, usage, unknown-name, overloaded, would-miss-deadline.
+	Kind string `json:"kind"`
 	// Key is set when the request was well-formed enough to address the
 	// cache (so a client can retry the query later).
 	Key string `json:"key,omitempty"`
+	// RetryAfter mirrors the Retry-After header (seconds) on admission
+	// rejections (429 overloaded, 503 would-miss-deadline).
+	RetryAfter int `json:"retry_after,omitempty"`
 }

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/store"
 )
 
@@ -76,12 +78,14 @@ type EndpointJSON struct {
 }
 
 // Varz is the /varz document: expvar-flavored counters covering the cache,
-// the solver, and per-endpoint traffic.
+// the solver, the admission layer, and per-endpoint traffic.
 type Varz struct {
 	UptimeSeconds float64                 `json:"uptime_seconds"`
 	Cache         store.Stats             `json:"cache"`
 	Solver        SolverVarz              `json:"solver"`
 	Demand        DemandVarz              `json:"demand"`
+	Admission     AdmissionVarz           `json:"admission"`
+	Chaos         chaos.Stats             `json:"chaos"`
 	Endpoints     map[string]EndpointJSON `json:"endpoints"`
 }
 
@@ -128,15 +132,31 @@ func (w *statusRecorder) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// chaosWriter redirects the response body through a chaos-wrapped writer
+// (slow-client simulation) while header writes stay on the recorder.
+type chaosWriter struct {
+	*statusRecorder
+	body io.Writer
+}
+
+func (w *chaosWriter) Write(p []byte) (int, error) { return w.body.Write(p) }
+
 // instrument wraps a handler with per-endpoint counting and latency
-// recording under the given name.
+// recording under the given name, plus the chaos slow-writer when one is
+// configured.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := &endpointStats{}
 	s.endpoints[name] = ep
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h(rec, r)
+		var hw http.ResponseWriter = rec
+		if s.cfg.Chaos != nil {
+			if body := s.cfg.Chaos.WrapWriter(rec); body != io.Writer(rec) {
+				hw = &chaosWriter{statusRecorder: rec, body: body}
+			}
+		}
+		h(hw, r)
 		ep.requests.Add(1)
 		switch {
 		case rec.status == StatusClientClosedRequest:

@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/fault"
+	"repro/internal/store"
+)
+
+// kindIs reports whether err classifies as the given fault kind.
+func kindIs(err error, want fault.Kind) bool {
+	k, ok := fault.KindOf(err)
+	return ok && k == want
+}
+
+func decodeBytes(t *testing.T, raw []byte, dst any) {
+	t.Helper()
+	if err := json.Unmarshal(raw, dst); err != nil {
+		t.Fatalf("decode: %v\n%s", err, raw)
+	}
+}
+
+// distinctProgram returns a unique tiny program per index, so concurrent
+// requests address distinct store keys (no singleflight piggybacking).
+func distinctProgram(i int) []SourceJSON {
+	text := fmt.Sprintf("int g%d;\nint *p%d = &g%d;\nint main(void) { return *p%d; }\n", i, i, i, i)
+	return []SourceJSON{{Name: fmt.Sprintf("prog%d.c", i), Text: text}}
+}
+
+// TestAdmissionAcquire unit-tests the controller: slot grant, queue wait,
+// queue-full rejection, and cancellation while queued.
+func TestAdmissionAcquire(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxInflight: 1, MaxQueue: 1})
+
+	release1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Second request occupies the one queue seat.
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := make(chan error, 1)
+	go func() {
+		_, e := a.acquire(ctx)
+		abandoned <- e
+	}()
+	waitFor(t, func() bool { return a.queued.Load() == 1 })
+
+	// Third request finds the queue full: immediate overload rejection.
+	if _, err := a.acquire(context.Background()); !kindIs(err, fault.KindOverloaded) {
+		t.Fatalf("queue-full acquire: err = %v, want KindOverloaded", err)
+	}
+	if a.shedQueueFull.Load() != 1 {
+		t.Errorf("shedQueueFull = %d, want 1", a.shedQueueFull.Load())
+	}
+
+	// A queued request whose context dies gives up with KindCanceled.
+	cancel()
+	if err := <-abandoned; !kindIs(err, fault.KindCanceled) {
+		t.Fatalf("canceled wait: err = %v, want KindCanceled", err)
+	}
+	if a.canceledWaiting.Load() != 1 {
+		t.Errorf("canceledWaiting = %d, want 1", a.canceledWaiting.Load())
+	}
+
+	// The freed queue seat takes a new waiter, and releasing the slot
+	// admits it.
+	type result struct {
+		release func()
+		err     error
+	}
+	queued := make(chan result, 1)
+	go func() {
+		r, e := a.acquire(context.Background())
+		queued <- result{r, e}
+	}()
+	waitFor(t, func() bool { return a.queued.Load() == 1 })
+	release1()
+	r := <-queued
+	if r.err != nil {
+		t.Fatalf("queued acquire after release: %v", r.err)
+	}
+	r.release()
+	if got := a.admitted.Load(); got != 2 {
+		t.Errorf("admitted = %d, want 2", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestOverloadQueueFullReturns429 storms an admission-limited server with
+// 4x more concurrent distinct-program requests than slots+queue can hold.
+// Every response must be 200 or a 429 carrying Retry-After (header and
+// body agreeing), the shed counter must match the 429s, and every accepted
+// answer must be byte-identical when re-fetched after the storm.
+func TestOverloadQueueFullReturns429(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Admission: AdmissionConfig{MaxInflight: 1, MaxQueue: 2},
+		Chaos:     chaos.New(chaos.Config{Seed: 1, SolveDelay: 100 * time.Millisecond, SolveDelayP: 1}),
+	})
+
+	const n = 12 // 4x the slots+queue capacity of 3
+	statuses := make([]int, n)
+	bodies := make([][]byte, n)
+	retryHeaders := make([]string, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			resp, raw := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Sources: distinctProgram(i)})
+			statuses[i] = resp.StatusCode
+			bodies[i] = raw
+			retryHeaders[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	var ok200, shed429 int
+	for i := 0; i < n; i++ {
+		switch statuses[i] {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+			var er ErrorResponse
+			decodeBytes(t, bodies[i], &er)
+			if er.Kind != "overloaded" {
+				t.Errorf("429 kind = %q, want overloaded", er.Kind)
+			}
+			secs, err := strconv.Atoi(retryHeaders[i])
+			if err != nil || secs < 1 || secs > 60 {
+				t.Errorf("429 Retry-After header = %q, want integer in [1,60]", retryHeaders[i])
+			}
+			if er.RetryAfter != secs {
+				t.Errorf("429 body retry_after = %d, header = %d", er.RetryAfter, secs)
+			}
+		default:
+			t.Errorf("request %d: status %d, want 200 or 429: %s", i, statuses[i], bodies[i])
+		}
+	}
+	if ok200 == 0 || shed429 == 0 {
+		t.Fatalf("storm produced %d 200s and %d 429s; need both", ok200, shed429)
+	}
+
+	v := varz(t, ts.URL)
+	adm := v.Admission.Endpoints["analyze"]
+	if adm.MaxInflight != 1 || adm.MaxQueue != 2 {
+		t.Errorf("admission bounds = %d/%d, want 1/2", adm.MaxInflight, adm.MaxQueue)
+	}
+	if adm.ShedQueueFull != int64(shed429) {
+		t.Errorf("shed_queue_full = %d, want %d (the observed 429s)", adm.ShedQueueFull, shed429)
+	}
+	if adm.Admitted != int64(ok200) {
+		t.Errorf("admitted = %d, want %d (the observed 200s)", adm.Admitted, ok200)
+	}
+	if adm.Inflight != 0 || adm.Queued != 0 {
+		t.Errorf("gauges not drained: inflight=%d queued=%d", adm.Inflight, adm.Queued)
+	}
+
+	// Accepted answers are byte-identical to the unloaded (cache-served)
+	// answer for the same program.
+	for i := 0; i < n; i++ {
+		if statuses[i] != http.StatusOK {
+			continue
+		}
+		resp, raw := postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Sources: distinctProgram(i)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("re-fetch %d: status %d", i, resp.StatusCode)
+		}
+		if !bytes.Equal(raw, bodies[i]) {
+			t.Errorf("request %d: loaded answer differs from unloaded answer:\n%s\nvs\n%s", i, bodies[i], raw)
+		}
+	}
+}
+
+// TestDeadlineShedReturns503: once a program has a cost estimate on record,
+// a request for it whose deadline budget cannot cover that estimate is shed
+// with 503 "would-miss-deadline" before consuming a slot. The store runs
+// with a 1-byte budget so nothing stays in memory and the second request
+// genuinely needs solver work.
+func TestDeadlineShedReturns503(t *testing.T) {
+	st, err := store.New(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Store:     st,
+		Admission: AdmissionConfig{MaxInflight: 2},
+		Chaos:     chaos.New(chaos.Config{Seed: 1, SolveDelay: 150 * time.Millisecond, SolveDelayP: 1}),
+	})
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}}
+
+	// Prime the cost estimate: the chaos delay counts as solve time, so the
+	// EWMA lands near 150ms.
+	if resp, raw := postJSON(t, ts.URL+"/v1/analyze", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming solve: status %d: %s", resp.StatusCode, raw)
+	}
+
+	// 5ms of budget against a ~150ms estimate: shed, don't solve.
+	req.Limits = LimitsJSON{TimeoutMS: 5}
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", resp.StatusCode, raw)
+	}
+	var er ErrorResponse
+	decodeBytes(t, raw, &er)
+	if er.Kind != "would-miss-deadline" {
+		t.Errorf("kind = %q, want would-miss-deadline", er.Kind)
+	}
+	if er.Key == "" {
+		t.Errorf("503 lost the request key")
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+
+	// A roomy deadline passes the same gate and solves.
+	req.Limits = LimitsJSON{TimeoutMS: 30_000}
+	if resp, raw := postJSON(t, ts.URL+"/v1/analyze", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("roomy deadline: status %d: %s", resp.StatusCode, raw)
+	}
+
+	v := varz(t, ts.URL)
+	adm := v.Admission.Endpoints["analyze"]
+	if adm.ShedDeadline != 1 {
+		t.Errorf("shed_deadline = %d, want 1", adm.ShedDeadline)
+	}
+	if v.Admission.CostKeys == 0 {
+		t.Errorf("cost table is empty after a solve")
+	}
+	if v.Chaos.SolveDelays == 0 {
+		t.Errorf("chaos solve delays not counted")
+	}
+}
+
+// TestCacheHitBypassesAdmission: a memory-cached answer never consumes a
+// slot, even when the controller is saturated.
+func TestCacheHitBypassesAdmission(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Admission: AdmissionConfig{MaxInflight: 1, MaxQueue: 1},
+	})
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}}
+	if resp, raw := postJSON(t, ts.URL+"/v1/analyze", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("priming solve: status %d: %s", resp.StatusCode, raw)
+	}
+	admitted := s.admissions["analyze"].admitted.Load()
+
+	// Saturate the controller: park a slot-holder manually.
+	release, err := s.admissions["analyze"].acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// The cached program still answers 200 without touching admission.
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache hit under saturation: status %d: %s", resp.StatusCode, raw)
+	}
+	if got := s.admissions["analyze"].admitted.Load(); got != admitted+1 {
+		// +1 accounts for the manual acquire above; the cached request must
+		// not have added another.
+		t.Errorf("cache hit consumed admission: admitted went %d -> %d", admitted, got)
+	}
+}
+
+// TestSlowClientWritesStayIntact: the chaos slow-writer trickles response
+// bodies without corrupting them.
+func TestSlowClientWritesStayIntact(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Chaos: chaos.New(chaos.Config{Seed: 3, SlowWrite: time.Microsecond, SlowWriteChunk: 7, SlowWriteP: 1}),
+	})
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}}
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var rep ReportJSON
+	decodeBytes(t, raw, &rep)
+	if rep.Key == "" || rep.TotalFacts == 0 {
+		t.Errorf("slow-written body decoded to an empty report: %+v", rep)
+	}
+	v := varz(t, ts.URL)
+	if v.Chaos.SlowWrites == 0 {
+		t.Errorf("slow writes not counted in /varz")
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/corpus"
 	"repro/internal/export"
 	"repro/internal/fault"
@@ -77,15 +78,27 @@ type Config struct {
 	// MaxSessions bounds the warm query sessions kept resident (LRU
 	// eviction beyond it); 0 selects 32.
 	MaxSessions int
+	// Admission bounds concurrent solver consumption per solve-bearing
+	// endpoint (analyze, compare, session). The zero value disables
+	// admission control; see AdmissionConfig.
+	Admission AdmissionConfig
+	// AdmissionPerEndpoint overrides Admission for named endpoints.
+	AdmissionPerEndpoint map[string]AdmissionConfig
+	// Chaos, when non-nil, injects deterministic faults (solve latency,
+	// slow-client writes) into the request path; the store's spill hooks
+	// are wired separately by the daemon. Nil in production.
+	Chaos *chaos.Chaos
 }
 
 // Server is the analysis query service.
 type Server struct {
-	cfg       Config
-	mux       *http.ServeMux
-	start     time.Time
-	endpoints map[string]*endpointStats
-	sessions  *sessionCache
+	cfg        Config
+	mux        *http.ServeMux
+	start      time.Time
+	endpoints  map[string]*endpointStats
+	sessions   *sessionCache
+	admissions map[string]*admission
+	costs      *costTable
 
 	solves, solveSteps, solveIncomplete atomic.Int64
 	solveRejected, solveCanceled        atomic.Int64
@@ -106,11 +119,20 @@ func New(cfg Config) *Server {
 		cfg.MaxSourceBytes = 4 << 20
 	}
 	s := &Server{
-		cfg:       cfg,
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		endpoints: make(map[string]*endpointStats),
-		sessions:  newSessionCache(cfg.MaxSessions),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		endpoints:  make(map[string]*endpointStats),
+		sessions:   newSessionCache(cfg.MaxSessions),
+		admissions: make(map[string]*admission),
+		costs:      newCostTable(),
+	}
+	for _, endpoint := range []string{"analyze", "compare", "session"} {
+		acfg := cfg.Admission
+		if override, ok := cfg.AdmissionPerEndpoint[endpoint]; ok {
+			acfg = override
+		}
+		s.admissions[endpoint] = newAdmission(acfg)
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/session", s.instrument("session", s.handleSession))
@@ -280,6 +302,14 @@ func classify(err error) (status int, kind string) {
 		kind, status = fault.KindCanceled.String(), StatusClientClosedRequest
 	case classified && k == fault.KindUnknownName:
 		kind, status = k.String(), http.StatusNotFound
+	case classified && k == fault.KindOverloaded:
+		// Admission control refused the work: the queue is full. 429 tells
+		// the client to back off (Retry-After carries the estimate).
+		kind, status = k.String(), http.StatusTooManyRequests
+	case classified && k == fault.KindDeadline:
+		// Shed before solving: the request's remaining deadline budget
+		// cannot cover the estimated solve cost. 503 + Retry-After.
+		kind, status = k.String(), http.StatusServiceUnavailable
 	case classified && k == fault.KindLimit:
 		// Shouldn't normally escape as an error (limit trips are reported
 		// as incomplete 200s), but keep the mapping total.
@@ -291,10 +321,12 @@ func classify(err error) (status int, kind string) {
 }
 
 // writeError maps a classified error onto the wire contract. key, when
-// known, lets the client retry the query later.
+// known, lets the client retry the query later. Admission rejections carry
+// their backoff hint both as a Retry-After header and in the body.
 func writeError(w http.ResponseWriter, err error, key string) {
 	status, kind := classify(err)
-	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, Key: key})
+	retryAfter := setRetryAfter(w, err)
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind, Key: key, RetryAfter: retryAfter})
 }
 
 func reportJSON(key string, snap *export.Snapshot) ReportJSON {
@@ -316,13 +348,32 @@ func reportJSON(key string, snap *export.Snapshot) ReportJSON {
 // --- handlers ---
 
 // solveSnapshot runs one governed analysis through the cache, recording the
-// solver counters for /varz.
-func (s *Server) solveSnapshot(ctx context.Context, key string, sources []pointsto.Source, cfg pointsto.Config) (*export.Snapshot, error) {
+// solver counters for /varz. endpoint selects the admission controller:
+// a request the memory cache or an in-flight solve can answer bypasses
+// admission; one that needs real solver work must be admitted first (and
+// may instead be shed — 429 when the queue is full, 503 when its deadline
+// budget cannot cover the estimated cost).
+func (s *Server) solveSnapshot(ctx context.Context, endpoint, key string, sources []pointsto.Source, cfg pointsto.Config) (*export.Snapshot, error) {
+	if snap, ok := s.cfg.Store.Peek(key); ok {
+		return snap, nil
+	}
+	if !s.cfg.Store.Joinable(key) {
+		release, err := s.admitSolve(ctx, endpoint, key)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+	}
 	snap, _, err := s.cfg.Store.GetOrSolve(ctx, key, func(sctx context.Context) (*export.Snapshot, error) {
 		start := time.Now()
 		s.solves.Add(1)
+		// Injected latency counts as solve time: chaos-slowed programs must
+		// look expensive to the cost table so shedding engages.
+		s.cfg.Chaos.SolveDelay(sctx)
 		rep, aerr := pointsto.AnalyzeContext(sctx, sources, cfg)
-		s.solveNS.Add(time.Since(start).Nanoseconds())
+		elapsed := time.Since(start)
+		s.solveNS.Add(elapsed.Nanoseconds())
+		s.costs.observe(key, elapsed)
 		if aerr != nil {
 			switch k, _ := fault.KindOf(aerr); k {
 			case fault.KindCanceled:
@@ -366,7 +417,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	key := store.Key(sources, cfg)
 	ctx, cancel := s.requestContext(r, req.Limits)
 	defer cancel()
-	snap, err := s.solveSnapshot(ctx, key, sources, cfg)
+	snap, err := s.solveSnapshot(ctx, "analyze", key, sources, cfg)
 	if err != nil {
 		writeError(w, err, key)
 		return
@@ -399,7 +450,19 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	// limit-free config.
 	cfg := pointsto.Config{Strategy: strategy, ABI: req.ABI}
 	key := store.Key(sources, cfg)
+	// A warm session answers from residency — no admission needed. Only
+	// building a new one (front-end work) consumes a slot.
+	if sess, ok := s.sessions.get(key); ok {
+		writeJSON(w, http.StatusOK, SessionResponse{Key: key, Cached: true, Names: sess.Names()})
+		return
+	}
+	release, err := s.admitSolve(r.Context(), "session", key)
+	if err != nil {
+		writeError(w, err, key)
+		return
+	}
 	sess, cached, err := s.sessions.getOrCreate(key, sources, cfg)
+	release()
 	if err != nil {
 		writeError(w, err, key)
 		return
@@ -446,7 +509,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	for _, strategy := range pointsto.Strategies() {
 		cfg := s.requestConfig(strategy, req.ABI, req.Limits)
 		key := store.Key(sources, cfg)
-		snap, err := s.solveSnapshot(ctx, key, sources, cfg)
+		snap, err := s.solveSnapshot(ctx, "compare", key, sources, cfg)
 		if err != nil {
 			writeError(w, err, key)
 			return
@@ -519,6 +582,14 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			TraversalsSaved: s.solveTravSaved.Load(),
 		},
 		Endpoints: make(map[string]EndpointJSON, len(s.endpoints)),
+		Admission: AdmissionVarz{
+			CostKeys:  s.costs.keys(),
+			Endpoints: make(map[string]AdmissionEndpointVarz, len(s.admissions)),
+		},
+		Chaos: s.cfg.Chaos.Stats(),
+	}
+	for name, a := range s.admissions {
+		varz.Admission.Endpoints[name] = a.varz()
 	}
 	names := make([]string, 0, len(s.endpoints))
 	for name := range s.endpoints {

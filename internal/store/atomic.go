@@ -1,0 +1,52 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// AtomicWriteFile publishes a file so that no reader — concurrent or
+// post-crash — can ever observe a partial write: the content goes to a
+// temp file in the target's directory, is flushed to stable storage with
+// fsync, and is renamed over path (rename within one directory is atomic
+// on POSIX filesystems). The directory itself is then fsynced so the new
+// name survives a crash too. On any error the temp file is removed and the
+// previous content of path, if any, is left untouched.
+//
+// Every snapshot-spill write in this package goes through this helper;
+// nothing in the store writes a spill file in place.
+func AtomicWriteFile(path string, perm os.FileMode, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), perm); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Persist the rename: without the directory fsync a crash can forget
+	// the new directory entry even though the data blocks are on disk.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

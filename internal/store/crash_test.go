@@ -1,0 +1,240 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/export"
+)
+
+// writeSpill spills one good snapshot through a throwaway store and returns
+// its file path.
+func writeSpill(t *testing.T, dir, key, tag string) string {
+	t.Helper()
+	st := mustStore(t, 0, dir)
+	if _, _, err := st.GetOrSolve(context.Background(), key, func(context.Context) (*export.Snapshot, error) {
+		return testSnap(tag), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, key+spillExt)
+}
+
+// corruptions are the adversarial spill-file mutations a crash (or a bad
+// disk) can produce. Each takes a valid spill file and damages it in place.
+var corruptions = map[string]func(t *testing.T, path string){
+	"truncated": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"bit-flipped": func(t *testing.T, path string) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"zero-length": func(t *testing.T, path string) {
+		if err := os.WriteFile(path, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	},
+	"wrong-version": func(t *testing.T, path string) {
+		bad := testSnap("stale")
+		bad.Version = export.SnapshotVersion + 7
+		if err := AtomicWriteFile(path, 0o644, func(w io.Writer) error {
+			return export.WriteSnapshotChecked(w, bad)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	},
+}
+
+// TestWarmRestartQuarantinesAdversarialSpill builds a spill directory with
+// one good snapshot and every corruption, then boots a fresh store over it:
+// VerifySpill must quarantine exactly the corrupt files (counter included),
+// the good one must still answer, and nothing may panic or fail the boot.
+func TestWarmRestartQuarantinesAdversarialSpill(t *testing.T) {
+	dir := t.TempDir()
+	goodKey := hexKey('a')
+	writeSpill(t, dir, goodKey, "good")
+
+	badKeys := make(map[string]string, len(corruptions))
+	i := byte('b')
+	for name, damage := range corruptions {
+		key := hexKey(i)
+		i++
+		damage(t, writeSpill(t, dir, key, name))
+		badKeys[name] = key
+	}
+	// Litter from a crash mid-write.
+	tmpLitter := filepath.Join(dir, goodKey+spillExt+".tmp123")
+	if err := os.WriteFile(tmpLitter, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mustStore(t, 0, dir) // the "restarted daemon"
+	res, err := st.VerifySpill()
+	if err != nil {
+		t.Fatalf("VerifySpill must not fail the boot: %v", err)
+	}
+	if res.Quarantined != len(corruptions) {
+		t.Errorf("quarantined %d files, want %d", res.Quarantined, len(corruptions))
+	}
+	if res.Checked != 1 {
+		t.Errorf("checked %d good files, want 1", res.Checked)
+	}
+	if res.TempCleaned != 1 {
+		t.Errorf("cleaned %d temp files, want 1", res.TempCleaned)
+	}
+	if got := st.Stats().Quarantined; got != int64(len(corruptions)) {
+		t.Errorf("Stats().Quarantined = %d, want %d", got, len(corruptions))
+	}
+
+	// The good snapshot still serves; the corrupt ones re-solve.
+	if snap, ok := st.Get(goodKey); !ok || snap.Vars["p"][0] != "good" {
+		t.Errorf("good spill file must survive the sweep: ok=%v", ok)
+	}
+	for name, key := range badKeys {
+		if _, ok := st.Get(key); ok {
+			t.Errorf("%s: corrupt snapshot was served", name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, key+spillExt)); !os.IsNotExist(err) {
+			t.Errorf("%s: corrupt file still in the spill directory", name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, quarantineDirName, key+spillExt)); err != nil {
+			t.Errorf("%s: corrupt file not preserved in quarantine: %v", name, err)
+		}
+	}
+}
+
+// TestLazyLoadQuarantines: without a boot sweep, the first read of a
+// corrupt spill file quarantines it and falls through to a re-solve.
+func TestLazyLoadQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	key := hexKey('c')
+	path := writeSpill(t, dir, key, "ok")
+	corruptions["bit-flipped"](t, path)
+
+	st := mustStore(t, 0, dir)
+	if _, ok := st.Get(key); ok {
+		t.Fatal("corrupt snapshot was served")
+	}
+	if got := st.Stats().Quarantined; got != 1 {
+		t.Errorf("Quarantined = %d, want 1", got)
+	}
+	// Second read: the file is gone (quarantined), so a solve runs and
+	// re-spills a fresh, valid snapshot.
+	snap, cached, err := st.GetOrSolve(context.Background(), key, func(context.Context) (*export.Snapshot, error) {
+		return testSnap("resolved"), nil
+	})
+	if err != nil || cached {
+		t.Fatalf("re-solve after quarantine: cached=%v err=%v", cached, err)
+	}
+	if snap.Vars["p"][0] != "resolved" {
+		t.Errorf("unexpected snapshot: %+v", snap)
+	}
+}
+
+// TestSpillHookInjection: an injected write error (or panic) is counted and
+// non-fatal; the poisoned write leaves no file behind, and removing the
+// hook restores spilling.
+func TestSpillHookInjection(t *testing.T) {
+	dir := t.TempDir()
+	st := mustStore(t, 0, dir)
+	key := hexKey('d')
+
+	st.SetSpillHook(func(op string) error {
+		if op == "write" {
+			return errors.New("injected: disk on fire")
+		}
+		return nil
+	})
+	if _, _, err := st.GetOrSolve(context.Background(), key, func(context.Context) (*export.Snapshot, error) {
+		return testSnap("x"), nil
+	}); err != nil {
+		t.Fatalf("injected spill error must not fail the solve: %v", err)
+	}
+	if s := st.Stats(); s.DiskErrors != 1 || s.DiskWrites != 0 {
+		t.Errorf("stats after injected write error: %+v", s)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+spillExt)); !os.IsNotExist(err) {
+		t.Error("failed spill left a file behind")
+	}
+
+	// A hook that panics simulates a crash mid-write; it must be recovered
+	// and counted, never propagated.
+	st.SetSpillHook(func(op string) error {
+		if op == "write" {
+			panic("injected: kernel panic")
+		}
+		return nil
+	})
+	if _, _, err := st.GetOrSolve(context.Background(), hexKey('e'), func(context.Context) (*export.Snapshot, error) {
+		return testSnap("y"), nil
+	}); err != nil {
+		t.Fatalf("injected spill panic must not fail the solve: %v", err)
+	}
+	if s := st.Stats(); s.DiskErrors != 2 {
+		t.Errorf("DiskErrors = %d, want 2", s.DiskErrors)
+	}
+
+	// Injected read errors are I/O trouble, not corruption: no quarantine.
+	st2 := mustStore(t, 0, dir)
+	writeSpill(t, dir, hexKey('f'), "z")
+	st2.SetSpillHook(func(op string) error { return fmt.Errorf("injected %s error", op) })
+	if _, ok := st2.Get(hexKey('f')); ok {
+		t.Error("injected read error should make the load miss")
+	}
+	if s := st2.Stats(); s.Quarantined != 0 || s.DiskErrors != 1 {
+		t.Errorf("injected read error must not quarantine: %+v", s)
+	}
+	st2.SetSpillHook(nil)
+	if _, ok := st2.Get(hexKey('f')); !ok {
+		t.Error("with the hook removed the spilled snapshot must load")
+	}
+}
+
+// TestAtomicWriteFileNeverTears: a writer that fails mid-stream leaves the
+// previous file content fully intact and no temp litter.
+func TestAtomicWriteFileNeverTears(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "victim")
+	if err := AtomicWriteFile(path, 0o644, func(w io.Writer) error {
+		_, err := io.WriteString(w, "generation-1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := AtomicWriteFile(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "generation-2-partial")
+		return errors.New("crash mid-write")
+	})
+	if err == nil {
+		t.Fatal("failed write reported success")
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil || string(data) != "generation-1" {
+		t.Errorf("previous content damaged: %q, %v", data, rerr)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp litter left behind: %s", e.Name())
+		}
+	}
+}

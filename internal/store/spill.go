@@ -1,0 +1,217 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/export"
+	"repro/internal/fault"
+)
+
+// This file is the crash-safe half of the store: every snapshot reaches
+// disk through AtomicWriteFile in the checked (checksummed) container
+// format, and every read verifies the checksum before trusting a byte. A
+// file that fails verification — truncated, bit-flipped, zero-length,
+// wrong wire version — is quarantined into <spillDir>/quarantine/ and
+// counted, never served and never allowed to fail a warm restart. I/O
+// errors (as opposed to corruption) leave the file alone and bump
+// DiskErrors instead: a flaky disk should not destroy snapshots that may
+// read fine on retry.
+
+// quarantineDirName is the subdirectory corrupt spill files are moved to.
+// It can never collide with a snapshot: spill files are named by 64-hex
+// keys.
+const quarantineDirName = "quarantine"
+
+// spillExt is the spill-file suffix (the payload is the checked container;
+// the extension predates it and is kept for warm-restart compatibility).
+const spillExt = ".json"
+
+// SpillHook intercepts spill I/O for deterministic fault injection
+// (internal/chaos wires one behind ptrserved's -chaos flag). It is
+// consulted with the operation ("read" or "write") before the real I/O
+// runs; a non-nil return simulates an I/O error, and the hook may panic to
+// simulate a crash mid-operation — both paths are recovered and counted as
+// DiskErrors, never propagated to a request.
+type SpillHook func(op string) error
+
+// SetSpillHook installs h (nil removes it). Concurrency-safe, but meant to
+// be set once at boot before the store serves traffic.
+func (st *Store) SetSpillHook(h SpillHook) {
+	st.spillHook.Store(h) // the typed nil is stored as "no hook"
+}
+
+func (st *Store) hook(op string) error {
+	v := st.spillHook.Load()
+	if v == nil {
+		return nil
+	}
+	h := v.(SpillHook)
+	if h == nil {
+		return nil
+	}
+	return h(op)
+}
+
+// spillPath maps a key to its spill file; empty when spilling is off or the
+// key is malformed (malformed keys must never touch the filesystem).
+func (st *Store) spillPath(key string) string {
+	if st.spillDir == "" || !ValidKey(key) {
+		return ""
+	}
+	return filepath.Join(st.spillDir, key+spillExt)
+}
+
+// diskLoad reads a spilled snapshot; nil when spilling is off, the file is
+// absent, unreadable (counted) or corrupt (quarantined and counted). The
+// daemon then just re-solves.
+func (st *Store) diskLoad(key string) *export.Snapshot {
+	path := st.spillPath(key)
+	if path == "" {
+		return nil
+	}
+	snap, err := st.readSpillFile(path, true)
+	switch {
+	case err == nil:
+		return snap
+	case errors.Is(err, fs.ErrNotExist):
+		return nil
+	case isCorrupt(err):
+		st.quarantine(path)
+		return nil
+	default:
+		st.diskErrors.Add(1)
+		return nil
+	}
+}
+
+// readSpillFile opens and verifies one spill file. injected selects whether
+// the fault-injection hook runs (the boot-time verification sweep bypasses
+// it so injected read errors cannot cause false quarantines). A panic
+// anywhere in the read — including one injected by the hook — comes back as
+// an error, not a crash.
+func (st *Store) readSpillFile(path string, injected bool) (snap *export.Snapshot, err error) {
+	defer fault.Recover("spill-read", &err)
+	if injected {
+		if herr := st.hook("read"); herr != nil {
+			return nil, herr
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return export.ReadSnapshotChecked(f)
+}
+
+// isCorrupt reports whether err means "the bytes are bad" (quarantine) as
+// opposed to "the read failed" (retryable; leave the file alone).
+func isCorrupt(err error) bool {
+	var ce *export.CorruptError
+	return errors.As(err, &ce)
+}
+
+// quarantine moves a corrupt spill file aside (into the quarantine
+// subdirectory, preserving the name for postmortems) and counts it. If the
+// move itself fails the file is deleted instead — a corrupt snapshot must
+// never be left where a future restart would trust it again.
+func (st *Store) quarantine(path string) {
+	qdir := filepath.Join(st.spillDir, quarantineDirName)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(path, filepath.Join(qdir, filepath.Base(path))) == nil {
+			st.diskQuarantined.Add(1)
+			return
+		}
+	}
+	if err := os.Remove(path); err == nil || errors.Is(err, fs.ErrNotExist) {
+		st.diskQuarantined.Add(1)
+		return
+	}
+	// Could neither move nor remove it; at least record the I/O trouble.
+	st.diskErrors.Add(1)
+}
+
+// diskStore spills a snapshot through AtomicWriteFile in the checked
+// container format, so a crash mid-write can never leave a torn file that
+// a restarted daemon would trust. Spill failures (real or injected, error
+// or panic) are counted, not fatal: the cache keeps serving from memory.
+func (st *Store) diskStore(key string, snap *export.Snapshot) {
+	path := st.spillPath(key)
+	if path == "" {
+		return
+	}
+	var err error
+	func() {
+		defer fault.Recover("spill-write", &err)
+		if herr := st.hook("write"); herr != nil {
+			err = herr
+			return
+		}
+		err = AtomicWriteFile(path, 0o644, func(w io.Writer) error {
+			return export.WriteSnapshotChecked(w, snap)
+		})
+	}()
+	if err != nil {
+		st.diskErrors.Add(1)
+		return
+	}
+	st.diskWrites.Add(1)
+}
+
+// VerifyResult summarizes a VerifySpill sweep.
+type VerifyResult struct {
+	Checked     int // spill files whose checksum was verified
+	Quarantined int // corrupt files moved aside
+	TempCleaned int // leftover temp files from interrupted writes removed
+}
+
+// VerifySpill sweeps the spill directory at boot: every snapshot file is
+// checksum-verified, corrupt or truncated ones are quarantined (bumping the
+// DiskQuarantined counter), and temp files abandoned by a crash mid-write
+// are deleted. The sweep never fails the boot on bad content — only on
+// being unable to list the directory at all. With spilling disabled it is
+// a no-op.
+func (st *Store) VerifySpill() (VerifyResult, error) {
+	var res VerifyResult
+	if st.spillDir == "" {
+		return res, nil
+	}
+	entries, err := os.ReadDir(st.spillDir)
+	if err != nil {
+		return res, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue // the quarantine subdirectory, or operator clutter
+		}
+		path := filepath.Join(st.spillDir, name)
+		key, isSnap := strings.CutSuffix(name, spillExt)
+		if !isSnap || !ValidKey(key) {
+			// A crash between CreateTemp and rename leaves *.tmp* litter;
+			// anything else unrecognized is left untouched.
+			if strings.Contains(name, ".tmp") {
+				if os.Remove(path) == nil {
+					res.TempCleaned++
+				}
+			}
+			continue
+		}
+		if _, err := st.readSpillFile(path, false); err != nil {
+			if isCorrupt(err) {
+				st.quarantine(path)
+				res.Quarantined++
+			} else {
+				st.diskErrors.Add(1)
+			}
+			continue
+		}
+		res.Checked++
+	}
+	return res, nil
+}

@@ -12,9 +12,11 @@
 //     away, and a canceled solve's partial result is never inserted — the
 //     next request re-solves from scratch.
 //   - Disk spill: with a spill directory configured, every solved snapshot
-//     is also written as <dir>/<key>.json in the export wire format, and a
-//     restarted daemon warms from disk lazily on first access instead of
-//     re-solving.
+//     is also written as <dir>/<key>.json in the checked (checksummed)
+//     container format via an atomic temp+fsync+rename, and a restarted
+//     daemon warms from disk lazily on first access instead of re-solving.
+//     Corrupt or truncated spill files are quarantined and counted — never
+//     served, and never a boot failure (see spill.go and VerifySpill).
 //
 // All methods are safe for concurrent use.
 package store
@@ -24,7 +26,6 @@ import (
 	"context"
 	"errors"
 	"os"
-	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -44,6 +45,7 @@ type Stats struct {
 	DiskHits      int64 `json:"disk_hits"`      // warmed from the spill directory
 	DiskWrites    int64 `json:"disk_writes"`    // snapshots spilled to disk
 	DiskErrors    int64 `json:"disk_errors"`    // spill I/O failures (non-fatal)
+	Quarantined   int64 `json:"quarantined"`    // corrupt spill files moved aside
 	Entries       int   `json:"entries"`        // resident entries (gauge)
 	Bytes         int64 `json:"bytes"`          // resident size (gauge)
 	BudgetBytes   int64 `json:"budget_bytes"`   // configured budget (0 = unlimited)
@@ -78,6 +80,9 @@ type Store struct {
 	hits, misses, evictions, solves  atomic.Int64
 	inflightWaits, inflight          atomic.Int64
 	diskHits, diskWrites, diskErrors atomic.Int64
+	diskQuarantined                  atomic.Int64
+
+	spillHook atomic.Value // SpillHook; see SetSpillHook
 }
 
 // New builds a store with the given byte budget (0 or negative = unlimited)
@@ -113,6 +118,7 @@ func (st *Store) Stats() Stats {
 		DiskHits:      st.diskHits.Load(),
 		DiskWrites:    st.diskWrites.Load(),
 		DiskErrors:    st.diskErrors.Load(),
+		Quarantined:   st.diskQuarantined.Load(),
 		Entries:       entries,
 		Bytes:         bytes,
 		BudgetBytes:   st.budget,
@@ -140,6 +146,35 @@ func (st *Store) Get(key string) (*export.Snapshot, bool) {
 		return snap, true
 	}
 	return nil, false
+}
+
+// Peek returns the in-memory snapshot for key without consulting disk. A
+// hit refreshes the LRU position and counts as a hit; an absence counts
+// nothing (the follow-up GetOrSolve will count the miss exactly once). The
+// server's admission layer peeks before deciding whether a request needs a
+// solve slot: a memory hit must never be queued or shed.
+func (st *Store) Peek(key string) (*export.Snapshot, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.entries[key]
+	if !ok {
+		return nil, false
+	}
+	st.lru.MoveToFront(el)
+	st.hits.Add(1)
+	return el.Value.(*entry).snap, true
+}
+
+// Joinable reports whether a solve for key is already in flight, so a new
+// request would piggyback on it instead of consuming solver capacity. The
+// answer is advisory — the flight may finish between the check and the
+// join — which is fine for admission control (the race only means one
+// request briefly holds a slot it did not need).
+func (st *Store) Joinable(key string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.flights[key]
+	return ok
 }
 
 // GetOrSolve returns the snapshot for key, solving it at most once across
@@ -235,11 +270,14 @@ func (st *Store) run(key string, fl *flight, ctx context.Context, solve func(con
 		st.insertLocked(key, snap)
 	}
 	st.mu.Unlock()
-	close(fl.done)
 
+	// Spill before releasing the waiters: once a request sees the result,
+	// the snapshot is already durable (fsynced), so a crash right after a
+	// 200 cannot lose what the client was just told exists.
 	if err == nil && !fromDisk {
 		st.diskStore(key, snap)
 	}
+	close(fl.done)
 }
 
 // insertLocked adds (or refreshes) an entry and enforces the byte budget by
@@ -263,63 +301,4 @@ func (st *Store) insertLocked(key string, snap *export.Snapshot) {
 		st.bytes -= e.size
 		st.evictions.Add(1)
 	}
-}
-
-// spillPath maps a key to its spill file; empty when spilling is off or the
-// key is malformed (malformed keys must never touch the filesystem).
-func (st *Store) spillPath(key string) string {
-	if st.spillDir == "" || !ValidKey(key) {
-		return ""
-	}
-	return filepath.Join(st.spillDir, key+".json")
-}
-
-// diskLoad reads a spilled snapshot; nil when absent, unreadable or of a
-// different wire version (the daemon then just re-solves).
-func (st *Store) diskLoad(key string) *export.Snapshot {
-	path := st.spillPath(key)
-	if path == "" {
-		return nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil
-	}
-	defer f.Close()
-	snap, err := export.ReadSnapshot(f)
-	if err != nil {
-		return nil
-	}
-	return snap
-}
-
-// diskStore spills a snapshot via write-to-temp + rename, so a crash mid-
-// write can never leave a torn file that a restarted daemon would trust.
-// Spill failures are counted, not fatal: the cache keeps serving from
-// memory.
-func (st *Store) diskStore(key string, snap *export.Snapshot) {
-	path := st.spillPath(key)
-	if path == "" {
-		return
-	}
-	tmp, err := os.CreateTemp(st.spillDir, key+".tmp*")
-	if err != nil {
-		st.diskErrors.Add(1)
-		return
-	}
-	defer os.Remove(tmp.Name())
-	if err := export.WriteSnapshot(tmp, snap); err != nil {
-		tmp.Close()
-		st.diskErrors.Add(1)
-		return
-	}
-	if err := tmp.Close(); err != nil {
-		st.diskErrors.Add(1)
-		return
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		st.diskErrors.Add(1)
-		return
-	}
-	st.diskWrites.Add(1)
 }

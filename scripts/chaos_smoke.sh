@@ -1,0 +1,129 @@
+#!/bin/sh
+# Chaos smoke: boot ptrserved with deterministic fault injection, storm it
+# with ptrload at several times its admission limit, and assert the
+# service-tier contract held:
+#
+#   - no 5xx other than 503 "would-miss-deadline", no corrupt bodies,
+#     every overload rejection carried Retry-After (ptrload -assert);
+#   - SIGTERM drains cleanly (exit 0);
+#   - adversarially corrupted spill files (truncated, bit-flipped,
+#     zero-length, wrong-version) are quarantined on warm restart — the
+#     /varz quarantine counter matches the number of corruptions — and the
+#     restarted daemon still answers.
+#
+# Run from the repository root: sh scripts/chaos_smoke.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d "${TMPDIR:-/tmp}/chaos_smoke.XXXXXX")
+spill="$workdir/spill"
+serverpid=""
+cleanup() {
+	[ -n "$serverpid" ] && kill "$serverpid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "== build"
+go build -o "$workdir" ./cmd/ptrserved ./cmd/ptrload
+
+# start_server <extra flags...>: boots ptrserved on an ephemeral port and
+# sets $port. The daemon logs its bound address to stderr.
+start_server() {
+	: >"$workdir/serve.log"
+	"$workdir/ptrserved" -addr 127.0.0.1:0 -spill-dir "$spill" -drain 20s "$@" \
+		2>"$workdir/serve.log" &
+	serverpid=$!
+	port=""
+	for _ in $(seq 1 50); do
+		port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$workdir/serve.log")
+		[ -n "$port" ] && break
+		if ! kill -0 "$serverpid" 2>/dev/null; then
+			echo "chaos_smoke: server died on boot:" >&2
+			cat "$workdir/serve.log" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	if [ -z "$port" ]; then
+		echo "chaos_smoke: server never reported its port" >&2
+		cat "$workdir/serve.log" >&2
+		exit 1
+	fi
+}
+
+# stop_server: SIGTERM + assert the drain was clean (exit 0).
+stop_server() {
+	kill -TERM "$serverpid"
+	if ! wait "$serverpid"; then
+		echo "chaos_smoke: server exited nonzero after SIGTERM:" >&2
+		cat "$workdir/serve.log" >&2
+		exit 1
+	fi
+	serverpid=""
+	if ! grep -q "drained cleanly" "$workdir/serve.log"; then
+		echo "chaos_smoke: no clean-drain marker in server log" >&2
+		cat "$workdir/serve.log" >&2
+		exit 1
+	fi
+}
+
+varz_quarantined() {
+	curl -sf "http://127.0.0.1:$port/varz" |
+		sed -n 's/.*"quarantined":[[:space:]]*\([0-9]*\).*/\1/p'
+}
+
+echo "== chaos storm (admission limit 2, 16 workers)"
+start_server -max-inflight-solves 2 -solve-queue 4 \
+	-chaos 'seed=7,solve-delay=25ms:0.5,spill-err=0.2,panic=1,slow-write=1ms:0.2'
+"$workdir/ptrload" -addr "http://127.0.0.1:$port" \
+	-workers 16 -requests 300 -seed 3 -retries 6 -max-backoff 2s \
+	-corpus anagram,ft,compiler,li,bc,twig -mix 'analyze=3,pointsto=2,alias=1,query=1,session=1' \
+	-analyze-timeout-ms 2000 -assert
+echo "== clean drain under SIGTERM"
+stop_server
+
+echo "== corrupt the spill adversarially"
+count=0
+want=4
+for f in "$spill"/*.json; do
+	[ -e "$f" ] || { echo "chaos_smoke: no spill files were written" >&2; exit 1; }
+	case $count in
+	0) truncate -s 40 "$f" ;;                       # torn mid-payload
+	1) printf 'garbage not a snapshot' >"$f" ;;     # no header at all
+	2) : >"$f" ;;                                   # zero-length
+	3)
+		# Flip one payload byte; length still matches, digest must not.
+		printf 'X' | dd of="$f" bs=1 seek=100 conv=notrunc 2>/dev/null
+		;;
+	*) break ;;
+	esac
+	count=$((count + 1))
+done
+if [ "$count" -lt "$want" ]; then
+	want=$count # small runs may spill fewer than 4 files
+fi
+echo "corrupted $want spill file(s)"
+
+echo "== warm restart quarantines exactly the corrupted files"
+start_server
+verify_line=$(grep "spill verify" "$workdir/serve.log")
+echo "$verify_line"
+got=$(varz_quarantined)
+if [ "$got" != "$want" ]; then
+	echo "chaos_smoke: /varz quarantined=$got, want $want" >&2
+	exit 1
+fi
+if [ ! -d "$spill/quarantine" ] ||
+	[ "$(ls "$spill/quarantine" | wc -l)" -ne "$want" ]; then
+	echo "chaos_smoke: quarantine directory does not hold $want files" >&2
+	exit 1
+fi
+
+echo "== restarted daemon still answers"
+"$workdir/ptrload" -addr "http://127.0.0.1:$port" \
+	-workers 4 -requests 40 -seed 5 -assert
+stop_server
+
+echo "chaos smoke OK"

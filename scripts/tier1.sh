@@ -29,9 +29,17 @@ go test ./...
 echo "== go test -race (parallel driver must be race-clean)"
 go test -race ./internal/core/... ./internal/corpus/...
 
-echo "== fuzz smoke (frontend + solver must never panic)"
+echo "== fuzz smoke (frontend + solver + snapshot decoder must never panic)"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/frontend
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/export
+
+if command -v curl >/dev/null 2>&1; then
+	echo "== chaos smoke (overload + fault injection + crash-safe restart)"
+	sh scripts/chaos_smoke.sh
+else
+	echo "== chaos smoke (curl not installed; skipped)"
+fi
 
 if command -v govulncheck >/dev/null 2>&1; then
 	echo "== govulncheck"
