@@ -23,6 +23,11 @@
 //	              figures: per program, the median single query's cold and
 //	              warm latency vs the exhaustive solve plus slice-size
 //	              counters (honors -json, -repeat, -program, -abi)
+//	-incr         measure the incremental re-analysis subsystem instead of
+//	              the figures: per generated single-function edit, the
+//	              median warm-resume wall time vs a cold solve of the
+//	              edited program (honors -repeat, -program, -abi, -edits)
+//	-edits n      edits per program for -incr (default 3)
 //	-sweep        also run the synthetic generator sweep
 //	-timeout d    abort the whole corpus run after duration d (exit 4)
 //	-max-steps n  bound each solver run's worklist steps (exit 3 on trip)
@@ -59,6 +64,8 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "corpus worker count (0 = GOMAXPROCS)")
 	program := flag.String("program", "", "restrict to one corpus program")
 	demand := flag.Bool("demand", false, "measure demand-driven queries vs exhaustive solves")
+	incrFlag := flag.Bool("incr", false, "measure incremental warm resumes vs cold solves over generated edits")
+	edits := flag.Int("edits", 3, "edits per program for -incr")
 	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
 	stats := flag.Bool("stats", false, "print solver constraint-graph (cycle elimination) counters")
 	noCycle := flag.Bool("nocycle", false, "disable cycle elimination / wave scheduling (ablation)")
@@ -118,6 +125,9 @@ func run() error {
 		specs = append(specs, metrics.Spec{Name: name, Sources: src})
 	}
 
+	if *incrFlag {
+		return runIncr(ctx, names, *abi, *repeat, *edits)
+	}
 	if *demand {
 		var ms []*metrics.DemandMeasurement
 		for _, spec := range specs {

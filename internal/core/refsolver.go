@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"time"
 
@@ -163,12 +164,26 @@ func (s *refSolver) initStmt(st *ir.Stmt) {
 	}
 }
 
+// watch registers the statement and replays existing facts at the cell.
+// Like the dense solver's watch, the replay is single-fire: facts still
+// pending in the cell's delta fire at the coming drain, so replaying them
+// here would double-fire. The replay set is snapshotted before any rule
+// runs — rules fired reentrantly may grow both pts[c] and delta[c].
 func (s *refSolver) watch(c Cell, st *ir.Stmt, role int) {
 	s.watchers[c] = append(s.watchers[c], watch{stmt: st, role: role})
-	if set, ok := s.pts[c]; ok {
-		for tgt := range set {
-			s.applyRule(watch{stmt: st, role: role}, tgt)
+	set, ok := s.pts[c]
+	if !ok {
+		return
+	}
+	pend := s.delta[c]
+	replay := make([]Cell, 0, len(set))
+	for tgt := range set {
+		if !slices.Contains(pend, tgt) {
+			replay = append(replay, tgt)
 		}
+	}
+	for _, tgt := range replay {
+		s.applyRule(watch{stmt: st, role: role}, tgt)
 	}
 }
 

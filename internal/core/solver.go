@@ -253,6 +253,170 @@ func AnalyzeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts 
 	return s.finish(start)
 }
 
+// SeedFact pre-loads one cell's known points-to targets before the
+// fixpoint runs: the incremental-resume path seeds a fresh solver with
+// facts proven by a prior solve over the unchanged slice of the program.
+type SeedFact struct {
+	Cell    Cell
+	Targets []Cell
+}
+
+// AnalyzeSeededContext is AnalyzeContext with the fact store pre-loaded.
+// The caller warrants that every seeded fact is a member of the program's
+// fixpoint (internal/incr proves this with its taint analysis); the solver
+// then converges to exactly the fixpoint an unseeded run reaches — seeded
+// facts enter pts with no pending delta, so they behave precisely like
+// facts whose propagation already completed: watcher registration replays
+// them once and copy-edge creation pushes them across, but no drain
+// cascade re-derives them. Seeding composes only with zero Limits (the
+// per-fact trip accounting is defined against a cold schedule); callers
+// must fall back to a cold solve otherwise.
+func AnalyzeSeededContext(ctx context.Context, prog *ir.Program, strat Strategy, opts Options, seeds []SeedFact) *Result {
+	return AnalyzeResumeContext(ctx, prog, strat, opts, ResumeState{Seeds: seeds})
+}
+
+// ResumeState is the frozen slice of a prior solve that a warm run starts
+// from. Beyond the seeded facts it can carry the prior solve's copy edges
+// and a set of statements whose constraint generation the prior solve
+// already performed in full:
+//
+//   - Edges are installed before the fixpoint with no source replay and no
+//     strategy Resolve call. The caller warrants each edge was present in
+//     the prior solve between cells whose seeded sets are complete, so the
+//     prior fixpoint's closure guarantees the destination set already
+//     contains everything the skipped replay would have pushed.
+//   - SkipReplay statements register their watchers WITHOUT the single-fire
+//     replay of facts present at registration, and skip their OpAddrOf /
+//     OpCopy seeding work entirely. The caller warrants that the facts a
+//     skipped statement would have been replayed (exactly the seeded sets
+//     of its watched cells — nothing else is in pts before the run) are the
+//     ones the prior solve already fired through it, that every cell it
+//     writes is seeded with its complete final set, and that its copy edges
+//     are in Edges. New facts arriving during the run still fire skipped
+//     statements normally (drains and SCC merge deliveries only ever carry
+//     facts absent from a cell's set, which seeded facts never are).
+//
+// The elided firings' Figure-3 counter contributions are NOT recorded on
+// the strategy — the caller accounts for them separately (internal/incr
+// carries per-statement contributions captured from the prior solve), which
+// is what keeps a warm solve's counters byte-identical to a cold one while
+// doing only delta work.
+type ResumeState struct {
+	Seeds      []SeedFact
+	Edges      []Edge
+	SkipReplay map[*ir.Stmt]bool
+}
+
+// AnalyzeResumeContext is the generalized seeded entry point: it loads the
+// ResumeState (seeds, then restored edges, then the replay-suppression set)
+// and runs the ordinary fixpoint. With only Seeds set it is exactly
+// AnalyzeSeededContext. Same Limits caveat: zero Limits only.
+func AnalyzeResumeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts Options, rs ResumeState) *Result {
+	s := newSolver(ctx, prog, strat, opts)
+	s.skip = rs.SkipReplay
+	start := time.Now()
+	s.seed(rs.Seeds)
+	for _, e := range rs.Edges {
+		s.restoreEdge(e)
+	}
+	s.run()
+	return s.finish(start)
+}
+
+// seed pre-loads the fact store. Seeded facts enter pts only — never delta —
+// so they are invisible to drains and merge obligations.
+func (s *solver) seed(seeds []SeedFact) {
+	for _, sf := range seeds {
+		// Intern the targets before taking the set pointer: interning can
+		// grow (and reallocate) s.pts.
+		ids := s.getScratch()
+		for _, t := range sf.Targets {
+			ids = append(ids, s.cellID(t))
+		}
+		c := s.cellID(sf.Cell)
+		set := &s.pts[c]
+		isNew := set.Len() == 0
+		s.seedBits(set)
+		added := 0
+		for _, id := range ids {
+			if set.Add(id) {
+				added++
+			}
+		}
+		if added > 0 {
+			s.nfacts += added
+			if isNew {
+				s.ncells++
+				s.recordFactObj(c)
+			}
+		}
+		s.putScratch(ids)
+	}
+}
+
+// restoreEdge installs a copy edge proven by a prior solve: deduplicated
+// like addEdge and indexed identically, but with no replay of the source's
+// facts (the ResumeState contract makes the replay a no-op) and no strategy
+// involvement. It runs before any statement processing, so find() is the
+// identity and no merge bookkeeping exists yet to update.
+func (s *solver) restoreEdge(e Edge) {
+	src := s.cellID(e.Src)
+	dst := s.cellID(e.Dst)
+	key := edgeKey{dst: dst, src: src, size: e.Size}
+	if s.edgeSet[key] {
+		return
+	}
+	s.edgeSet[key] = true
+	if s.exact && e.Size == 0 {
+		if cap(s.exactOut[src]) == 0 {
+			s.exactOut[src] = s.arenaIDs(2)
+		}
+		if s.waves {
+			s.edgesSinceSCC++
+			if len(s.exactOut[src]) == 0 {
+				s.exactSrcs = append(s.exactSrcs, src)
+			}
+		}
+		s.exactOut[src] = append(s.exactOut[src], dst)
+		return
+	}
+	s.hasRange = true
+	if s.edgeIdx == nil {
+		s.edgeIdx = make(map[*ir.Object][]Edge)
+	}
+	s.edgeIdx[e.Src.Obj] = append(s.edgeIdx[e.Src.Obj], e)
+}
+
+// DenseState exposes a dense result's final solver state for serialization
+// by the incremental-resume subsystem: every interned cell in first-seen
+// order, the union-find redirect produced by online cycle elimination (nil
+// when no cells merged — every cell is its own representative), and each
+// representative's points-to set as sorted CellIDs (nil both for empty sets
+// and for merged-away members, whose facts live on their representative).
+// It returns ok=false for results built by AnalyzeReference, which have no
+// dense form.
+func (r *Result) DenseState() (cells []Cell, redirect []CellID, sets [][]CellID, ok bool) {
+	if r.table == nil {
+		return nil, nil, nil, false
+	}
+	n := r.table.Len()
+	cells = make([]Cell, n)
+	for i := 0; i < n; i++ {
+		cells[i] = r.table.Cell(CellID(i))
+	}
+	sets = make([][]CellID, n)
+	for i := 0; i < n; i++ {
+		id := CellID(i)
+		if r.redirect != nil && r.redirect[id] != id {
+			continue
+		}
+		if b := &r.dense[id]; b.Len() > 0 {
+			sets[i] = b.AppendTo(make([]CellID, 0, b.Len()))
+		}
+	}
+	return cells, r.redirect, sets, true
+}
+
 // newSolver builds a solver over the program with empty fact state; run (or
 // the demand engine's pump) drives it to fixpoint afterwards.
 func newSolver(ctx context.Context, prog *ir.Program, strat Strategy, opts Options) *solver {
@@ -388,6 +552,12 @@ type solver struct {
 
 	bound   map[callBinding]bool
 	memDone map[memPairID]bool
+
+	// skip, when non-nil (incremental resume), marks statements whose
+	// constraint generation the prior solve already performed: initStmt
+	// registers their watchers without the single-fire replay and omits
+	// their AddrOf/Copy work. See ResumeState.
+	skip map[*ir.Stmt]bool
 
 	// noteEdge, when set (demand engine only), observes every deduplicated
 	// copy edge as (destination object, source object) — the demand
@@ -615,6 +785,10 @@ func (s *solver) abort(reason StopReason, limit int, err error) {
 }
 
 func (s *solver) initStmt(st *ir.Stmt) {
+	if s.skip != nil && s.skip[st] {
+		s.initSkipped(st)
+		return
+	}
 	switch st.Op {
 	case ir.OpAddrOf:
 		s.addFact(s.normID(st.Dst), s.cellID(s.norm(st.Src, st.Path)))
@@ -647,7 +821,50 @@ func (s *solver) initStmt(st *ir.Stmt) {
 	}
 }
 
+// initSkipped processes a statement the ResumeState marked as already
+// performed by the prior solve: its AddrOf fact is seeded, its Copy/rule
+// edges are restored, and its elided rule firings are carried in the
+// caller's counter contribution — so only the watcher registrations remain,
+// with the replay suppressed. Facts arriving after registration (always new
+// facts: seeded ones never enter a delta, a merge obligation, or a drain)
+// fire it like any other watcher.
+func (s *solver) initSkipped(st *ir.Stmt) {
+	switch st.Op {
+	case ir.OpAddrField, ir.OpLoad, ir.OpCall, ir.OpPtrArith:
+		ptr := st.Ptr
+		if st.Op == ir.OpPtrArith {
+			ptr = st.Src
+		}
+		s.register(s.normID(ptr), st, 0)
+	case ir.OpStore:
+		if st.Src != nil {
+			s.register(s.normID(st.Ptr), st, 0)
+		}
+	case ir.OpMemCopy:
+		s.register(s.normID(st.Ptr), st, 0)
+		s.register(s.normID(st.Src), st, 1)
+	}
+	// OpAddrOf, OpCopy: nothing left to do.
+}
+
+// register appends a watcher with no replay.
+func (s *solver) register(c CellID, st *ir.Stmt, role int) {
+	c = s.find(c)
+	if cap(s.watchers[c]) == 0 {
+		s.watchers[c] = s.arenaWatch(2)
+	}
+	s.watchers[c] = append(s.watchers[c], watch{stmt: st, role: role})
+}
+
 // watch registers the statement and replays existing facts at the cell.
+// The replay is single-fire: facts still pending in the cell's delta are
+// skipped here because the coming drain (or SCC merge delivery) fires them
+// to every registered watcher, including this one. Each (watcher, fact)
+// pair therefore fires exactly once regardless of when the watcher
+// registered relative to the fact's propagation — the invariant mergeSCC's
+// obligation snapshot assumes, and what makes the Figure-3 counters a pure
+// function of (program, strategy) rather than of the schedule, so a warm
+// incremental resume reproduces them byte-identically.
 func (s *solver) watch(c CellID, st *ir.Stmt, role int) {
 	c = s.find(c)
 	if cap(s.watchers[c]) == 0 {
@@ -656,6 +873,15 @@ func (s *solver) watch(c CellID, st *ir.Stmt, role int) {
 	s.watchers[c] = append(s.watchers[c], watch{stmt: st, role: role})
 	if s.pts[c].Len() > 0 {
 		buf := s.pts[c].AppendTo(s.getScratch())
+		if s.delta[c].Len() > 0 {
+			kept := buf[:0]
+			for _, tgt := range buf {
+				if !s.delta[c].Has(tgt) {
+					kept = append(kept, tgt)
+				}
+			}
+			buf = kept
+		}
 		for _, tgt := range buf {
 			s.applyRule(watch{stmt: st, role: role}, s.table.Cell(tgt), tgt)
 		}

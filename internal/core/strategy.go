@@ -113,3 +113,13 @@ func exactEdgePropagate(e Edge, src Cell) (Cell, bool) {
 type exactEdger interface {
 	exactEdges() bool
 }
+
+// ExactEdges reports whether the strategy declares exact-only copy edges
+// (every edge it resolves carries exactly its source cell, Size == 0). The
+// incremental-resume subsystem gates its replay-elision optimization on
+// this: restored edges and suppressed replays are only provably equivalent
+// to a cold schedule when edge propagation is a plain per-cell union.
+func ExactEdges(s Strategy) bool {
+	ee, ok := s.(exactEdger)
+	return ok && ee.exactEdges()
+}

@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"repro/internal/frontend"
+)
+
+// The edit generator produces seeded, deterministic single-function
+// mutations of a C source: the workload shape the incremental re-analysis
+// subsystem (internal/incr) serves. Each edit adds, removes or retypes one
+// pointer-flavored assignment statement inside a function body; every
+// candidate is validated through the real front end, so only compiling
+// mutations are returned. The same (source, seed) pair always yields the
+// same edit sequence.
+
+// Edit is one generated mutation.
+type Edit struct {
+	Kind string // "add", "remove" or "retype"
+	Line int    // 1-based line of the anchor statement in the original text
+	Text string // complete mutated source
+}
+
+func (e Edit) String() string { return fmt.Sprintf("%s@%d", e.Kind, e.Line) }
+
+// anchorRe matches a simple whole-line assignment statement — the shape the
+// mutations rewrite. Group 1 is the left-hand side, group 2 the right-hand
+// side expression.
+var anchorRe = regexp.MustCompile(`^\s*(\*?[A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)\s*=\s*([^;=]+);\s*$`)
+
+// funcOpenRe loosely matches the first line of a function definition at
+// file scope. Precision does not matter: it only groups anchors into
+// same-function pools, and every emitted edit is validated by the front
+// end anyway.
+var funcOpenRe = regexp.MustCompile(`^[A-Za-z_][\w\s\*,]*\([^;{]*\)?\s*\{?\s*$`)
+
+// anchor is one mutation site.
+type anchor struct {
+	line int // index into the lines slice
+	lhs  string
+	rhs  string
+	fn   int // function pool the anchor belongs to
+}
+
+// findAnchors scans the source for assignment statements inside function
+// bodies, tracking brace depth so file-scope initializers are excluded.
+func findAnchors(lines []string) []anchor {
+	var out []anchor
+	depth, fn := 0, 0
+	for i, line := range lines {
+		if depth == 0 && funcOpenRe.MatchString(line) {
+			fn++
+		}
+		if depth > 0 {
+			if m := anchorRe.FindStringSubmatch(line); m != nil {
+				out = append(out, anchor{line: i, lhs: m[1], rhs: strings.TrimSpace(m[2]), fn: fn})
+			}
+		}
+		depth += strings.Count(line, "{") - strings.Count(line, "}")
+	}
+	return out
+}
+
+// retypeCasts are tried round-robin by the retype mutation; void* first,
+// since C converts it implicitly to any object pointer.
+var retypeCasts = []string{"(void *)", "(char *)", "(int *)"}
+
+// Edits generates up to n distinct validated mutations of src (the text of
+// one translation unit), deterministically from seed. Fewer than n edits
+// come back when the source offers too few viable anchors.
+func Edits(src string, seed uint32, n int) []Edit {
+	lines := strings.Split(src, "\n")
+	anchors := findAnchors(lines)
+	if len(anchors) == 0 || n <= 0 {
+		return nil
+	}
+	r := &genRand{state: seed*2654435761 + 1}
+	var out []Edit
+	seen := map[string]bool{src: true}
+	for attempts := 0; len(out) < n && attempts < 40*n; attempts++ {
+		a := anchors[r.next(len(anchors))]
+		var kind, text string
+		switch r.next(3) {
+		case 0: // remove the anchor statement
+			kind = "remove"
+			text = spliceLines(lines, a.line, 1, nil)
+		case 1: // add a recombined assignment after the anchor
+			kind = "add"
+			b := anchors[r.next(len(anchors))]
+			if b.fn != a.fn || b.lhs == a.lhs {
+				continue
+			}
+			indent := lines[a.line][:len(lines[a.line])-len(strings.TrimLeft(lines[a.line], " \t"))]
+			text = spliceLines(lines, a.line+1, 0, []string{indent + a.lhs + " = " + b.rhs + ";"})
+		default: // retype the right-hand side with an explicit cast
+			kind = "retype"
+			if strings.HasPrefix(a.rhs, "(") {
+				continue
+			}
+			cast := retypeCasts[r.next(len(retypeCasts))]
+			indent := lines[a.line][:len(lines[a.line])-len(strings.TrimLeft(lines[a.line], " \t"))]
+			text = spliceLines(lines, a.line, 1, []string{indent + a.lhs + " = " + cast + " " + a.rhs + ";"})
+		}
+		if seen[text] {
+			continue
+		}
+		seen[text] = true
+		if _, err := frontend.Load([]frontend.Source{{Name: "edit.c", Text: text}}, frontend.Options{}); err != nil {
+			continue
+		}
+		out = append(out, Edit{Kind: kind, Line: a.line + 1, Text: text})
+	}
+	return out
+}
+
+// spliceLines rebuilds the source with `del` lines at index i replaced by
+// ins.
+func spliceLines(lines []string, i, del int, ins []string) string {
+	out := make([]string, 0, len(lines)-del+len(ins))
+	out = append(out, lines[:i]...)
+	out = append(out, ins...)
+	out = append(out, lines[i+del:]...)
+	return strings.Join(out, "\n")
+}

@@ -1,0 +1,85 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/frontend"
+)
+
+// TestEditsDeterministic: the same (source, seed) pair yields the same
+// edit sequence; a different seed yields a different one.
+func TestEditsDeterministic(t *testing.T) {
+	src, err := Source("compiler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Edits(src[0].Text, 7, 4)
+	b := Edits(src[0].Text, 7, 4)
+	if len(a) == 0 {
+		t.Fatal("no edits generated for compiler.c")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, edit %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Edits(src[0].Text, 8, 4)
+	same := len(c) == len(a)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical edit sequences")
+	}
+}
+
+// TestEditsCompile: every generated edit loads through the real front end
+// and actually differs from the original.
+func TestEditsCompile(t *testing.T) {
+	names := []string{"compiler", "anagram", "ks"}
+	if testing.Short() {
+		names = names[:1]
+	}
+	for _, name := range names {
+		src, err := Source(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ed := range Edits(src[0].Text, 3, 5) {
+			if ed.Text == src[0].Text {
+				t.Errorf("%s/%v: edit is identical to the original", name, ed)
+			}
+			if _, err := frontend.Load([]frontend.Source{{Name: src[0].Name, Text: ed.Text}}, frontend.Options{}); err != nil {
+				t.Errorf("%s/%v: generated edit does not compile: %v", name, ed, err)
+			}
+		}
+	}
+}
+
+// TestEditsKindCoverage: across a few seeds on a big program, all three
+// mutation kinds appear.
+func TestEditsKindCoverage(t *testing.T) {
+	src, err := Source("compiler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for seed := uint32(1); seed <= 5; seed++ {
+		for _, ed := range Edits(src[0].Text, seed, 4) {
+			kinds[ed.Kind] = true
+		}
+	}
+	for _, k := range []string{"add", "remove", "retype"} {
+		if !kinds[k] {
+			t.Errorf("kind %q never generated across seeds 1..5", k)
+		}
+	}
+}

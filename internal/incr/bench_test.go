@@ -1,0 +1,47 @@
+package incr
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/frontend"
+)
+
+func BenchmarkResumeCompiler(b *testing.B) {
+	ctx := context.Background()
+	src, err := corpus.Source("compiler")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{}
+	g, _, err := Solve(ctx, src, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edits := corpus.Edits(src[0].Text, 7, 1)
+	newSrc := []frontend.Source{{Name: src[0].Name, Text: edits[0].Text}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Resume(ctx, g, newSrc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColdCompiler(b *testing.B) {
+	ctx := context.Background()
+	src, err := corpus.Source("compiler")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{}
+	edits := corpus.Edits(src[0].Text, 7, 1)
+	newSrc := []frontend.Source{{Name: src[0].Name, Text: edits[0].Text}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Analyze(ctx, newSrc, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

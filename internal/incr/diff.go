@@ -1,0 +1,75 @@
+package incr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Delta is the unit-level difference between two programs: which functions
+// (or the global pseudo-unit) appeared, disappeared, or changed encoding.
+// Unit names are function symbol uniques plus GlobalUnit; each list is
+// sorted.
+type Delta struct {
+	Added   []string
+	Removed []string
+	Changed []string
+}
+
+// Empty reports whether the two programs fingerprint identically.
+func (d Delta) Empty() bool {
+	return len(d.Added) == 0 && len(d.Removed) == 0 && len(d.Changed) == 0
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("delta{+%d -%d ~%d}", len(d.Added), len(d.Removed), len(d.Changed))
+}
+
+// Diff fingerprints both programs and returns their unit-level delta.
+func Diff(old, new *ir.Program) Delta {
+	return diffUnits(fingerprints(old), fingerprints(new))
+}
+
+func diffUnits(old, new map[string]string) Delta {
+	var d Delta
+	for name, enc := range old {
+		nenc, ok := new[name]
+		switch {
+		case !ok:
+			d.Removed = append(d.Removed, name)
+		case nenc != enc:
+			d.Changed = append(d.Changed, name)
+		}
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			d.Added = append(d.Added, name)
+		}
+	}
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.Strings(d.Changed)
+	return d
+}
+
+// dirty returns the set of unit names whose OLD statements must be
+// retracted: changed and removed units.
+func (d Delta) dirty() map[string]bool {
+	m := make(map[string]bool, len(d.Changed)+len(d.Removed))
+	for _, n := range d.Changed {
+		m[n] = true
+	}
+	for _, n := range d.Removed {
+		m[n] = true
+	}
+	return m
+}
+
+// unitOf names the unit a statement belongs to.
+func unitOf(st *ir.Stmt) string {
+	if st.Fn == nil {
+		return GlobalUnit
+	}
+	return st.Fn.Sym.Unique
+}

@@ -1,0 +1,270 @@
+package incr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cc/types"
+	"repro/internal/ir"
+)
+
+// Partitioned fingerprinting: every function is rendered into a canonical
+// string that is a pure function of its analysis-relevant IR — statement
+// ops, operand identities, field paths and structural types — and nothing
+// positional. Two parses of a program where a unit's source is untouched
+// produce the same encoding for it even when OTHER units were edited, which
+// is what lets Diff localize an edit:
+//
+//   - Objects with stable link-time names (file-scope variables and
+//     functions, including file statics) are rendered by their unique
+//     symbol name.
+//   - Everything else — locals, parameters, temps, heap and string
+//     pseudo-objects, function-scope statics (whose sema uniques embed a
+//     global symbol counter) — is rendered by its role (param index,
+//     retval, varargs) or by a per-unit first-use index, never by name or
+//     source position. The encoding is alpha-equivalent: renaming a local
+//     or shifting line numbers does not change it.
+//   - Types are rendered structurally (typeFP), expanding struct/union
+//     bodies recursively, so editing a struct declaration changes the
+//     fingerprint of every unit that touches the type even though the
+//     type's NAME is all that appears at the use sites.
+//
+// Global initializers form one pseudo-unit (GlobalUnit) containing their
+// statements in program order plus the stable-named object roster; a
+// changed global initializer retracts like a changed function.
+
+// GlobalUnit names the pseudo-unit that carries global-initializer
+// statements and the global object roster.
+const GlobalUnit = "<globals>"
+
+// stableNamed reports whether the object's symbol is a stable link-time
+// anchor: file-scope (Global) and free of the "@id" suffix sema appends to
+// scope-local uniques (function-scope statics are Global but carry it).
+func stableNamed(o *ir.Object) bool {
+	return o != nil && o.Sym != nil && o.Sym.Global && !strings.Contains(o.Sym.Unique, "@")
+}
+
+// writeTypeFP renders t structurally: kind, qualifiers, pointee/element,
+// signature, and full struct/union field lists (name, bit-width, field
+// type). Named-record recursion is cut by rendering only the tag on
+// re-entry; the guard is removed on exit so sibling uses still expand.
+// Typedef spellings and enum tags are cosmetic to the analysis and are
+// excluded.
+func writeTypeFP(sb *strings.Builder, t *types.Type, open map[*types.Record]bool) {
+	if t == nil {
+		sb.WriteByte('_')
+		return
+	}
+	fmt.Fprintf(sb, "k%d", int(t.Kind))
+	if t.Qual != 0 {
+		fmt.Fprintf(sb, "q%d", int(t.Qual))
+	}
+	if t.Kind == types.Array {
+		fmt.Fprintf(sb, "[%d]", t.ArrayLen)
+	}
+	if t.Elem != nil {
+		sb.WriteByte('*')
+		writeTypeFP(sb, t.Elem, open)
+	}
+	if r := t.Record; r != nil {
+		if open[r] {
+			fmt.Fprintf(sb, "{^%s.%v}", r.Tag, r.Union)
+			return
+		}
+		open[r] = true
+		fmt.Fprintf(sb, "{%s.%v.%v", r.Tag, r.Union, r.Complete)
+		for _, f := range r.Fields {
+			fmt.Fprintf(sb, " %s.%d:", f.Name, f.BitWidth)
+			writeTypeFP(sb, f.Type, open)
+		}
+		sb.WriteByte('}')
+		delete(open, r)
+	}
+	if sig := t.Sig; sig != nil {
+		sb.WriteByte('(')
+		for i := range sig.Params {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			writeTypeFP(sb, sig.Params[i].Type, open)
+		}
+		if sig.Variadic {
+			sb.WriteString(",...")
+		}
+		sb.WriteByte(')')
+		writeTypeFP(sb, sig.Result, open)
+	}
+}
+
+func typeFP(t *types.Type) string {
+	var sb strings.Builder
+	writeTypeFP(&sb, t, make(map[*types.Record]bool))
+	return sb.String()
+}
+
+// typeMemo caches top-level type renderings by *types.Type identity. Every
+// operand occurrence renders its full structural type, and one parse shares
+// type pointers across all occurrences, so memoizing the TOP-LEVEL render
+// (always entered with an empty open-record map, hence context-free) turns
+// fingerprinting from O(occurrences × type size) into O(distinct types).
+// Nested writeTypeFP recursion deliberately bypasses the cache: inside an
+// open record the rendering of a self-referential type depends on the open
+// set, so only whole fresh renders are safe to reuse. One memo serves one
+// fingerprints() call; type pointers are not stable across parses.
+type typeMemo map[*types.Type]string
+
+func (m typeMemo) fp(t *types.Type) string {
+	if s, ok := m[t]; ok {
+		return s
+	}
+	var sb strings.Builder
+	writeTypeFP(&sb, t, make(map[*types.Record]bool))
+	s := sb.String()
+	m[t] = s
+	return s
+}
+
+// encoder renders one unit's statements. roles pre-names the unit's
+// parameter/retval/varargs objects; anon assigns first-use indices to every
+// other non-stable object.
+type encoder struct {
+	sb    strings.Builder
+	types typeMemo
+	roles map[*ir.Object]string
+	anon  map[*ir.Object]int
+}
+
+func newEncoder(fn *ir.Func, types typeMemo) *encoder {
+	e := &encoder{types: types, roles: make(map[*ir.Object]string), anon: make(map[*ir.Object]int)}
+	if fn == nil {
+		return e
+	}
+	for i, p := range fn.Params {
+		if p != nil {
+			e.roles[p] = fmt.Sprintf("p%d", i)
+		}
+	}
+	if fn.Retval != nil {
+		e.roles[fn.Retval] = "r"
+	}
+	if fn.Varargs != nil {
+		e.roles[fn.Varargs] = "v"
+	}
+	return e
+}
+
+// obj and stmt are the fingerprint hot path (one call per operand
+// occurrence program-wide), so they append with strconv instead of
+// fmt.Fprintf's reflection.
+func (e *encoder) obj(o *ir.Object) {
+	switch {
+	case o == nil:
+		e.sb.WriteByte('-')
+		return
+	case stableNamed(o):
+		e.sb.WriteByte('g')
+		e.sb.WriteString(strconv.Itoa(int(o.Kind)))
+		e.sb.WriteByte(':')
+		e.sb.WriteString(o.Sym.Unique)
+		e.sb.WriteByte(':')
+	default:
+		if role, ok := e.roles[o]; ok {
+			e.sb.WriteString(role)
+			e.sb.WriteByte(':')
+			break
+		}
+		idx, ok := e.anon[o]
+		if !ok {
+			idx = len(e.anon)
+			e.anon[o] = idx
+		}
+		e.sb.WriteByte('l')
+		e.sb.WriteString(strconv.Itoa(idx))
+		e.sb.WriteByte('.')
+		e.sb.WriteString(strconv.Itoa(int(o.Kind)))
+		e.sb.WriteByte(':')
+	}
+	e.sb.WriteString(e.types.fp(o.Type))
+}
+
+func (e *encoder) stmt(st *ir.Stmt) {
+	e.sb.WriteString(strconv.Itoa(int(st.Op)))
+	e.sb.WriteByte(' ')
+	e.obj(st.Dst)
+	e.sb.WriteByte(' ')
+	e.obj(st.Src)
+	e.sb.WriteByte(' ')
+	e.obj(st.Ptr)
+	e.sb.WriteByte(' ')
+	e.sb.WriteString(strings.Join([]string(st.Path), "."))
+	e.sb.WriteByte(' ')
+	if st.Cast != nil {
+		e.sb.WriteString(e.types.fp(st.Cast))
+	}
+	for _, a := range st.Args {
+		e.sb.WriteByte(' ')
+		e.obj(a)
+	}
+	e.sb.WriteByte('\n')
+}
+
+// funcFP renders one function: header, parameter/result shape, then its
+// statements in order.
+func funcFP(fn *ir.Func, types typeMemo) string {
+	e := newEncoder(fn, types)
+	fmt.Fprintf(&e.sb, "fn %s\n", fn.Sym.Unique)
+	for i, p := range fn.Params {
+		if p != nil {
+			fmt.Fprintf(&e.sb, "p%d %s\n", i, types.fp(p.Type))
+		}
+	}
+	if fn.Retval != nil {
+		fmt.Fprintf(&e.sb, "r %s\n", types.fp(fn.Retval.Type))
+	}
+	if fn.Varargs != nil {
+		e.sb.WriteString("v\n")
+	}
+	for _, st := range fn.Stmts {
+		e.stmt(st)
+	}
+	return e.sb.String()
+}
+
+// globalFP renders the global pseudo-unit: every statement outside any
+// function (global initializers, in program order) plus the roster of
+// stable-named objects with their kinds and structural types. The roster
+// makes a declaration-only change (e.g. a global's type, with no code
+// mentioning it yet) visible to Diff.
+func globalFP(prog *ir.Program, types typeMemo) string {
+	e := newEncoder(nil, types)
+	e.sb.WriteString("unit <globals>\n")
+	for _, st := range prog.Stmts {
+		if st.Fn == nil {
+			e.stmt(st)
+		}
+	}
+	roster := make([]string, 0, len(prog.Objects))
+	for _, o := range prog.Objects {
+		if stableNamed(o) {
+			roster = append(roster, fmt.Sprintf("obj %d %s %s\n", int(o.Kind), o.Sym.Unique, types.fp(o.Type)))
+		}
+	}
+	sort.Strings(roster)
+	for _, line := range roster {
+		e.sb.WriteString(line)
+	}
+	return e.sb.String()
+}
+
+// fingerprints keys every unit of the program by its canonical encoding.
+func fingerprints(prog *ir.Program) map[string]string {
+	types := make(typeMemo)
+	units := make(map[string]string, len(prog.Funcs)+1)
+	for _, fn := range prog.Funcs {
+		units[fn.Sym.Unique] = funcFP(fn, types)
+	}
+	units[GlobalUnit] = globalFP(prog, types)
+	return units
+}

@@ -1,0 +1,49 @@
+package incr
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/frontend"
+)
+
+// FuzzGraphSnapshotDecode throws arbitrary bytes at the ptrincr1 decoder.
+// The invariants: no panic, every rejection is a *CorruptError, and any
+// accepted graph is internally coherent enough to re-encode and resume.
+func FuzzGraphSnapshotDecode(f *testing.F) {
+	g, _, err := Solve(context.Background(),
+		[]frontend.Source{{Name: "snap.c", Text: snapProgram}}, Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := WriteSnapshot(&valid, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(snapMagic + " 00 0\n"))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte{})
+	truncated := valid.Bytes()[:valid.Len()/2]
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("non-corrupt error from decoder: %T %v", err, err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, got); err != nil {
+			t.Fatalf("accepted graph does not re-encode: %v", err)
+		}
+		if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-encoded graph does not decode: %v", err)
+		}
+	})
+}

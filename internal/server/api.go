@@ -28,6 +28,30 @@ type AnalyzeRequest struct {
 	Strategy string       `json:"strategy,omitempty"` // instance name; default common-initial-seq
 	ABI      string       `json:"abi,omitempty"`      // lp64 (default), ilp32, packed1
 	Limits   LimitsJSON   `json:"limits,omitempty"`
+	// Base names the key of an earlier analyze whose constraint graph the
+	// server may resume from (an edit-and-reanalyze workflow: analyze once,
+	// then send edited sources with base set to the returned key). Purely a
+	// performance hint — if the graph is gone, the config differs, or the
+	// delta cannot be proven safe, the server solves cold; the answer is
+	// byte-identical either way. The response's "incr" section says which
+	// path ran.
+	Base string `json:"base,omitempty"`
+}
+
+// IncrJSON reports how an analyze with a base key was actually served.
+type IncrJSON struct {
+	// Outcome is "resumed" (warm delta solve) or "cold". FallbackReason
+	// explains a cold outcome: "no-graph" (base not resident),
+	// "config-ineligible" (limits or misuse flagging on the request),
+	// "config-mismatch" (graph captured under a different config) or
+	// "match-conflict" (the edit defeated object matching).
+	Outcome        string `json:"outcome"`
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	// Delta shape of a warm resume (zero on cold paths).
+	UnitsChanged   int `json:"units_changed,omitempty"`
+	StmtsRetracted int `json:"stmts_retracted,omitempty"`
+	CellsSeeded    int `json:"cells_seeded,omitempty"`
+	FactsSeeded    int `json:"facts_seeded,omitempty"`
 }
 
 // ReportJSON is the summary returned by /v1/analyze and /v1/compare: the
@@ -45,6 +69,9 @@ type ReportJSON struct {
 	DurationNS   int64                  `json:"duration_ns"`
 	Incomplete   bool                   `json:"incomplete"`
 	Stop         *export.IncompleteJSON `json:"stop,omitempty"`
+	// Incr is set when the request named a base key: how the incremental
+	// path served it. Absent on cache hits (nothing solved at all).
+	Incr *IncrJSON `json:"incr,omitempty"`
 }
 
 // Query ops for QueryJSON.Op.

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const incrBaseProgram = `
+struct box { int *slot; };
+int u, v;
+struct box bx;
+int *out;
+void put(struct box *b) { b->slot = &u; }
+int main() { put(&bx); out = bx.slot; return 0; }
+`
+
+// TestAnalyzeWithBase drives the edit-and-reanalyze loop end to end: a cold
+// analyze registers a constraint graph, an edited request naming it as base
+// resumes warm with identical facts to a cold solve of the edit, and the
+// /varz incr counters record the traffic.
+func TestAnalyzeWithBase(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	analyze := func(text, base string) ReportJSON {
+		t.Helper()
+		req := AnalyzeRequest{Sources: []SourceJSON{{Name: "b.c", Text: text}}, Base: base}
+		resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze: %d: %s", resp.StatusCode, raw)
+		}
+		var out ReportJSON
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cold := analyze(incrBaseProgram, "")
+	if cold.Incr != nil {
+		t.Errorf("cold analyze should carry no incr section, got %+v", cold.Incr)
+	}
+
+	edited := strings.Replace(incrBaseProgram, "b->slot = &u;", "b->slot = &v;", 1)
+	warm := analyze(edited, cold.Key)
+	if warm.Incr == nil || warm.Incr.Outcome != "resumed" {
+		t.Fatalf("want warm resume, got %+v", warm.Incr)
+	}
+	if warm.Incr.CellsSeeded == 0 || warm.Incr.UnitsChanged == 0 {
+		t.Errorf("warm resume reports empty delta: %+v", warm.Incr)
+	}
+
+	// Byte-identical answers: cold-solving the edit on a fresh server gives
+	// the same facts the warm path cached.
+	_, ts2 := newTestServer(t, Config{})
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "b.c", Text: edited}}}
+	resp, raw := postJSON(t, ts2.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh analyze: %d: %s", resp.StatusCode, raw)
+	}
+	var fresh ReportJSON
+	if err := json.Unmarshal(raw, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Key != warm.Key || fresh.TotalFacts != warm.TotalFacts {
+		t.Errorf("warm and cold disagree: warm key=%s facts=%d, cold key=%s facts=%d",
+			warm.Key, warm.TotalFacts, fresh.Key, fresh.TotalFacts)
+	}
+
+	// An unknown (but well-formed) base is a counted miss that still solves.
+	bogus := strings.Repeat("ab", 32)
+	third := strings.Replace(incrBaseProgram, "out = bx.slot;", "out = &u;", 1)
+	miss := analyze(third, bogus)
+	if miss.Incr == nil || miss.Incr.Outcome != "cold" || miss.Incr.FallbackReason != "no-graph" {
+		t.Errorf("want no-graph miss, got %+v", miss.Incr)
+	}
+
+	v := varz(t, ts.URL)
+	if v.Incr.Hits != 1 || v.Incr.Misses != 1 {
+		t.Errorf("incr counters: want 1 hit / 1 miss, got %+v", v.Incr)
+	}
+	if v.Incr.Graphs == 0 || v.Incr.Stored < 2 {
+		t.Errorf("graph registry did not accumulate: %+v", v.Incr)
+	}
+
+	// A malformed base is rejected before any solving.
+	resp, raw = postJSON(t, ts.URL+"/v1/analyze",
+		AnalyzeRequest{Sources: []SourceJSON{{Name: "b.c", Text: incrBaseProgram}}, Base: "../etc/passwd"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed base: want 400, got %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// TestAnalyzeBaseIneligibleConfig: a limit-bearing request cannot ride the
+// incremental path even when the base graph is resident.
+func TestAnalyzeBaseIneligibleConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := AnalyzeRequest{Sources: []SourceJSON{{Name: "b.c", Text: incrBaseProgram}}}
+	resp, raw := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d: %s", resp.StatusCode, raw)
+	}
+	var cold ReportJSON
+	if err := json.Unmarshal(raw, &cold); err != nil {
+		t.Fatal(err)
+	}
+
+	edited := strings.Replace(incrBaseProgram, "&u", "&v", 1)
+	limReq := AnalyzeRequest{
+		Sources: []SourceJSON{{Name: "b.c", Text: edited}},
+		Base:    cold.Key,
+		Limits:  LimitsJSON{MaxSteps: 1 << 20},
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/analyze", limReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("limited analyze: %d: %s", resp.StatusCode, raw)
+	}
+	var lim ReportJSON
+	if err := json.Unmarshal(raw, &lim); err != nil {
+		t.Fatal(err)
+	}
+	if lim.Incr == nil || lim.Incr.Outcome != "cold" || lim.Incr.FallbackReason != "config-ineligible" {
+		t.Errorf("want config-ineligible fallback, got %+v", lim.Incr)
+	}
+}

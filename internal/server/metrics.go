@@ -84,6 +84,7 @@ type Varz struct {
 	Cache         store.Stats             `json:"cache"`
 	Solver        SolverVarz              `json:"solver"`
 	Demand        DemandVarz              `json:"demand"`
+	Incr          IncrVarz                `json:"incr"`
 	Admission     AdmissionVarz           `json:"admission"`
 	Chaos         chaos.Stats             `json:"chaos"`
 	Endpoints     map[string]EndpointJSON `json:"endpoints"`
@@ -102,6 +103,18 @@ type DemandVarz struct {
 	FullSolves     int64 `json:"full_solves"`     // exhaustive solves sessions had to run
 	StmtsActivated int64 `json:"stmts_activated"` // statements pulled into demand slices
 	CellsVisited   int64 `json:"cells_visited"`   // cells interned by demand slices
+}
+
+// IncrVarz aggregates the incremental re-analysis layer: graph residency
+// and how base-key requests were served.
+type IncrVarz struct {
+	Graphs  int64 `json:"graphs"`  // constraint graphs currently resident
+	Stored  int64 `json:"stored"`  // graphs ever registered
+	Evicted int64 `json:"evicted"` // graphs dropped by the LRU cap
+
+	Hits      int64 `json:"hits"`      // warm delta solves served
+	Misses    int64 `json:"misses"`    // base named but no usable graph
+	Fallbacks int64 `json:"fallbacks"` // resumes that fell back to a cold solve
 }
 
 // SolverVarz aggregates the daemon-lifetime solver work.

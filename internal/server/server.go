@@ -78,6 +78,10 @@ type Config struct {
 	// MaxSessions bounds the warm query sessions kept resident (LRU
 	// eviction beyond it); 0 selects 32.
 	MaxSessions int
+	// MaxGraphs bounds the persistent constraint graphs kept resident for
+	// base-key incremental re-analysis (LRU eviction beyond it); 0 selects
+	// 64.
+	MaxGraphs int
 	// Admission bounds concurrent solver consumption per solve-bearing
 	// endpoint (analyze, compare, session). The zero value disables
 	// admission control; see AdmissionConfig.
@@ -97,12 +101,17 @@ type Server struct {
 	start      time.Time
 	endpoints  map[string]*endpointStats
 	sessions   *sessionCache
+	graphs     *graphCache
 	admissions map[string]*admission
 	costs      *costTable
 
 	solves, solveSteps, solveIncomplete atomic.Int64
 	solveRejected, solveCanceled        atomic.Int64
 	solveNS                             atomic.Int64
+
+	// Incremental re-analysis traffic: warm resumes served, base keys that
+	// found no resident graph, and resumes that fell back to a cold solve.
+	incrHits, incrMisses, incrFallbacks atomic.Int64
 
 	// Constraint-graph layer totals across all solves (cycle elimination +
 	// wave scheduling; see pointsto.SolverStats).
@@ -124,6 +133,7 @@ func New(cfg Config) *Server {
 		start:      time.Now(),
 		endpoints:  make(map[string]*endpointStats),
 		sessions:   newSessionCache(cfg.MaxSessions),
+		graphs:     newGraphCache(cfg.MaxGraphs),
 		admissions: make(map[string]*admission),
 		costs:      newCostTable(),
 	}
@@ -353,14 +363,41 @@ func reportJSON(key string, snap *export.Snapshot) ReportJSON {
 // admission; one that needs real solver work must be admitted first (and
 // may instead be shed — 429 when the queue is full, 503 when its deadline
 // budget cannot cover the estimated cost).
-func (s *Server) solveSnapshot(ctx context.Context, endpoint, key string, sources []pointsto.Source, cfg pointsto.Config) (*export.Snapshot, error) {
+//
+// base, when non-empty, names a resident constraint graph to resume from:
+// the solve then retracts only what the edit invalidated and re-converges
+// warm, byte-identically to a cold solve. Warm solves are costed under an
+// "incr|"-prefixed estimate namespace so the admission layer's deadline
+// shedding learns the (much cheaper) delta-solve cost instead of blending
+// it into the cold estimate for the same key. The returned IncrJSON says
+// which path actually served the request (nil when nothing solved — cache
+// hit or joined flight — or when no base was named).
+func (s *Server) solveSnapshot(ctx context.Context, endpoint, key, base string, sources []pointsto.Source, cfg pointsto.Config) (*export.Snapshot, *IncrJSON, error) {
 	if snap, ok := s.cfg.Store.Peek(key); ok {
-		return snap, nil
+		return snap, nil, nil
+	}
+	var graph *pointsto.Graph
+	var info *IncrJSON
+	if base != "" {
+		if g, ok := s.graphs.get(base); ok && cfg.Resumable() {
+			graph = g
+		} else {
+			s.incrMisses.Add(1)
+			reason := "no-graph"
+			if ok {
+				reason = "config-ineligible"
+			}
+			info = &IncrJSON{Outcome: "cold", FallbackReason: reason}
+		}
+	}
+	costKey := key
+	if graph != nil {
+		costKey = "incr|" + key
 	}
 	if !s.cfg.Store.Joinable(key) {
-		release, err := s.admitSolve(ctx, endpoint, key)
+		release, err := s.admitSolve(ctx, endpoint, costKey)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer release()
 	}
@@ -370,10 +407,36 @@ func (s *Server) solveSnapshot(ctx context.Context, endpoint, key string, source
 		// Injected latency counts as solve time: chaos-slowed programs must
 		// look expensive to the cost table so shedding engages.
 		s.cfg.Chaos.SolveDelay(sctx)
-		rep, aerr := pointsto.AnalyzeContext(sctx, sources, cfg)
+		var rep *pointsto.Report
+		var sess *pointsto.Session
+		var aerr error
+		if graph != nil {
+			var ri *pointsto.ResumeInfo
+			sess, ri, aerr = pointsto.ResumeSession(sctx, graph, sources, cfg)
+			if aerr == nil {
+				if ri.Outcome == "resumed" {
+					s.incrHits.Add(1)
+				} else {
+					s.incrFallbacks.Add(1)
+				}
+				info = &IncrJSON{
+					Outcome:        ri.Outcome,
+					FallbackReason: ri.FallbackReason,
+					UnitsChanged:   ri.UnitsAdded + ri.UnitsRemoved + ri.UnitsChanged,
+					StmtsRetracted: ri.StmtsRetracted,
+					CellsSeeded:    ri.CellsSeeded,
+					FactsSeeded:    ri.FactsSeeded,
+				}
+			}
+		} else {
+			sess, aerr = pointsto.NewSession(sources, cfg)
+		}
+		if aerr == nil {
+			rep, aerr = sess.Report(sctx)
+		}
 		elapsed := time.Since(start)
 		s.solveNS.Add(elapsed.Nanoseconds())
-		s.costs.observe(key, elapsed)
+		s.costs.observe(costKey, elapsed)
 		if aerr != nil {
 			switch k, _ := fault.KindOf(aerr); k {
 			case fault.KindCanceled:
@@ -392,9 +455,20 @@ func (s *Server) solveSnapshot(ctx context.Context, endpoint, key string, source
 		if rep.Incomplete() != nil {
 			s.solveIncomplete.Add(1)
 		}
+		// Register the solved graph so later requests can name this key as
+		// their base. Capture is cheap (the report is already solved) and
+		// failures only cost warmth.
+		if rep.Incomplete() == nil && cfg.Resumable() {
+			if g, gerr := sess.Graph(sctx); gerr == nil {
+				s.graphs.put(key, g)
+			}
+		}
 		return export.NewSnapshot(rep, cfg.ABI), nil
 	})
-	return snap, err
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap, info, nil
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -413,16 +487,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err, "")
 		return
 	}
+	if req.Base != "" && !store.ValidKey(req.Base) {
+		writeError(w, fmt.Errorf("malformed base key %q", req.Base), "")
+		return
+	}
 	cfg := s.requestConfig(strategy, req.ABI, req.Limits)
 	key := store.Key(sources, cfg)
 	ctx, cancel := s.requestContext(r, req.Limits)
 	defer cancel()
-	snap, err := s.solveSnapshot(ctx, "analyze", key, sources, cfg)
+	snap, incrInfo, err := s.solveSnapshot(ctx, "analyze", key, req.Base, sources, cfg)
 	if err != nil {
 		writeError(w, err, key)
 		return
 	}
-	writeJSON(w, http.StatusOK, reportJSON(key, snap))
+	out := reportJSON(key, snap)
+	out.Incr = incrInfo
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleSession opens (or refreshes) a warm query session. Only the front
@@ -509,7 +589,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	for _, strategy := range pointsto.Strategies() {
 		cfg := s.requestConfig(strategy, req.ABI, req.Limits)
 		key := store.Key(sources, cfg)
-		snap, err := s.solveSnapshot(ctx, "compare", key, sources, cfg)
+		snap, _, err := s.solveSnapshot(ctx, "compare", key, "", sources, cfg)
 		if err != nil {
 			writeError(w, err, key)
 			return
@@ -582,12 +662,18 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			TraversalsSaved: s.solveTravSaved.Load(),
 		},
 		Endpoints: make(map[string]EndpointJSON, len(s.endpoints)),
+		Incr: IncrVarz{
+			Hits:      s.incrHits.Load(),
+			Misses:    s.incrMisses.Load(),
+			Fallbacks: s.incrFallbacks.Load(),
+		},
 		Admission: AdmissionVarz{
 			CostKeys:  s.costs.keys(),
 			Endpoints: make(map[string]AdmissionEndpointVarz, len(s.admissions)),
 		},
 		Chaos: s.cfg.Chaos.Stats(),
 	}
+	varz.Incr.Graphs, varz.Incr.Stored, varz.Incr.Evicted = s.graphs.counts()
 	for name, a := range s.admissions {
 		varz.Admission.Endpoints[name] = a.varz()
 	}

@@ -29,6 +29,15 @@ const keyVersion = "ptrcache/1"
 // arrives — a budget trip reroutes to the same exhaustive fixpoint). The
 // exclusion also means a warm session's key equals the limit-free
 // /v1/analyze key for the same sources, so the two tiers share addresses.
+//
+// The incremental layer reuses these keys as graph-residency addresses: an
+// /v1/analyze response's key is what a later request passes as "base" to
+// resume from that solve's captured constraint graph. Graph identity is
+// narrower than key identity — NoMemoization and NoCycleElim participate in
+// a graph's captured config (incr.Config) even though they are excluded
+// here, and Limits/FlagMisuse configs never capture graphs at all — so the
+// server re-checks the captured config on every resume rather than trusting
+// the key alone.
 func Key(sources []pointsto.Source, cfg pointsto.Config) string {
 	h := sha256.New()
 	io.WriteString(h, keyVersion)

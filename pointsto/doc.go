@@ -38,6 +38,31 @@
 // Config.Parallelism with your own loop) and returns the reports in input
 // order.
 //
+// # Incremental re-analysis
+//
+// Edit-heavy traffic can resume instead of re-solving: Session.Update takes
+// the edited sources and returns a fresh solved Session, re-deriving only
+// the slice the edit can reach while seeding everything else from the old
+// fixpoint. Session.Graph captures the solved state as a persistent Graph
+// that serializes via WriteSnapshot (the checked ptrincr1 container) and
+// warm-starts ResumeSession after a restart:
+//
+//	sess2, info, err := sess.Update(editedSources)  // byte-identical, warm
+//	g, err := sess.Graph(ctx)                       // persistent form
+//	err = g.WriteSnapshot(f)                        // survives a restart
+//
+// Warm answers are byte-identical to cold ones — fact sets, TotalFacts and
+// the Figure-3 counters all match — and any edit the delta proof does not
+// cover falls back to a cold solve, reported in ResumeInfo, never wrong.
+//
+// A Graph's identity is the captured Config: Strategy, ABI and the
+// result-changing Options (ModelMainArgs, NoLibSummaries,
+// CloneAllocWrappers, NoPtrArithSmear, NoMemoization, NoCycleElim) must all
+// match for a resume; Timeout, Parallelism and DemandBudget are excluded
+// because they never change an answer. Configs with Limits or FlagMisuse
+// are not resumable at all (Config.Resumable reports this) and always solve
+// cold.
+//
 // # Stability contract
 //
 // This package is the supported surface of the module. Everything under

@@ -1,0 +1,153 @@
+package pointsto_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/pointsto"
+)
+
+const incrProgram = `
+struct list { struct list *next; int *payload; };
+int a, b;
+struct list head, tail;
+int *cursor;
+void chain(struct list *x, struct list *y) { x->next = y; }
+void stash(struct list *x) { x->payload = &a; }
+int main() {
+	chain(&head, &tail);
+	stash(&head);
+	cursor = head.payload;
+	return 0;
+}
+`
+
+func incrSources(text string) []pointsto.Source {
+	return []pointsto.Source{{Name: "incr.c", Text: text}}
+}
+
+// TestSessionUpdateWarm: editing one function and Updating the session
+// yields a warm session whose sets are identical to a cold analysis of the
+// edited program, while the old session keeps answering for the old one.
+func TestSessionUpdateWarm(t *testing.T) {
+	ctx := context.Background()
+	sess, err := pointsto.NewSession(incrSources(incrProgram), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(incrProgram, "x->payload = &a;", "x->payload = &b;", 1)
+	warm, info, err := sess.UpdateContext(ctx, incrSources(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Outcome != "resumed" {
+		t.Fatalf("want warm resume, got %+v", info)
+	}
+	// Both stash and the <globals> pseudo-unit change: the edit swaps which
+	// global the program references, which rewrites the global roster.
+	if info.UnitsChanged != 2 || info.CellsSeeded == 0 {
+		t.Errorf("unexpected delta shape: %+v", info)
+	}
+	cold, err := pointsto.Analyze(incrSources(edited), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSets, err := warm.Sets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warmSets, cold.Sets()) {
+		t.Errorf("warm session's sets differ from cold analysis:\nwarm: %v\ncold: %v", warmSets, cold.Sets())
+	}
+	// The original session is untouched: it still answers for the old text.
+	targets, err := sess.PointsTo(ctx, "cursor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 || targets[0] != "a" {
+		t.Errorf("old session drifted: cursor -> %v", targets)
+	}
+}
+
+// TestResumeSessionFromSnapshot: a graph round-tripped through its snapshot
+// resumes identically to the live one.
+func TestResumeSessionFromSnapshot(t *testing.T) {
+	ctx := context.Background()
+	sess, err := pointsto.NewSession(incrSources(incrProgram), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := sess.Graph(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := pointsto.ReadGraphSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumFacts() != g.NumFacts() || restored.NumCells() != g.NumCells() {
+		t.Fatalf("snapshot drifted: %d/%d facts, %d/%d cells",
+			restored.NumFacts(), g.NumFacts(), restored.NumCells(), g.NumCells())
+	}
+
+	edited := strings.Replace(incrProgram, "cursor = head.payload;", "cursor = &b;", 1)
+	fromLive, liveInfo, err := pointsto.ResumeSession(ctx, g, incrSources(edited), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDisk, diskInfo, err := pointsto.ResumeSession(ctx, restored, incrSources(edited), pointsto.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if liveInfo.Outcome != "resumed" || diskInfo.Outcome != "resumed" {
+		t.Fatalf("want both warm: live %+v disk %+v", liveInfo, diskInfo)
+	}
+	ls, _ := fromLive.Sets(ctx)
+	ds, _ := fromDisk.Sets(ctx)
+	if !reflect.DeepEqual(ls, ds) {
+		t.Errorf("live and snapshot resumes disagree:\nlive: %v\ndisk: %v", ls, ds)
+	}
+
+	// Corruption detection surfaces through the facade predicate.
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0x20
+	if _, err := pointsto.ReadGraphSnapshot(bytes.NewReader(raw)); !pointsto.IsCorruptSnapshot(err) {
+		t.Errorf("bit-flipped snapshot: want corrupt error, got %v", err)
+	}
+}
+
+// TestUpdateIneligibleConfig: Limits force the cold path (and Graph refuses
+// outright), but Update still works — it just reports the fallback.
+func TestUpdateIneligibleConfig(t *testing.T) {
+	ctx := context.Background()
+	cfg := pointsto.Config{Limits: pointsto.Limits{MaxSteps: 1 << 20}}
+	sess, err := pointsto.NewSession(incrSources(incrProgram), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Resumable() {
+		t.Fatal("limit-bearing config claims to be resumable")
+	}
+	if _, err := sess.Graph(ctx); !errors.Is(err, pointsto.ErrNotResumable) {
+		t.Fatalf("Graph under Limits: want ErrNotResumable, got %v", err)
+	}
+	edited := strings.Replace(incrProgram, "&a", "&b", 1)
+	warm, info, err := sess.UpdateContext(ctx, incrSources(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Outcome != "cold" || info.FallbackReason != "config-ineligible" {
+		t.Fatalf("want config-ineligible fallback, got %+v", info)
+	}
+	if _, err := warm.PointsTo(ctx, "cursor"); err != nil {
+		t.Fatal(err)
+	}
+}

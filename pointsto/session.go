@@ -34,9 +34,12 @@ import (
 // Answers are byte-identical to the exhaustive Report's: same sets, same
 // formatting, regardless of which engine produced them.
 type Session struct {
-	cfg    Config
-	res    *frontend.Result
-	byName map[string][]*ir.Object
+	cfg Config
+	// sources are retained verbatim: Graph capture embeds them in the
+	// snapshot so a decoded graph can re-run the front end.
+	sources []Source
+	res     *frontend.Result
+	byName  map[string][]*ir.Object
 
 	// demandMu guards the demand engine. The engine accumulates one
 	// coherent slice across queries, so queries through it are serialized.
@@ -65,7 +68,18 @@ func NewSession(sources []Source, cfg Config) (sess *Session, err error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{cfg: cfg, res: res, byName: make(map[string][]*ir.Object)}
+	return newSessionState(cfg, sources, res), nil
+}
+
+// newSessionState assembles a Session around an already-loaded front-end
+// result (shared by NewSession and the incremental ResumeSession path).
+func newSessionState(cfg Config, sources []Source, res *frontend.Result) *Session {
+	s := &Session{
+		cfg:     cfg,
+		sources: append([]Source(nil), sources...),
+		res:     res,
+		byName:  make(map[string][]*ir.Object),
+	}
 	for _, o := range res.IR.Objects {
 		if o.Sym != nil && o.Sym.Name != "" {
 			s.byName[o.Sym.Name] = append(s.byName[o.Sym.Name], o)
@@ -73,7 +87,7 @@ func NewSession(sources []Source, cfg Config) (sess *Session, err error) {
 			s.byName[o.Name] = append(s.byName[o.Name], o)
 		}
 	}
-	return s, nil
+	return s
 }
 
 // Strategy returns the instance the session queries under.

@@ -8,6 +8,9 @@
 #
 #	benchstat BENCH_old.bench.txt BENCH_new.bench.txt
 #
+# plus BENCH_<stamp>.incr.txt, the incremental re-analysis pass (ptrbench
+# -incr): warm resume vs cold solve per seeded single-function edit.
+#
 # Usage (from anywhere; REPEAT controls ptrbench timing repetitions):
 #
 #	sh scripts/bench.sh            # full snapshot: 10 benchstat samples
@@ -87,3 +90,14 @@ echo "wrote $out (${wall}s)" >&2
 # confidence intervals; fixed -benchtime keeps run counts comparable.
 go test -run '^$' -bench "$filter" -benchmem -count "$count" -benchtime "$benchtime" . >"$stat"
 echo "wrote $stat ($count samples per benchmark)" >&2
+
+# Incremental pass: warm resume vs cold solve over seeded single-function
+# edits (BENCH_<stamp>.incr.txt). The run self-checks — a warm/cold answer
+# disagreement aborts with a non-zero exit.
+incrout="$(bench_path .incr.txt)"
+if [ "$short" = 1 ]; then
+	go run ./cmd/ptrbench -incr -program anagram -repeat 3 -edits 2 >"$incrout"
+else
+	go run ./cmd/ptrbench -incr -repeat 9 -edits 3 >"$incrout"
+fi
+echo "wrote $incrout" >&2

@@ -33,6 +33,7 @@ echo "== fuzz smoke (frontend + solver + snapshot decoder must never panic)"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/frontend
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/export
+go test -run='^$' -fuzz=FuzzGraphSnapshotDecode -fuzztime=10s ./internal/incr
 
 if command -v curl >/dev/null 2>&1; then
 	echo "== chaos smoke (overload + fault injection + crash-safe restart)"
