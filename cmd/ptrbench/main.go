@@ -18,6 +18,11 @@
 //	-repeat n     timing repetitions per (program, instance) (default 3)
 //	-parallel n   worker count for the corpus run (default GOMAXPROCS;
 //	              1 forces the sequential path)
+//	-solve-parallel n
+//	              worker count inside each solve (the work-stealing wave
+//	              executor; default 1 = sequential). Facts and Figure 3-6
+//	              numbers are identical at any setting; only wall time and
+//	              the -stats schedule counters change
 //	-program p    restrict to one corpus program
 //	-demand       measure the demand-driven query engine instead of the
 //	              figures: per program, the median single query's cold and
@@ -62,6 +67,7 @@ func run() error {
 	abi := flag.String("abi", "lp64", "ABI for the offsets instance")
 	repeat := flag.Int("repeat", 3, "timing repetitions")
 	parallel := flag.Int("parallel", 0, "corpus worker count (0 = GOMAXPROCS)")
+	solvePar := flag.Int("solve-parallel", 1, "intra-solve worker count (1 = sequential executor)")
 	program := flag.String("program", "", "restrict to one corpus program")
 	demand := flag.Bool("demand", false, "measure demand-driven queries vs exhaustive solves")
 	incrFlag := flag.Bool("incr", false, "measure incremental warm resumes vs cold solves over generated edits")
@@ -149,14 +155,15 @@ func run() error {
 
 	progs, err := metrics.MeasureCorpusContext(ctx, specs, frontend.Options{ABI: theABI},
 		metrics.Options{Repeat: *repeat, Parallelism: *parallel,
-			NoCycleElim: *noCycle, Limits: gov.Limits()})
+			SolveParallelism: *solvePar,
+			NoCycleElim:      *noCycle, Limits: gov.Limits()})
 	if err != nil {
 		return err
 	}
 
 	w := os.Stdout
 	if *jsonOut {
-		return export.WriteEvaluation(w, *abi, progs)
+		return export.WriteEvaluationPar(w, *abi, *solvePar, progs)
 	}
 	switch *table {
 	case "fig3":

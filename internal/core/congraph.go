@@ -44,6 +44,21 @@ type WaveStats struct {
 	// FactCrossings is the number of (edge, fact) pairs those batches
 	// carried — what a per-fact worklist schedule would have traversed.
 	FactCrossings int
+
+	// ParWaves is the number of waves the parallel shard executor ran
+	// (zero for a sequential solve). Like Waves/EdgeBatches it is a
+	// deterministic function of (program, strategy, Options.Parallelism).
+	ParWaves int
+	// ParShards is the number of shard drains those waves performed.
+	ParShards int
+	// ParSteals counts shards a worker claimed from another worker's
+	// queue. It is the one counter that depends on runtime scheduling
+	// (and GOMAXPROCS), so it is excluded from regression baselines and
+	// never compared across runs.
+	ParSteals int
+	// ParPendings is the number of cross-shard pending delta buffers
+	// merged at wave barriers.
+	ParPendings int
 }
 
 // TraversalsSaved is the headline counter: edge traversals avoided relative
@@ -102,6 +117,12 @@ func (s *solver) runWaves() {
 			if s.stats.Waves == 1 || s.edgesSinceSCC > 0 {
 				s.edgesSinceSCC = 0
 				s.detectCycles()
+				if s.par != nil {
+					// Merges only happen inside detectCycles, so this is
+					// the one place the workers' flat find() snapshot can
+					// go stale.
+					s.par.refreshFlat(s)
+				}
 			}
 			s.redundant = 0
 			if s.stop != nil {
@@ -114,21 +135,33 @@ func (s *solver) runWaves() {
 		// during this wave land on the fresh list and join the next one.
 		snap := s.dirty
 		s.dirty, s.dirtyPrev = s.dirtyPrev[:0], snap
-		for i := len(s.topo) - 1; i >= 0; i-- {
-			c := s.topo[i]
-			if s.delta[c].Len() == 0 {
-				continue
-			}
+		if s.par != nil && len(snap) >= parMinFrontier {
+			// Parallel ranked walk: shards of the topo order drained by
+			// worker goroutines, cross-shard deltas and rule firings
+			// deferred to a deterministic barrier. The dispatch decision
+			// depends only on the dirty count, never on timing, so the
+			// wave sequence is identical run to run.
+			s.par.runWave(s)
 			if s.stop != nil {
 				return
 			}
-			if s.steps%cancelCheckEvery == 0 {
-				if s.checkCtx(); s.stop != nil {
+		} else {
+			for i := len(s.topo) - 1; i >= 0; i-- {
+				c := s.topo[i]
+				if s.delta[c].Len() == 0 {
+					continue
+				}
+				if s.stop != nil {
 					return
 				}
+				if s.steps%cancelCheckEvery == 0 {
+					if s.checkCtx(); s.stop != nil {
+						return
+					}
+				}
+				s.steps++
+				s.drain(c)
 			}
-			s.steps++
-			s.drain(c)
 		}
 		// Residual: dirty cells outside the ranked subgraph, deduplicated
 		// and drained in ascending id order for determinism.

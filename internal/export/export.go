@@ -106,6 +106,14 @@ type RunJSON struct {
 	EdgeBatches     int `json:"edge_batches,omitempty"`
 	FactCrossings   int `json:"fact_crossings,omitempty"`
 	TraversalsSaved int `json:"traversals_saved,omitempty"`
+
+	// Parallel wave-executor counters, zero on sequential runs. par_steals
+	// is schedule-dependent (it varies run to run); the others are
+	// deterministic at a fixed parallelism.
+	ParWaves    int `json:"par_waves,omitempty"`
+	ParShards   int `json:"par_shards,omitempty"`
+	ParSteals   int `json:"par_steals,omitempty"`
+	ParPendings int `json:"par_pendings,omitempty"`
 }
 
 // ProgramJSON is the JSON form of one benchmark program's measurements.
@@ -149,20 +157,37 @@ func Program(p *metrics.Program) ProgramJSON {
 			EdgeBatches:        r.Wave.EdgeBatches,
 			FactCrossings:      r.Wave.FactCrossings,
 			TraversalsSaved:    r.Wave.TraversalsSaved(),
+			ParWaves:           r.Wave.ParWaves,
+			ParShards:          r.Wave.ParShards,
+			ParSteals:          r.Wave.ParSteals,
+			ParPendings:        r.Wave.ParPendings,
 		}
 	}
 	return out
 }
 
 // Evaluation is the top-level JSON document for a full corpus run.
+// SolveParallelism records the intra-solve worker count the run used (absent
+// for sequential runs) so readers know whether the schedule counters —
+// waves, edge_batches, fact_crossings, par_* — are comparable across files.
 type Evaluation struct {
-	ABI      string        `json:"abi"`
-	Programs []ProgramJSON `json:"programs"`
+	ABI              string        `json:"abi"`
+	SolveParallelism int           `json:"solve_parallelism,omitempty"`
+	Programs         []ProgramJSON `json:"programs"`
 }
 
 // WriteEvaluation marshals a full evaluation to w (indented).
 func WriteEvaluation(w io.Writer, abi string, progs []*metrics.Program) error {
-	ev := Evaluation{ABI: abi}
+	return WriteEvaluationPar(w, abi, 0, progs)
+}
+
+// WriteEvaluationPar is WriteEvaluation with the solve parallelism stamped
+// into the document (0 omits the field — a sequential run).
+func WriteEvaluationPar(w io.Writer, abi string, solvePar int, progs []*metrics.Program) error {
+	if solvePar == 1 {
+		solvePar = 0 // 1 is the sequential executor; don't stamp it
+	}
+	ev := Evaluation{ABI: abi, SolveParallelism: solvePar}
 	for _, p := range progs {
 		ev.Programs = append(ev.Programs, Program(p))
 	}

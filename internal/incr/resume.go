@@ -43,12 +43,17 @@ type Stats struct {
 	EdgesRestored int
 
 	// Phase wall times: ParseTime covers the front end on the new sources
-	// (work a cold solve pays identically); ConvergeTime covers everything
-	// after it — fingerprint diff, object match, taint closure, seed
-	// construction and the delta solve. ConvergeTime is the incremental
-	// machinery's cost and what `ptrbench -incr` compares against a cold
-	// solve. Zero on fallback paths.
+	// (work a cold solve pays identically). DecodeTime covers the mirror
+	// artifact build — replaying the captured statements against the final
+	// sets to reconstruct copy edges, counters and the taint index. It is
+	// memoized per resident Graph, so only the first Resume against a graph
+	// pays it (a snapshot restored from disk always does); later resumes
+	// see ~zero. ConvergeTime covers the rest — fingerprint diff, object
+	// match, taint closure, seed construction and the delta solve — the
+	// per-edit marginal cost, and what `ptrbench -incr` compares against a
+	// cold solve. All three are zero on fallback paths.
 	ParseTime    time.Duration
+	DecodeTime   time.Duration
 	ConvergeTime time.Duration
 }
 
@@ -108,10 +113,12 @@ func Resume(ctx context.Context, g *Graph, newSources []frontend.Source, cfg Con
 		return fallbackLoaded(ctx, newRes, cfg, stats)
 	}
 
+	decodeStart := time.Now()
 	arts, err := g.artifacts()
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	stats.DecodeTime = time.Since(decodeStart)
 	dirty := d.dirty()
 	retracted := func(st *ir.Stmt) bool { return dirty[unitOf(st)] }
 	for _, st := range g.res.IR.Stmts {
@@ -241,7 +248,7 @@ func Resume(ctx context.Context, g *Graph, newSources []frontend.Source, cfg Con
 	rec.ResolveStructs += carry.ResolveStructs
 	rec.ResolveMismatches += carry.ResolveMismatches
 	stats.Outcome = "resumed"
-	stats.ConvergeTime = time.Since(start)
+	stats.ConvergeTime = time.Since(start) - stats.DecodeTime
 	return newRes, result, stats, nil
 }
 

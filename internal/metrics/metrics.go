@@ -155,6 +155,12 @@ type Options struct {
 	// Parallelism bounds the worker count of MeasureCorpus; 0 selects
 	// GOMAXPROCS. Measure (single program) is always sequential.
 	Parallelism int
+	// SolveParallelism is core.Options.Parallelism for each solve: values
+	// above 1 run the work-stealing wave executor inside every analysis.
+	// Fact sets and Figure-3 counters are identical at any setting; the
+	// schedule counters (waves, edge batches, steals) are not, so regress
+	// baselines are recorded sequentially (the 0/1 default).
+	SolveParallelism int
 	// NoMemo disables the strategies' lookup/resolve memoization
 	// (ablation; results are identical, only speed changes).
 	NoMemo bool
@@ -204,7 +210,8 @@ func MeasureContext(ctx context.Context, name string, sources []frontend.Source,
 				core.SetMemoization(strat, false)
 			}
 			r := core.AnalyzeContext(ctx, res.IR, strat,
-				core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim})
+				core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim,
+					Parallelism: opts.SolveParallelism})
 			if r.Incomplete != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, sn, r.Incomplete.AsError())
 			}
@@ -317,7 +324,8 @@ func MeasureCorpusContext(ctx context.Context, specs []Spec, fopts frontend.Opti
 				core.SetMemoization(strat, false)
 			}
 			jobs[i] = core.BatchJob{Prog: loaded[pr.prog].IR, Strat: strat,
-				Opts: core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim}}
+				Opts: core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim,
+					Parallelism: opts.SolveParallelism}}
 		}
 		results, errs := core.AnalyzeBatchContext(ctx, jobs, opts.Parallelism)
 		// Keep only the fastest repetition per pair (repetitions differ

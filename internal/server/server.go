@@ -117,6 +117,9 @@ type Server struct {
 	// wave scheduling; see pointsto.SolverStats).
 	solveSCCs, solveMerged, solveWaves atomic.Int64
 	solveTravSaved                     atomic.Int64
+
+	// Parallel wave-executor totals (zero while solves run sequentially).
+	solveParWaves, solveParShards, solveParSteals atomic.Int64
 }
 
 // New builds a Server over the given cache.
@@ -452,6 +455,9 @@ func (s *Server) solveSnapshot(ctx context.Context, endpoint, key, base string, 
 		s.solveMerged.Add(int64(ss.CellsMerged))
 		s.solveWaves.Add(int64(ss.Waves))
 		s.solveTravSaved.Add(int64(ss.TraversalsSaved))
+		s.solveParWaves.Add(int64(ss.ParWaves))
+		s.solveParShards.Add(int64(ss.ParShards))
+		s.solveParSteals.Add(int64(ss.ParSteals))
 		if rep.Incomplete() != nil {
 			s.solveIncomplete.Add(1)
 		}
@@ -660,6 +666,9 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			CellsMerged:     s.solveMerged.Load(),
 			Waves:           s.solveWaves.Load(),
 			TraversalsSaved: s.solveTravSaved.Load(),
+			ParWaves:        s.solveParWaves.Load(),
+			ParShards:       s.solveParShards.Load(),
+			ParSteals:       s.solveParSteals.Load(),
 		},
 		Endpoints: make(map[string]EndpointJSON, len(s.endpoints)),
 		Incr: IncrVarz{

@@ -24,9 +24,11 @@ const keyVersion = "ptrcache/1"
 // so neither presentation order nor embedded separators can alias two
 // distinct programs. Limits are part of the key because a limit-tripped
 // report is a different (partial) value than the full fixpoint. Deliberately
-// excluded: Timeout (canceled runs are never cached), Parallelism,
-// NoMemoization and DemandBudget (none changes the result, only how fast it
-// arrives — a budget trip reroutes to the same exhaustive fixpoint). The
+// excluded: Timeout (canceled runs are never cached), Config.Parallelism,
+// Options.Parallelism (the intra-solve wave executor is byte-identical to
+// the sequential solver at every worker count), NoMemoization and
+// DemandBudget (none changes the result, only how fast it arrives — a
+// budget trip reroutes to the same exhaustive fixpoint). The
 // exclusion also means a warm session's key equals the limit-free
 // /v1/analyze key for the same sources, so the two tiers share addresses.
 //

@@ -38,6 +38,14 @@
 // Config.Parallelism with your own loop) and returns the reports in input
 // order.
 //
+// Within a single solve, Options.Parallelism sets the worker count of the
+// work-stealing wave executor (0 defaults to GOMAXPROCS, 1 forces the
+// sequential solver). The answer is byte-identical at every setting —
+// fact sets, set sizes and the Figure-3 counters all match the sequential
+// solve — so the knob is excluded from content-addressed cache keys
+// (store.Key) and from incremental graph identity; only wall time and the
+// SolverStats Par* schedule counters change.
+//
 // # Incremental re-analysis
 //
 // Edit-heavy traffic can resume instead of re-solving: Session.Update takes
@@ -58,8 +66,8 @@
 // A Graph's identity is the captured Config: Strategy, ABI and the
 // result-changing Options (ModelMainArgs, NoLibSummaries,
 // CloneAllocWrappers, NoPtrArithSmear, NoMemoization, NoCycleElim) must all
-// match for a resume; Timeout, Parallelism and DemandBudget are excluded
-// because they never change an answer. Configs with Limits or FlagMisuse
+// match for a resume; Timeout, Config.Parallelism, Options.Parallelism and
+// DemandBudget are excluded because they never change an answer. Configs with Limits or FlagMisuse
 // are not resumable at all (Config.Resumable reports this) and always solve
 // cold.
 //

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -84,6 +85,15 @@ type Options struct {
 	// scheduling in the dense solver, falling back to the classic
 	// per-fact worklist (results are identical; ablation only).
 	NoCycleElim bool
+	// Parallelism sets the number of workers a single solve's fixpoint may
+	// use (the dense solver's work-stealing wave executor). 0 defaults to
+	// GOMAXPROCS; 1 forces the fully sequential executor. Points-to results
+	// are byte-identical at every setting and across runs, so the knob is
+	// excluded from content-addressed cache keys (store.Key) and from
+	// incremental-graph identity; only schedule counters in SolverStats
+	// vary. Distinct from Config.Parallelism, which bounds the AnalyzeAll
+	// batch worker pool across solves.
+	Parallelism int
 }
 
 // Limits bounds the solver's resource use; zero values mean unlimited.
@@ -256,11 +266,16 @@ func solve(ctx context.Context, res *frontend.Result, cfg Config) *Report {
 }
 
 func coreOptions(cfg Config) core.Options {
+	par := cfg.Options.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	return core.Options{
 		NoPtrArithSmear: cfg.Options.NoPtrArithSmear,
 		UseUnknown:      cfg.Options.FlagMisuse,
 		NoCycleElim:     cfg.Options.NoCycleElim,
 		Limits:          cfg.Limits.core(),
+		Parallelism:     par,
 	}
 }
 
@@ -417,6 +432,19 @@ type SolverStats struct {
 	FactCrossings int
 	// TraversalsSaved is FactCrossings − EdgeBatches (floored at zero).
 	TraversalsSaved int
+	// ParWaves is the number of waves the parallel shard executor ran
+	// (zero when Options.Parallelism resolved to 1, or the wave layer was
+	// off, or every frontier stayed under the parallel threshold).
+	ParWaves int
+	// ParShards is the number of shard drains those parallel waves did.
+	ParShards int
+	// ParSteals counts shards claimed from another worker's queue. It is
+	// the only schedule-dependent counter (varies run to run); everything
+	// else here is deterministic at a fixed Parallelism.
+	ParSteals int
+	// ParPendings is the number of cross-shard pending delta buffers
+	// merged at wave barriers.
+	ParPendings int
 }
 
 // SolverStats returns the constraint-graph layer's counters for this run.
@@ -431,6 +459,10 @@ func (r *Report) SolverStats() SolverStats {
 		EdgeBatches:     w.EdgeBatches,
 		FactCrossings:   w.FactCrossings,
 		TraversalsSaved: w.TraversalsSaved(),
+		ParWaves:        w.ParWaves,
+		ParShards:       w.ParShards,
+		ParSteals:       w.ParSteals,
+		ParPendings:     w.ParPendings,
 	}
 }
 

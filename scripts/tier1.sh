@@ -29,6 +29,11 @@ go test ./...
 echo "== go test -race (parallel driver must be race-clean)"
 go test -race ./internal/core/... ./internal/corpus/...
 
+echo "== parallel wave executor differential (-race, GOMAXPROCS above cores)"
+GOMAXPROCS=8 go test -race -short -count=1 \
+	-run 'TestParallelSolverMatchesSequential|TestParallelDifferentialGOMAXPROCS|TestParallelCancellationMidWave' \
+	./internal/core
+
 echo "== fuzz smoke (frontend + solver + snapshot decoder must never panic)"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/frontend
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/core
