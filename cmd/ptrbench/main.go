@@ -14,6 +14,15 @@
 //	              collapsed, cells merged, waves, edge traversals saved)
 //	-nocycle      disable online cycle elimination and wave scheduling
 //	              (ablation; facts are identical, only the schedule changes)
+//	-noprep       disable the offline constraint-reduction prepass and the
+//	              hash-consed set pool (ablation; facts are identical)
+//	-peak-mem     sample peak live heap at wave barriers; surfaces as the
+//	              peak-live column of the -stats tables
+//	-prep         measure the prepass + interner against their ablation on
+//	              large synthetic hub-and-chains programs (honors -repeat,
+//	              -solve-parallel, -prep-stmts)
+//	-prep-stmts n largest program size for -prep in IR statements
+//	              (default 500000; two smaller sizes are derived)
 //	-abi name     layout for the offsets instance (lp64, ilp32, packed1)
 //	-repeat n     timing repetitions per (program, instance) (default 3)
 //	-parallel n   worker count for the corpus run (default GOMAXPROCS;
@@ -75,6 +84,10 @@ func run() error {
 	sweep := flag.Bool("sweep", false, "run the synthetic generator sweep")
 	stats := flag.Bool("stats", false, "print solver constraint-graph (cycle elimination) counters")
 	noCycle := flag.Bool("nocycle", false, "disable cycle elimination / wave scheduling (ablation)")
+	noPrep := flag.Bool("noprep", false, "disable the offline constraint-reduction prepass + set interner (ablation)")
+	peakMem := flag.Bool("peak-mem", false, "sample peak live heap at wave barriers (adds the peak-live column to -stats)")
+	prep := flag.Bool("prep", false, "measure the prepass + interner vs ablation on large synthetic programs")
+	prepStmts := flag.Int("prep-stmts", 500000, "largest statement count for -prep (smaller sizes are derived)")
 	jsonOut := flag.Bool("json", false, "emit the full evaluation as JSON instead of tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -131,6 +144,10 @@ func run() error {
 		specs = append(specs, metrics.Spec{Name: name, Sources: src})
 	}
 
+	if *prep {
+		sizes := []int{*prepStmts / 25, *prepStmts / 5, *prepStmts}
+		return runPrep(ctx, sizes, *repeat, *solvePar)
+	}
 	if *incrFlag {
 		return runIncr(ctx, names, *abi, *repeat, *edits)
 	}
@@ -156,7 +173,8 @@ func run() error {
 	progs, err := metrics.MeasureCorpusContext(ctx, specs, frontend.Options{ABI: theABI},
 		metrics.Options{Repeat: *repeat, Parallelism: *parallel,
 			SolveParallelism: *solvePar,
-			NoCycleElim:      *noCycle, Limits: gov.Limits()})
+			NoCycleElim:      *noCycle, NoPrepass: *noPrep,
+			TrackPeakMem: *peakMem, Limits: gov.Limits()})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzBitsIntern differentially tests the hash-consed pool against a naive
+// private-copy model: a byte stream drives an interleaving of cell
+// mutations (through the same COW discipline the solver's mutation sites
+// use) and interning epochs over a small cell table. After every operation,
+// every cell's content must equal the model — which catches both equality
+// bugs (aliasing two unequal sets) and aliasing bugs (a copy-on-write
+// mutation bleeding into another cell sharing the allocation).
+func FuzzBitsIntern(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2})                            // one add
+	f.Add([]byte{0, 1, 2, 2, 0, 0, 0, 1, 2})          // add, epoch, re-add same
+	f.Add([]byte{0, 0, 5, 0, 1, 5, 2, 0, 1, 1, 0, 1}) // equal sets, epoch, union
+	f.Add([]byte{0, 2, 7, 0, 3, 7, 3, 0, 0, 0, 2, 9}) // share then diverge via COW
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const ncells = 6
+		s := &solver{pts: make([]Bits, ncells), intern: newBitsIntern()}
+		model := make([]map[CellID]bool, ncells)
+		for i := range model {
+			model[i] = make(map[CellID]bool)
+		}
+		check := func(step int) {
+			t.Helper()
+			for c := 0; c < ncells; c++ {
+				got := make(map[CellID]bool, s.pts[c].Len())
+				s.pts[c].Iterate(func(id CellID) { got[id] = true })
+				if len(got) != len(model[c]) {
+					t.Fatalf("step %d: cell %d has %d targets, model %d",
+						step, c, len(got), len(model[c]))
+				}
+				for id := range model[c] {
+					if !got[id] {
+						t.Fatalf("step %d: cell %d lost target %d", step, c, id)
+					}
+				}
+			}
+		}
+		all := make([]CellID, ncells)
+		for i := range all {
+			all[i] = CellID(i)
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			op, a, b := data[i], CellID(data[i+1])%ncells, data[i+2]
+			switch op % 4 {
+			case 0: // add one target, COW-guarded like addFact
+				tgt := CellID(b) // spread over a few blocks via high bits
+				if s.sharedSet(a) {
+					if s.pts[a].Has(tgt) {
+						break
+					}
+					s.cowSet(a)
+				}
+				s.pts[a].Add(tgt)
+				model[a][tgt] = true
+			case 1: // union src into dst, COW-guarded like mergeFrom
+				src := CellID(b) % ncells
+				sb := &s.pts[src]
+				if s.sharedSet(a) {
+					if sb.n <= s.pts[a].n && s.pts[a].subsumes(sb) {
+						break
+					}
+					s.cowSet(a)
+				}
+				s.pts[a].UnionInPlace(sb)
+				for id := range model[src] {
+					model[a][id] = true
+				}
+			case 2: // epoch over a pair (duplicates allowed by contract)
+				s.internEpoch([]CellID{a, CellID(b) % ncells, a})
+			case 3: // epoch over the whole table
+				s.internEpoch(all)
+			}
+			check(i)
+		}
+		s.internFinal()
+		check(len(data))
+
+		// The safety invariant behind copy-on-write: whenever two cells alias
+		// one allocation, BOTH must carry the shared flag — a missing flag
+		// would let an in-place mutation bleed into the other cell. (Pool
+		// reachability is deliberately not an invariant: table entries are
+		// registrations, not truths, and stale ones are skipped at alias
+		// time.)
+		for c := 0; c < ncells; c++ {
+			for d := c + 1; d < ncells; d++ {
+				cb, db := &s.pts[c], &s.pts[d]
+				if len(cb.blocks) == 0 || len(db.blocks) == 0 || &cb.blocks[0] != &db.blocks[0] {
+					continue
+				}
+				if !s.sharedSet(CellID(c)) || !s.sharedSet(CellID(d)) {
+					t.Fatalf("cells %d and %d alias one allocation but flags are %v/%v",
+						c, d, s.sharedSet(CellID(c)), s.sharedSet(CellID(d)))
+				}
+			}
+		}
+
+		// Determinism sanity: a second internFinal is idempotent.
+		before := make([]string, ncells)
+		for c := 0; c < ncells; c++ {
+			before[c] = dumpBits(&s.pts[c])
+		}
+		s.internFinal()
+		for c := 0; c < ncells; c++ {
+			if dumpBits(&s.pts[c]) != before[c] {
+				t.Fatalf("second internFinal changed cell %d", c)
+			}
+		}
+	})
+}
+
+func dumpBits(b *Bits) string {
+	ids := make([]int, 0, b.Len())
+	b.Iterate(func(id CellID) { ids = append(ids, int(id)) })
+	sort.Ints(ids)
+	out := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		out = append(out, byte(id), byte(id>>8), ',')
+	}
+	return string(out)
+}

@@ -59,6 +59,36 @@ type WaveStats struct {
 	// ParPendings is the number of cross-shard pending delta buffers
 	// merged at wave barriers.
 	ParPendings int
+
+	// PrepClasses is the number of pointer-equivalence classes the
+	// offline prepass merged (prepass.go); PrepCollapsed the cells folded
+	// into another representative by those merges (class size minus one,
+	// summed); PrepChains the cells whose class membership came from the
+	// single-predecessor inheritance rule (copy chains and cast temps)
+	// rather than a shared signature. All three are a deterministic
+	// function of (program, strategy) — the prepass runs before any
+	// schedule-dependent work — but they are still zeroed in regression
+	// baselines recorded under parallelism, alongside the intern family.
+	PrepClasses   int
+	PrepCollapsed int
+	PrepChains    int
+
+	// InternEpochs is the number of interning passes the solve ran (one
+	// per wave barrier plus the final pass); InternSets the cumulative
+	// number of sets re-pointed at a canonical equal allocation;
+	// InternBytes the approximate block storage those aliasing events
+	// released (capacity of the dropped allocation, cumulative — a set
+	// re-cloned by copy-on-write and interned again counts again). The
+	// family is schedule-dependent: epochs fall at wave barriers, so the
+	// values differ between sequential and parallel executors.
+	InternEpochs int
+	InternSets   int
+	InternBytes  int
+
+	// PeakLiveBytes is the highest runtime.ReadMemStats HeapAlloc
+	// observed at the solve's sample points (Options.TrackPeakMem only;
+	// zero otherwise). Machine-dependent; never part of any identity.
+	PeakLiveBytes uint64
 }
 
 // TraversalsSaved is the headline counter: edge traversals avoided relative
@@ -194,6 +224,14 @@ func (s *solver) runWaves() {
 			s.drain(CellID(key))
 		}
 		s.waveBuf = wave[:0]
+		// Interning epoch: after the wave's mutations settle, alias any set
+		// touched this wave that equals an already-seen allocation. snap
+		// aliases dirtyPrev, which the next wave truncates, so sorting it in
+		// place inside internEpoch is safe.
+		if s.intern != nil {
+			s.internEpoch(snap)
+		}
+		s.samplePeak()
 	}
 }
 
@@ -409,10 +447,19 @@ type mergePending struct {
 // any later fact arriving at the representative fires the combined list once
 // — precisely what the unmerged schedule would have done member by member.
 func (s *solver) mergeSCC(members []CellID) {
-	slices.Sort(members)
-	rep := members[0]
 	s.stats.SCCsFound++
 	s.stats.CellsMerged += len(members) - 1
+	s.mergeCells(members)
+}
+
+// mergeCells is the strategy-agnostic merge protocol shared by cycle
+// elimination (mergeSCC) and the offline prepass (prepass.go): it folds the
+// given cells into the smallest member and delivers each member's
+// outstanding facts through its own pre-merge consumers exactly once, per
+// the contract documented on mergeSCC. Callers account their own stats.
+func (s *solver) mergeCells(members []CellID) {
+	slices.Sort(members)
+	rep := members[0]
 	s.merged = true
 
 	// Union of the members' current sets, and the ids it contains.
@@ -444,7 +491,14 @@ func (s *solver) mergeSCC(members []CellID) {
 	wasEmpty := s.pts[rep].Len() == 0
 	old := s.pts[rep]
 	s.pts[rep] = union
-	s.recycleBits(old)
+	if s.sharedSet(rep) {
+		// old aliases an interned allocation other cells may still point
+		// at: drop it instead of recycling (pool reuse would corrupt the
+		// aliases), and clear the flag — rep now owns the fresh union.
+		s.intern.shared[rep] = false
+	} else {
+		s.recycleBits(old)
+	}
 	if wasEmpty && union.Len() > 0 {
 		s.ncells++
 		s.recordFactObj(rep)

@@ -71,10 +71,15 @@ func waveFactDump(res *core.Result) string {
 	return sb.String()
 }
 
+// noPrep pins a solve to the online cycle layer: the offline prepass would
+// collapse these hand-built cycles before detectCycles ever sees them (its
+// own coverage lives in prepass_test.go and the differential suites).
+var noPrep = core.Options{NoPrepass: true}
+
 func TestCycleCollapseMutualCopy(t *testing.T) {
 	r := loadIR(t, mutualSrc(), nil)
 	for name, strat := range exactStrategies() {
-		res := core.Analyze(r.IR, strat)
+		res := core.AnalyzeWith(r.IR, strat, noPrep)
 		if res.Incomplete != nil {
 			t.Fatalf("%s: incomplete: %v", name, res.Incomplete)
 		}
@@ -93,7 +98,7 @@ func TestCycleCollapseMutualCopy(t *testing.T) {
 func TestCycleCollapseRing(t *testing.T) {
 	r := loadIR(t, ringSrc(50), nil)
 	for name, strat := range exactStrategies() {
-		res := core.Analyze(r.IR, strat)
+		res := core.AnalyzeWith(r.IR, strat, noPrep)
 		if res.Incomplete != nil {
 			t.Fatalf("%s: incomplete: %v", name, res.Incomplete)
 		}
@@ -127,8 +132,8 @@ func TestNoCycleElimAblationIdentical(t *testing.T) {
 		r := loadIR(t, src, nil)
 		for name, strat := range exactStrategies() {
 			label := sname + "/" + name
-			on := core.Analyze(r.IR, strat)
-			off := core.AnalyzeWith(r.IR, strat, core.Options{NoCycleElim: true})
+			on := core.AnalyzeWith(r.IR, strat, noPrep)
+			off := core.AnalyzeWith(r.IR, strat, core.Options{NoCycleElim: true, NoPrepass: true})
 			ref := core.AnalyzeReference(r.IR, strat, core.Options{})
 			if off.Wave.SCCsFound != 0 || off.Wave.CellsMerged != 0 || off.Wave.Waves != 0 {
 				t.Errorf("%s: ablation still collapsed: %+v", label, off.Wave)
@@ -173,8 +178,8 @@ func TestOffsetsExcludedFromCollapse(t *testing.T) {
 func TestWaveSchedulerSavesTraversals(t *testing.T) {
 	r := loadIR(t, ringSrc(100), nil)
 	strat := core.NewCollapseAlways()
-	on := core.Analyze(r.IR, strat)
-	off := core.AnalyzeWith(r.IR, strat, core.Options{NoCycleElim: true})
+	on := core.AnalyzeWith(r.IR, strat, noPrep)
+	off := core.AnalyzeWith(r.IR, strat, core.Options{NoCycleElim: true, NoPrepass: true})
 	if on.Wave.EdgeBatches >= off.Wave.EdgeBatches {
 		t.Errorf("cycle elim did not reduce edge batches: on=%d off=%d",
 			on.Wave.EdgeBatches, off.Wave.EdgeBatches)
@@ -279,7 +284,7 @@ func TestMultipleSCCs(t *testing.T) {
 
 	r := loadIR(t, b.String(), nil)
 	for name, strat := range exactStrategies() {
-		res := core.Analyze(r.IR, strat)
+		res := core.AnalyzeWith(r.IR, strat, noPrep)
 		ref := core.AnalyzeReference(r.IR, strat, core.Options{})
 		if res.Wave.SCCsFound < 3 {
 			t.Errorf("%s: found %d SCCs, want >= 3", name, res.Wave.SCCsFound)

@@ -132,6 +132,10 @@ func NewDemand(prog *ir.Program, strat Strategy, opts Options, budget int) *Dema
 	opts.Limits = Limits{}
 	s := newSolver(context.Background(), prog, strat, opts)
 	s.waves = false
+	// The prepass models the full static graph, but a demand solver only
+	// materializes the demanded slice of it; the interner's epochs hang off
+	// wave barriers, which the demand pump never reaches. Disable both.
+	s.prep, s.intern = nil, nil
 	d := &Demand{
 		s:           s,
 		budget:      budget,

@@ -104,7 +104,10 @@ func TestPartialResultIsSoundSubset(t *testing.T) {
 func TestZeroLimitsReachFixpoint(t *testing.T) {
 	r := loadIR(t, ringSrc(50), nil)
 	for name, strat := range strategies(r.Layout) {
-		res := core.AnalyzeContext(context.Background(), r.IR, strat, core.Options{})
+		// NoPrepass: the offline prepass collapses the whole ring into one
+		// cell, which can legitimately leave zero worklist drains; this
+		// test asserts the classic fixpoint actually stepped.
+		res := core.AnalyzeContext(context.Background(), r.IR, strat, core.Options{NoPrepass: true})
 		if res.Incomplete != nil {
 			t.Errorf("%s: zero limits produced incomplete result: %s", name, res.Incomplete)
 		}

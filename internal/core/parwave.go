@@ -389,6 +389,16 @@ func (p *parExec) mergeShard(s *solver, sh *parShard, ws *parWorker, dst CellID,
 		return 0
 	}
 	isNew := set.Len() == 0
+	// Copy-on-write for interned sets, as in mergeFrom. Race-free: only the
+	// worker owning dst's shard reaches here, the flag array is grown only
+	// at barriers, and distinct elements of it are distinct memory
+	// locations.
+	if s.sharedSet(dst) {
+		if src.n <= set.n && set.subsumes(src) {
+			return 0 // no-gain merge: keep sharing the interned allocation
+		}
+		s.cowSet(dst)
+	}
 	buf := set.UnionDiff(src, ws.scratch[:0])
 	added := len(buf)
 	if added > 0 {

@@ -212,7 +212,9 @@ func TestParallelCancellationMidWave(t *testing.T) {
 	for polls := int64(1); polls <= 4096; polls *= 4 {
 		ctx := &atomicCountdownCtx{Context: context.Background()}
 		ctx.polls.Store(polls)
-		lim := core.AnalyzeContext(ctx, res.IR, core.NewCIS(), core.Options{Parallelism: 8})
+		// NoPrepass keeps the frontiers above parMinFrontier so a parallel
+		// wave actually runs before the countdown lands.
+		lim := core.AnalyzeContext(ctx, res.IR, core.NewCIS(), core.Options{Parallelism: 8, NoPrepass: true})
 		if lim.Incomplete == nil {
 			continue // solved before the countdown expired
 		}

@@ -230,6 +230,25 @@ type Options struct {
 	// pessimistic; here it augments the Assumption 1 treatment to
 	// provide the flagging capability the paper describes.
 	UseUnknown bool
+
+	// NoPrepass disables the offline constraint-reduction prepass
+	// (prepass.go) and the hash-consed set interner (bitsintern.go).
+	// Both are observable-preserving optimizations — facts and Figure-3
+	// counters are byte-identical either way — so the switch is an
+	// ablation and a kill switch, excluded from cache keys and graph
+	// identity. Like the wave layer, the pair engages only for
+	// exact-edge strategies with zero Limits, and never under
+	// UseUnknown or an incremental resume.
+	NoPrepass bool
+
+	// TrackPeakMem samples runtime.ReadMemStats at wave barriers (and on
+	// a coarse cadence in the classic worklist) and records the highest
+	// observed live-heap size in WaveStats.PeakLiveBytes. Off by default:
+	// each sample is a stop-the-world sweep, so the knob is for
+	// benchmarking (ptrbench -peak-mem), not production solves. The
+	// sampled value is machine- and GC-schedule-dependent and is never
+	// part of any identity or regression comparison.
+	TrackPeakMem bool
 }
 
 // Misuse flags one dereference of a possibly corrupted pointer.
@@ -326,6 +345,14 @@ type ResumeState struct {
 // AnalyzeSeededContext. Same Limits caveat: zero Limits only.
 func AnalyzeResumeContext(ctx context.Context, prog *ir.Program, strat Strategy, opts Options, rs ResumeState) *Result {
 	s := newSolver(ctx, prog, strat, opts)
+	if len(rs.Seeds) > 0 || len(rs.Edges) > 0 || rs.SkipReplay != nil {
+		// A warm resume starts from a prior solve's state, which the
+		// prepass signature computation does not model (seeded facts are
+		// indistinguishable from direct ones); skip both it and the
+		// interner. Observables are schedule-independent, so warm and
+		// cold solves still agree byte for byte.
+		s.prep, s.intern = nil, nil
+	}
 	s.skip = rs.SkipReplay
 	start := time.Now()
 	s.seed(rs.Seeds)
@@ -464,6 +491,17 @@ func newSolver(ctx context.Context, prog *ir.Program, strat Strategy, opts Optio
 	if opts.Parallelism > 1 && s.waves && traceCell == "" {
 		s.par = newParExec(opts.Parallelism)
 	}
+	// Offline prepass + set interner: exact edges and zero limits for the
+	// same reasons as the wave layer (signatures are defined over the
+	// static exact-edge graph; merging equalizes sets wholesale), no
+	// UseUnknown (the unknown object's facts are injected per rule firing,
+	// outside the static signature model), and a sequential trace. The
+	// pair is independent of NoCycleElim: merges ride the same union-find
+	// whether or not the wave scheduler runs.
+	if s.exact && !opts.NoPrepass && opts.Limits == (Limits{}) && !opts.UseUnknown && traceCell == "" {
+		s.prep = &prepState{}
+		s.intern = newBitsIntern()
+	}
 	if opts.UseUnknown {
 		s.unknown = &ir.Object{ID: -1, Name: "<unknown>", Kind: ir.ObjVar}
 	}
@@ -472,6 +510,14 @@ func newSolver(ctx context.Context, prog *ir.Program, strat Strategy, opts Optio
 
 // finish packages the solver's state as a Result.
 func (s *solver) finish(start time.Time) *Result {
+	if s.intern != nil && s.stop == nil {
+		// Final interning pass: the retained Result shares one allocation
+		// per distinct set value, and merged-away members release their
+		// dead pre-merge storage (queries read the representative through
+		// Result.redirect, never the member's own set).
+		s.internFinal()
+	}
+	s.samplePeak()
 	res := &Result{
 		Strategy:   s.strat,
 		Program:    s.prog,
@@ -581,6 +627,15 @@ type solver struct {
 	// copy edge as (destination object, source object) — the demand
 	// engine's backward-dependency signal.
 	noteEdge func(dst, src *ir.Object)
+
+	// prep, when non-nil, collects the seeding-time inputs of the offline
+	// constraint-reduction prepass, which run() executes between statement
+	// seeding and the fixpoint (prepass.go). intern, when non-nil, is the
+	// per-solve hash-consed set pool with its copy-on-write flags
+	// (bitsintern.go). Both are nil under Options.NoPrepass, for demand
+	// solvers, and on incremental resumes.
+	prep   *prepState
+	intern *bitsIntern
 
 	// Constraint-graph layer (congraph.go). waves gates the whole layer:
 	// it is on for exact-edge strategies running without fact/cell limits
@@ -745,6 +800,13 @@ func (s *solver) run() {
 		}
 		s.initStmt(st)
 	}
+	if s.prep != nil && s.stop == nil {
+		// Offline constraint reduction: merge pointer-equivalent cells
+		// over the static graph before any fixpoint propagation pays for
+		// them (prepass.go).
+		s.runPrepass()
+	}
+	s.samplePeak()
 	if s.waves {
 		// Topological wave scheduling with online cycle elimination
 		// (congraph.go); observables are identical to the classic loop.
@@ -770,6 +832,11 @@ func (s *solver) runLoop() {
 			if s.checkCtx(); s.stop != nil {
 				return
 			}
+		}
+		if s.opts.TrackPeakMem && s.steps%peakSampleEvery == 0 {
+			// No wave barriers in the classic loop: sample on a coarse
+			// drain cadence instead.
+			s.samplePeak()
 		}
 		s.steps++
 		c := s.dirty[len(s.dirty)-1]
@@ -810,7 +877,14 @@ func (s *solver) initStmt(st *ir.Stmt) {
 	}
 	switch st.Op {
 	case ir.OpAddrOf:
-		s.addFact(s.normID(st.Dst), s.cellID(s.norm(st.Src, st.Path)))
+		dst, tgt := s.normID(st.Dst), s.cellID(s.norm(st.Src, st.Path))
+		if s.prep != nil {
+			// The prepass needs the direct (address-of) facts separate
+			// from facts that arrived by propagation, and by seeding time
+			// the two are indistinguishable in pts — so log them here.
+			s.prep.direct = append(s.prep.direct, [2]CellID{dst, tgt})
+		}
+		s.addFact(dst, tgt)
 
 	case ir.OpCopy:
 		dst := s.norm(st.Dst, nil)
@@ -926,6 +1000,12 @@ func (s *solver) addFact(c, tgt CellID) {
 		s.abort(StopMaxCells, s.limits.MaxCells, nil)
 		return
 	}
+	if s.sharedSet(c) {
+		if set.Has(tgt) {
+			return // no mutation: keep sharing the interned allocation
+		}
+		s.cowSet(c)
+	}
 	s.seedBits(set)
 	if !set.Add(tgt) {
 		return
@@ -989,6 +1069,12 @@ func (s *solver) mergeFrom(dst CellID, src *Bits) int {
 	}
 	set := &s.pts[dst]
 	isNew := set.Len() == 0
+	if s.sharedSet(dst) {
+		if src.n <= set.n && set.subsumes(src) {
+			return 0 // no-gain merge: keep sharing the interned allocation
+		}
+		s.cowSet(dst)
+	}
 	s.seedBits(set)
 	buf := set.UnionDiff(src, s.getScratch())
 	added := len(buf)

@@ -1,0 +1,83 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+)
+
+func loadLarge(t *testing.T, p LargeParams) *frontend.Result {
+	t.Helper()
+	res, err := frontend.Load(GenerateLarge(p), frontend.Options{})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(res.IR.Warnings) != 0 {
+		t.Errorf("warnings: %v", res.IR.Warnings)
+	}
+	return res
+}
+
+func TestGenerateLargeLoads(t *testing.T) {
+	p := DefaultLargeParams()
+	res := loadLarge(t, p)
+	if min := p.NChains * p.ChainLen; len(res.IR.Stmts) < min {
+		t.Errorf("generated %d statements, want >= %d", len(res.IR.Stmts), min)
+	}
+	r := core.Analyze(res.IR, core.NewCIS())
+	if r.Incomplete != nil {
+		t.Fatalf("incomplete: %v", r.Incomplete)
+	}
+	if r.TotalFacts() == 0 {
+		t.Error("no facts")
+	}
+}
+
+func TestGenerateLargeDeterministic(t *testing.T) {
+	a := GenerateLarge(DefaultLargeParams())
+	b := GenerateLarge(DefaultLargeParams())
+	if a[0].Text != b[0].Text {
+		t.Error("not deterministic")
+	}
+}
+
+// The statement count must scale linearly with the size knobs — this is the
+// contract the benchmark drivers rely on to hit a target program size.
+func TestGenerateLargeScales(t *testing.T) {
+	small := loadLarge(t, LargeParams{NChains: 10, ChainLen: 10, NTargets: 32, NFields: 4, Seed: 1})
+	big := loadLarge(t, LargeParams{NChains: 60, ChainLen: 20, NTargets: 32, NFields: 4, Seed: 1})
+	if s, b := len(small.IR.Stmts), len(big.IR.Stmts); b < 5*s {
+		t.Errorf("scaling too shallow: %d stmts -> %d stmts", s, b)
+	}
+}
+
+// The hub-and-chains shape is the prepass showcase: nearly every chain cell
+// must fold into its head, and with the prepass ablated the answer must not
+// change — the small-scale version of the claim the benchmark makes at
+// half a million statements.
+func TestGenerateLargePrepassCollapsesChains(t *testing.T) {
+	p := LargeParams{NChains: 16, ChainLen: 25, NTargets: 64, NFields: 8, CrossEvery: 5, Seed: 7}
+	res := loadLarge(t, p)
+	strat := core.NewCollapseAlways()
+	on := core.Analyze(res.IR, strat)
+	if on.Incomplete != nil {
+		t.Fatalf("incomplete: %v", on.Incomplete)
+	}
+	// Each chain has ChainLen-1 foldable links (the head is a load
+	// destination and stays); allow slack for the jittered lengths and the
+	// cross links, but the bulk must collapse.
+	if want := p.NChains * (p.ChainLen - 2); on.Wave.PrepCollapsed < want {
+		t.Errorf("collapsed %d cells, want >= %d: %+v", on.Wave.PrepCollapsed, want, on.Wave)
+	}
+	off := core.AnalyzeWith(res.IR, core.NewCollapseAlways(), core.Options{NoPrepass: true})
+	ref := core.AnalyzeReference(res.IR, core.NewCollapseAlways(), core.Options{})
+	if on.TotalFacts() != off.TotalFacts() || on.TotalFacts() != ref.TotalFacts() {
+		t.Errorf("TotalFacts: on=%d off=%d ref=%d",
+			on.TotalFacts(), off.TotalFacts(), ref.TotalFacts())
+	}
+	if on.AvgDerefSetSize() != off.AvgDerefSetSize() || on.AvgDerefSetSize() != ref.AvgDerefSetSize() {
+		t.Errorf("AvgDerefSetSize: on=%v off=%v ref=%v",
+			on.AvgDerefSetSize(), off.AvgDerefSetSize(), ref.AvgDerefSetSize())
+	}
+}

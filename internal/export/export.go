@@ -114,6 +114,19 @@ type RunJSON struct {
 	ParShards   int `json:"par_shards,omitempty"`
 	ParSteals   int `json:"par_steals,omitempty"`
 	ParPendings int `json:"par_pendings,omitempty"`
+
+	// Offline-prepass and set-interner counters, zero under the NoPrepass
+	// ablation (or when the pair did not engage). The prep_* family is a
+	// deterministic function of (program, strategy); the intern_* family
+	// depends on wave structure and peak_live_bytes on the machine, so
+	// regression baselines zero them like the par_* family.
+	PrepClasses   int    `json:"prep_classes,omitempty"`
+	PrepCollapsed int    `json:"prep_collapsed,omitempty"`
+	PrepChains    int    `json:"prep_chains,omitempty"`
+	InternEpochs  int    `json:"intern_epochs,omitempty"`
+	InternSets    int    `json:"intern_sets,omitempty"`
+	InternBytes   int    `json:"intern_bytes,omitempty"`
+	PeakLiveBytes uint64 `json:"peak_live_bytes,omitempty"`
 }
 
 // ProgramJSON is the JSON form of one benchmark program's measurements.
@@ -161,6 +174,13 @@ func Program(p *metrics.Program) ProgramJSON {
 			ParShards:          r.Wave.ParShards,
 			ParSteals:          r.Wave.ParSteals,
 			ParPendings:        r.Wave.ParPendings,
+			PrepClasses:        r.Wave.PrepClasses,
+			PrepCollapsed:      r.Wave.PrepCollapsed,
+			PrepChains:         r.Wave.PrepChains,
+			InternEpochs:       r.Wave.InternEpochs,
+			InternSets:         r.Wave.InternSets,
+			InternBytes:        r.Wave.InternBytes,
+			PeakLiveBytes:      r.Wave.PeakLiveBytes,
 		}
 	}
 	return out

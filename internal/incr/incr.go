@@ -45,10 +45,13 @@ import (
 // differing from the captured one falls back to a cold solve.
 //
 // Deliberately absent: timeouts, parallelism and demand budgets (they never
-// change an answer), resource Limits (an incomplete solve is not resumable,
-// so graphs are only captured from unlimited runs) and FlagMisuse (misuse
-// records are a whole-run observable the delta path cannot reproduce; the
-// facade never captures graphs for flagging configs).
+// change an answer), NoPrepass/TrackPeakMem (the offline prepass and set
+// interner are a cold-solve-only optimization — warm resumes always run
+// without them, so the knob cannot differentiate graphs), resource Limits
+// (an incomplete solve is not resumable, so graphs are only captured from
+// unlimited runs) and FlagMisuse (misuse records are a whole-run observable
+// the delta path cannot reproduce; the facade never captures graphs for
+// flagging configs).
 type Config struct {
 	// Strategy names the analysis instance ("common-initial-seq" when
 	// empty); ABI names the layout ("lp64" when empty).

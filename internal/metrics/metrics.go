@@ -168,6 +168,14 @@ type Options struct {
 	// wave scheduling (ablation; results are identical, only the schedule
 	// and the constraint-graph counters change).
 	NoCycleElim bool
+	// NoPrepass disables the offline constraint-reduction prepass and the
+	// hash-consed set interner (ablation; results are identical, only the
+	// prep_*/intern_* counters and memory behavior change).
+	NoPrepass bool
+	// TrackPeakMem samples the live heap at wave barriers and records the
+	// peak in each run's WaveStats.PeakLiveBytes (benchmarking aid; each
+	// sample is a stop-the-world sweep).
+	TrackPeakMem bool
 	// Limits bounds each analysis run. The figures cannot be built from
 	// partial fact sets, so a tripped limit (or a canceled context) makes
 	// the measurement fail with the classified error instead of emitting
@@ -211,6 +219,7 @@ func MeasureContext(ctx context.Context, name string, sources []frontend.Source,
 			}
 			r := core.AnalyzeContext(ctx, res.IR, strat,
 				core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim,
+					NoPrepass: opts.NoPrepass, TrackPeakMem: opts.TrackPeakMem,
 					Parallelism: opts.SolveParallelism})
 			if r.Incomplete != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, sn, r.Incomplete.AsError())
@@ -325,6 +334,7 @@ func MeasureCorpusContext(ctx context.Context, specs []Spec, fopts frontend.Opti
 			}
 			jobs[i] = core.BatchJob{Prog: loaded[pr.prog].IR, Strat: strat,
 				Opts: core.Options{Limits: opts.Limits, NoCycleElim: opts.NoCycleElim,
+					NoPrepass: opts.NoPrepass, TrackPeakMem: opts.TrackPeakMem,
 					Parallelism: opts.SolveParallelism}}
 		}
 		results, errs := core.AnalyzeBatchContext(ctx, jobs, opts.Parallelism)

@@ -227,7 +227,59 @@ func WaveStats(w io.Writer, progs []*metrics.Program) {
 		"total", "", tot.Wave.SCCsFound, tot.Wave.CellsMerged, tot.Wave.Waves,
 		tot.Wave.EdgeBatches, tot.Wave.FactCrossings, tot.Wave.TraversalsSaved())
 	fmt.Fprintln(w)
+	prepStats(w, progs)
 	parStats(w, progs)
+}
+
+// prepStats renders the offline constraint-reduction and set-interner
+// counters when any run engaged the pair (NoPrepass evaluations print
+// nothing extra). The prep_* columns are a deterministic function of
+// (program, strategy); the intern_* columns depend on the wave schedule.
+func prepStats(w io.Writer, progs []*metrics.Program) {
+	engaged := false
+	for _, p := range progs {
+		for _, r := range p.Runs {
+			if r.Wave.PrepCollapsed > 0 || r.Wave.InternSets > 0 {
+				engaged = true
+			}
+		}
+	}
+	if !engaged {
+		return
+	}
+	fmt.Fprintln(w, "Offline prepass + hash-consed sets: pre-fixpoint merges, shared allocations")
+	fmt.Fprintln(w, "(classes/collapsed/chains are deterministic; intern columns follow the schedule;")
+	fmt.Fprintln(w, " peak-live is the barrier-sampled heap, populated only under -peak-mem)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-12s %-10s %8s %10s %7s %7s %9s %12s %10s\n",
+		"program", "strategy", "classes", "collapsed", "chains", "epochs", "interned", "bytes-shared", "peak-live")
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 93))
+	var tc, tcol, tch, te, ti, tb int
+	for _, p := range progs {
+		for _, s := range metrics.StrategyNames {
+			r := p.Runs[s]
+			if r == nil || s == "offsets" {
+				continue
+			}
+			ws := r.Wave
+			if ws.PrepClasses == 0 && ws.PrepCollapsed == 0 && ws.InternSets == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-12s %-10s %8d %10d %7d %7d %9d %12d %10d\n",
+				p.Name, shortLabel[s], ws.PrepClasses, ws.PrepCollapsed, ws.PrepChains,
+				ws.InternEpochs, ws.InternSets, ws.InternBytes, ws.PeakLiveBytes)
+			tc += ws.PrepClasses
+			tcol += ws.PrepCollapsed
+			tch += ws.PrepChains
+			te += ws.InternEpochs
+			ti += ws.InternSets
+			tb += ws.InternBytes
+		}
+	}
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", 93))
+	fmt.Fprintf(w, "%-12s %-10s %8d %10d %7d %7d %9d %12d\n",
+		"total", "", tc, tcol, tch, te, ti, tb)
+	fmt.Fprintln(w)
 }
 
 // parStats renders the work-stealing wave-executor counters when any run

@@ -140,6 +140,14 @@ type SolverVarz struct {
 	ParWaves  int64 `json:"par_waves"`  // frontiers executed sharded
 	ParShards int64 `json:"par_shards"` // shards claimed across those waves
 	ParSteals int64 `json:"par_steals"` // shards claimed from another worker's queue
+
+	// Offline-prepass and set-interner totals (constraint reduction before
+	// the fixpoint, hash-consed points-to set sharing during it); zero when
+	// the pair did not engage.
+	PrepClasses   int64 `json:"prep_classes"`   // equivalence classes merged pre-fixpoint
+	PrepCollapsed int64 `json:"prep_collapsed"` // cells folded by those merges
+	InternSets    int64 `json:"intern_sets"`    // sets re-pointed at a shared allocation
+	InternBytes   int64 `json:"intern_bytes"`   // approximate bytes released by sharing
 }
 
 // statusRecorder captures the response status for metrics.

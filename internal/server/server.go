@@ -120,6 +120,10 @@ type Server struct {
 
 	// Parallel wave-executor totals (zero while solves run sequentially).
 	solveParWaves, solveParShards, solveParSteals atomic.Int64
+
+	// Offline-prepass and set-interner totals.
+	solvePrepClasses, solvePrepCollapsed atomic.Int64
+	solveInternSets, solveInternBytes    atomic.Int64
 }
 
 // New builds a Server over the given cache.
@@ -458,6 +462,10 @@ func (s *Server) solveSnapshot(ctx context.Context, endpoint, key, base string, 
 		s.solveParWaves.Add(int64(ss.ParWaves))
 		s.solveParShards.Add(int64(ss.ParShards))
 		s.solveParSteals.Add(int64(ss.ParSteals))
+		s.solvePrepClasses.Add(int64(ss.PrepClasses))
+		s.solvePrepCollapsed.Add(int64(ss.PrepCollapsed))
+		s.solveInternSets.Add(int64(ss.InternSets))
+		s.solveInternBytes.Add(int64(ss.InternBytes))
 		if rep.Incomplete() != nil {
 			s.solveIncomplete.Add(1)
 		}
@@ -669,6 +677,10 @@ func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 			ParWaves:        s.solveParWaves.Load(),
 			ParShards:       s.solveParShards.Load(),
 			ParSteals:       s.solveParSteals.Load(),
+			PrepClasses:     s.solvePrepClasses.Load(),
+			PrepCollapsed:   s.solvePrepCollapsed.Load(),
+			InternSets:      s.solveInternSets.Load(),
+			InternBytes:     s.solveInternBytes.Load(),
 		},
 		Endpoints: make(map[string]EndpointJSON, len(s.endpoints)),
 		Incr: IncrVarz{

@@ -477,8 +477,13 @@ func TestVarzShape(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	postJSON(t, ts.URL+"/v1/analyze", AnalyzeRequest{Sources: []SourceJSON{{Name: "tiny.c", Text: tinyProgram}}})
 	v := varz(t, ts.URL)
-	if v.Solver.Steps <= 0 {
-		t.Errorf("solver steps = %d, want > 0", v.Solver.Steps)
+	if v.Solver.Solves != 1 {
+		t.Errorf("solver solves = %d, want 1", v.Solver.Solves)
+	}
+	// The offline prepass can collapse a tiny program to zero worklist
+	// drains; either residual steps or prepass merges prove the solve ran.
+	if v.Solver.Steps <= 0 && v.Solver.PrepCollapsed <= 0 {
+		t.Errorf("solver did no observable work: %+v", v.Solver)
 	}
 	ep, ok := v.Endpoints["analyze"]
 	if !ok || ep.Latency.Count != 1 {

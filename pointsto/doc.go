@@ -46,6 +46,12 @@
 // (store.Key) and from incremental graph identity; only wall time and the
 // SolverStats Par* schedule counters change.
 //
+// Options.NoPrepass ablates the offline constraint-reduction prepass and
+// the hash-consed points-to-set pool the same way: the pair changes peak
+// memory and wall time, never the answer, so NoPrepass (and TrackPeakMem)
+// are likewise excluded from cache keys and graph identity. The pair's
+// work is visible only through SolverStats (Prep*/Intern*/PeakLiveBytes).
+//
 // # Incremental re-analysis
 //
 // Edit-heavy traffic can resume instead of re-solving: Session.Update takes

@@ -94,6 +94,17 @@ type Options struct {
 	// vary. Distinct from Config.Parallelism, which bounds the AnalyzeAll
 	// batch worker pool across solves.
 	Parallelism int
+	// NoPrepass disables the dense solver's offline constraint-reduction
+	// prepass and its hash-consed set interner (results are identical;
+	// ablation and kill switch only). Like Parallelism it is excluded from
+	// content-addressed cache keys (store.Key) and from incremental-graph
+	// identity: only the prep_*/intern_* counters in SolverStats and the
+	// solve's memory/time profile change.
+	NoPrepass bool
+	// TrackPeakMem samples the live heap at the solver's wave barriers and
+	// reports the peak through SolverStats.PeakLiveBytes. Each sample is a
+	// stop-the-world sweep; meant for benchmarking, not serving.
+	TrackPeakMem bool
 }
 
 // Limits bounds the solver's resource use; zero values mean unlimited.
@@ -274,6 +285,8 @@ func coreOptions(cfg Config) core.Options {
 		NoPtrArithSmear: cfg.Options.NoPtrArithSmear,
 		UseUnknown:      cfg.Options.FlagMisuse,
 		NoCycleElim:     cfg.Options.NoCycleElim,
+		NoPrepass:       cfg.Options.NoPrepass,
+		TrackPeakMem:    cfg.Options.TrackPeakMem,
 		Limits:          cfg.Limits.core(),
 		Parallelism:     par,
 	}
@@ -445,6 +458,25 @@ type SolverStats struct {
 	// ParPendings is the number of cross-shard pending delta buffers
 	// merged at wave barriers.
 	ParPendings int
+	// PrepClasses, PrepCollapsed and PrepChains describe the offline
+	// constraint-reduction prepass: equivalence classes merged before the
+	// fixpoint, cells folded into another representative by those merges,
+	// and the subset of memberships proven by the single-predecessor
+	// (copy-chain) rule. All zero under Options.NoPrepass.
+	PrepClasses   int
+	PrepCollapsed int
+	PrepChains    int
+	// InternEpochs, InternSets and InternBytes describe the hash-consed
+	// set interner: passes run, sets re-pointed at a canonical equal
+	// allocation, and the approximate bytes those aliasing events
+	// released. Epoch placement follows wave barriers, so the family is
+	// schedule-dependent (like ParSteals, excluded from baselines).
+	InternEpochs int
+	InternSets   int
+	InternBytes  int
+	// PeakLiveBytes is the peak sampled live heap under
+	// Options.TrackPeakMem (zero otherwise; machine-dependent).
+	PeakLiveBytes uint64
 }
 
 // SolverStats returns the constraint-graph layer's counters for this run.
@@ -463,6 +495,13 @@ func (r *Report) SolverStats() SolverStats {
 		ParShards:       w.ParShards,
 		ParSteals:       w.ParSteals,
 		ParPendings:     w.ParPendings,
+		PrepClasses:     w.PrepClasses,
+		PrepCollapsed:   w.PrepCollapsed,
+		PrepChains:      w.PrepChains,
+		InternEpochs:    w.InternEpochs,
+		InternSets:      w.InternSets,
+		InternBytes:     w.InternBytes,
+		PeakLiveBytes:   w.PeakLiveBytes,
 	}
 }
 

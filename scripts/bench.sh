@@ -17,6 +17,12 @@
 #
 #	benchstat -col /name BENCH_<stamp>.par.txt   # seq vs par8 per program
 #
+# plus BENCH_<stamp>.prep.txt, the offline-prepass pass (ptrbench -prep):
+# prepass + hash-consed sets vs their ablation on synthetic hub-and-chains
+# programs up to half a million statements — wall time, barrier-sampled
+# peak live heap, cells collapsed and sets interned, with the fact count
+# cross-checked between modes,
+#
 # Usage (from anywhere; REPEAT controls ptrbench timing repetitions):
 #
 #	sh scripts/bench.sh            # full snapshot: 10 benchstat samples
@@ -120,3 +126,14 @@ else
 		-count "$count" -benchtime "$benchtime" . >"$parout"
 fi
 echo "wrote $parout" >&2
+
+# Prepass pass: offline constraint reduction + hash-consed sets vs their
+# ablation at scale (BENCH_<stamp>.prep.txt). The run self-checks — a fact
+# count disagreement between the modes aborts with a non-zero exit.
+prepout="$(bench_path .prep.txt)"
+if [ "$short" = 1 ]; then
+	go run ./cmd/ptrbench -prep -prep-stmts 25000 -repeat 2 >"$prepout"
+else
+	go run ./cmd/ptrbench -prep -prep-stmts 500000 -repeat 3 >"$prepout"
+fi
+echo "wrote $prepout" >&2

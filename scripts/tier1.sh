@@ -31,12 +31,18 @@ go test -race ./internal/core/... ./internal/corpus/...
 
 echo "== parallel wave executor differential (-race, GOMAXPROCS above cores)"
 GOMAXPROCS=8 go test -race -short -count=1 \
-	-run 'TestParallelSolverMatchesSequential|TestParallelDifferentialGOMAXPROCS|TestParallelCancellationMidWave' \
+	-run 'TestParallelSolverMatchesSequential|TestParallelDifferentialGOMAXPROCS|TestParallelCancellationMidWave|TestPrepassDifferentialCorpusParallel' \
 	./internal/core
 
-echo "== fuzz smoke (frontend + solver + snapshot decoder must never panic)"
+echo "== prepass differential + large-generator smoke (small scale)"
+go test -short -count=1 \
+	-run 'TestPrepassDifferentialCorpus$|TestGenerateLargePrepassCollapsesChains' \
+	./internal/core ./internal/corpus
+
+echo "== fuzz smoke (frontend + solver + interner + snapshot decoder must never panic)"
 go test -run='^$' -fuzz=FuzzLoad -fuzztime=10s ./internal/frontend
 go test -run='^$' -fuzz=FuzzSolve -fuzztime=10s ./internal/core
+go test -run='^$' -fuzz=FuzzBitsIntern -fuzztime=10s ./internal/core
 go test -run='^$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/export
 go test -run='^$' -fuzz=FuzzGraphSnapshotDecode -fuzztime=10s ./internal/incr
 
